@@ -1,0 +1,80 @@
+"""Ablation: stratified sampling vs simple random sampling on skewed strata.
+
+The paper's body assumes all client streams share one distribution and defers
+stratified sampling to the technical report.  This ablation quantifies what
+stratification buys when the assumption is violated: a small stratum of
+heavy-consumption clients next to a large stratum of light ones.
+
+Shape asserted: both estimators are roughly unbiased, but the stratified
+estimator's error is consistently smaller on the skewed population.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.sampling import SimpleRandomSampler, StratifiedSampler, estimate_sum
+
+SAMPLING_FRACTION = 0.2
+TRIALS = 30
+
+
+def build_population(rng: random.Random) -> dict[str, list[float]]:
+    return {
+        "heavy": [rng.uniform(80.0, 120.0) for _ in range(400)],
+        "light": [rng.uniform(0.0, 2.0) for _ in range(7_600)],
+    }
+
+
+def srs_error(population: list[float], truth: float, rng: random.Random) -> float:
+    sampler = SimpleRandomSampler(SAMPLING_FRACTION, rng=rng)
+    sample = sampler.select(population)
+    estimate = estimate_sum(sample, population_size=len(population)).estimate
+    return abs(estimate - truth) / truth
+
+
+def stratified_error(strata: dict[str, list[float]], truth: float, rng: random.Random) -> float:
+    sampler = StratifiedSampler(SAMPLING_FRACTION, rng=rng)
+    estimate = sampler.estimate(strata).estimate
+    return abs(estimate - truth) / truth
+
+
+@pytest.mark.benchmark(group="ablation-stratified")
+def test_ablation_stratified_vs_srs(benchmark, report):
+    rng = random.Random(47)
+    strata = build_population(rng)
+    population = strata["heavy"] + strata["light"]
+    truth = sum(population)
+
+    benchmark(stratified_error, strata, truth, rng)
+
+    srs_errors = [srs_error(population, truth, rng) for _ in range(TRIALS)]
+    stratified_errors = [stratified_error(strata, truth, rng) for _ in range(TRIALS)]
+    srs_mean = sum(srs_errors) / TRIALS
+    stratified_mean = sum(stratified_errors) / TRIALS
+
+    report.title("Ablation: stratified vs simple random sampling (s = 0.2, skewed strata)")
+    report.table(
+        ["estimator", "mean relative error (%)", "max relative error (%)"],
+        [
+            ["simple random sampling", round(100 * srs_mean, 3), round(100 * max(srs_errors), 3)],
+            [
+                "stratified sampling",
+                round(100 * stratified_mean, 3),
+                round(100 * max(stratified_errors), 3),
+            ],
+        ],
+    )
+    report.note(
+        "A 5% heavy-consumption stratum dominates the population sum; sampling "
+        "each stratum separately removes the variance caused by how many heavy "
+        "clients happen to be drawn."
+    )
+
+    assert stratified_mean < srs_mean
+    assert max(stratified_errors) < max(srs_errors)
+    # Both estimators remain approximately unbiased (errors are small fractions).
+    assert srs_mean < 0.25
+    assert stratified_mean < 0.05

@@ -1,0 +1,113 @@
+"""Figure 4(b): error decomposition — sampling vs randomized response vs combined.
+
+Paper setup: 10,000 answers, 60% Yes.  The sampling-only curve sets p = 1
+(no randomization); the randomized-response-only point sets s = 1 with
+p = 0.3, q = 0.6; the combined curve runs both.  The claim: the two error
+sources are statistically independent, so the combined accuracy loss is
+approximately the sum of the individual losses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.randomized_response import rr_accuracy_loss, simulate_randomized_survey
+from repro.core.sampling import SimpleRandomSampler
+from repro.datasets import generate_binary_answers
+
+TOTAL_ANSWERS = 10_000
+YES_FRACTION = 0.6
+P, Q = 0.3, 0.6
+SAMPLING_FRACTIONS = [0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]
+TRIALS = 10
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+def sampling_only_loss(sampling_fraction: float, rng: random.Random) -> float:
+    population = generate_binary_answers(TOTAL_ANSWERS, YES_FRACTION, seed=1).as_list()
+    true_yes = sum(population)
+    losses = []
+    for _ in range(TRIALS):
+        sampled = SimpleRandomSampler(sampling_fraction, rng=rng).select(population)
+        if not sampled:
+            losses.append(1.0)
+            continue
+        estimate = (TOTAL_ANSWERS / len(sampled)) * sum(sampled)
+        losses.append(rr_accuracy_loss(true_yes, estimate))
+    return _mean(losses)
+
+
+def rr_only_loss(rng: random.Random) -> float:
+    true_yes = round(TOTAL_ANSWERS * YES_FRACTION)
+    losses = []
+    for _ in range(TRIALS):
+        _, estimate = simulate_randomized_survey(true_yes, TOTAL_ANSWERS, P, Q, rng)
+        losses.append(rr_accuracy_loss(true_yes, estimate))
+    return _mean(losses)
+
+
+def combined_loss(sampling_fraction: float, rng: random.Random) -> float:
+    population = generate_binary_answers(TOTAL_ANSWERS, YES_FRACTION, seed=1).as_list()
+    true_yes = sum(population)
+    losses = []
+    for _ in range(TRIALS):
+        sampled = SimpleRandomSampler(sampling_fraction, rng=rng).select(population)
+        if not sampled:
+            losses.append(1.0)
+            continue
+        _, rr_estimate = simulate_randomized_survey(sum(sampled), len(sampled), P, Q, rng)
+        estimate = (TOTAL_ANSWERS / len(sampled)) * rr_estimate
+        losses.append(rr_accuracy_loss(true_yes, estimate))
+    return _mean(losses)
+
+
+@pytest.mark.benchmark(group="fig4b")
+def test_fig4b_error_decomposition(benchmark, report):
+    rng = random.Random(17)
+    benchmark(combined_loss, 0.6, rng)
+
+    rng = random.Random(23)
+    rr_component = rr_only_loss(rng)
+    rows = []
+    sampling_losses = []
+    combined_losses = []
+    for fraction in SAMPLING_FRACTIONS:
+        sampling = sampling_only_loss(fraction, rng)
+        combined = combined_loss(fraction, rng)
+        sampling_losses.append(sampling)
+        combined_losses.append(combined)
+        rows.append(
+            [
+                f"{fraction:.0%}",
+                round(100 * sampling, 3),
+                round(100 * rr_component, 3),
+                round(100 * combined, 3),
+                round(100 * (sampling + rr_component), 3),
+            ]
+        )
+
+    report.title("Figure 4(b): error decomposition (accuracy loss %, p=0.3, q=0.6)")
+    report.table(
+        ["sampling fraction", "sampling only", "RR only (s=1)", "combined", "sum of parts"],
+        rows,
+    )
+    report.note(
+        "Paper: the two error sources are independent; the combined loss is "
+        "approximately the sum of the sampling loss and the RR loss."
+    )
+
+    # The combined loss tracks the sum of the components (independence claim):
+    # it is never dramatically larger than the sum, and at low sampling
+    # fractions it is dominated by the sampling term.
+    for sampling, combined in zip(sampling_losses, combined_losses):
+        assert combined <= 2.0 * (sampling + rr_component) + 0.01
+    # Sampling-only error decreases with the fraction and hits zero at s = 1.
+    assert sampling_losses[-1] == pytest.approx(0.0, abs=1e-9)
+    assert sampling_losses[0] > sampling_losses[-2] >= 0.0
+    # At full sampling the combined loss reduces to (roughly) the RR-only loss.
+    assert combined_losses[-1] == pytest.approx(rr_component, abs=0.03)

@@ -1,0 +1,66 @@
+"""Figure 4(c): accuracy loss vs number of participating clients.
+
+Paper setup: s = 0.9, p = 0.9, q = 0.6, 60% truthful Yes answers; the client
+count sweeps 10^1 ... 10^6.  Expected shape: the loss shrinks as the number of
+clients grows (roughly like 1/sqrt(n)); below ~100 clients the results have
+low utility.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.randomized_response import rr_accuracy_loss, simulate_randomized_survey
+from repro.core.sampling import SimpleRandomSampler
+
+S, P, Q = 0.9, 0.9, 0.6
+YES_FRACTION = 0.6
+CLIENT_COUNTS = [10, 100, 1_000, 10_000, 100_000, 1_000_000]
+TRIALS = {10: 40, 100: 30, 1_000: 20, 10_000: 10, 100_000: 4, 1_000_000: 2}
+
+
+def loss_for_clients(num_clients: int, rng: random.Random) -> float:
+    true_yes = round(num_clients * YES_FRACTION)
+    losses = []
+    for _ in range(TRIALS[num_clients]):
+        sampler = SimpleRandomSampler(S, rng=rng)
+        # Sample the client population; the sampled subpopulation keeps the
+        # same Yes fraction in expectation.
+        sampled_total = sum(1 for _ in range(num_clients) if sampler.should_participate())
+        if sampled_total == 0:
+            losses.append(1.0)
+            continue
+        sampled_yes = round(sampled_total * YES_FRACTION)
+        _, rr_estimate = simulate_randomized_survey(sampled_yes, sampled_total, P, Q, rng)
+        estimate = (num_clients / sampled_total) * rr_estimate
+        losses.append(rr_accuracy_loss(max(true_yes, 1), estimate))
+    return sum(losses) / len(losses)
+
+
+@pytest.mark.benchmark(group="fig4c")
+def test_fig4c_accuracy_loss_vs_number_of_clients(benchmark, report):
+    rng = random.Random(29)
+    benchmark(loss_for_clients, 1_000, rng)
+
+    rng = random.Random(31)
+    losses = {n: loss_for_clients(n, rng) for n in CLIENT_COUNTS}
+
+    report.title("Figure 4(c): accuracy loss vs number of clients (s=0.9, p=0.9, q=0.6)")
+    report.table(
+        ["# clients", "accuracy loss (%)"],
+        [[n, round(100 * losses[n], 3)] for n in CLIENT_COUNTS],
+    )
+    report.note(
+        "Paper: utility improves with the number of participating clients; "
+        "fewer than ~100 clients gives low-utility results."
+    )
+
+    # Loss decreases (weakly) along the sweep and drops sharply from 10 to 10^4.
+    assert losses[10] > losses[1_000] > losses[100_000]
+    assert losses[10] > 5 * losses[10_000]
+    # Few clients -> low utility (loss of several percent or worse).
+    assert losses[10] > 0.02
+    # Many clients -> high utility (well under 1%).
+    assert losses[1_000_000] < 0.01

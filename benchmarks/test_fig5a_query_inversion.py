@@ -1,0 +1,97 @@
+"""Figure 5(a): accuracy loss of native vs inverted queries vs the Yes fraction.
+
+Paper setup: 10,000 answers; s = 0.9, p = 0.9, q = 0.6; the truthful "Yes"
+fraction sweeps 10%..90%.  Expected shape: the native query's loss is highest
+when the Yes fraction is far below q and shrinks as the fraction approaches
+~60%; the inverted query mirrors that behaviour, so for small Yes fractions
+inversion reduces the loss substantially (the paper quotes 2.54% -> 0.4% at a
+10% Yes fraction).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analytics import accuracy_loss
+from repro.core.inversion import InvertedEstimator, should_invert
+from repro.core.randomized_response import RandomizedResponder, estimate_true_yes
+from repro.core.sampling import SimpleRandomSampler
+
+TOTAL_ANSWERS = 10_000
+S, P, Q = 0.9, 0.9, 0.6
+YES_FRACTIONS = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+TRIALS = 8
+
+
+def run_survey(yes_fraction: float, inverted: bool, rng: random.Random) -> float:
+    """Mean accuracy loss of the (native or inverted) estimate of the Yes count."""
+    true_yes = round(TOTAL_ANSWERS * yes_fraction)
+    losses = []
+    for _ in range(TRIALS):
+        sampler = SimpleRandomSampler(S, rng=rng)
+        responder = RandomizedResponder(p=P, q=Q, rng=rng)
+        sampled_total = 0
+        observed = 0
+        for i in range(TOTAL_ANSWERS):
+            if not sampler.should_participate():
+                continue
+            sampled_total += 1
+            truthful = 1 if i < true_yes else 0
+            bit = (1 - truthful) if inverted else truthful
+            observed += responder.randomize_bit(bit)
+        if sampled_total == 0:
+            losses.append(1.0)
+            continue
+        if inverted:
+            estimator = InvertedEstimator(p=P, q=Q)
+            estimate_sampled = estimator.estimate_yes(observed, sampled_total)
+        else:
+            estimate_sampled = estimate_true_yes(observed, sampled_total, P, Q)
+        estimate = (TOTAL_ANSWERS / sampled_total) * estimate_sampled
+        losses.append(accuracy_loss(max(true_yes, 1), estimate))
+    return sum(losses) / len(losses)
+
+
+@pytest.mark.benchmark(group="fig5a")
+def test_fig5a_native_vs_inverted_query(benchmark, report):
+    benchmark(run_survey, 0.1, False, random.Random(3))
+
+    rng = random.Random(37)
+    rows = []
+    native = {}
+    inverted = {}
+    for fraction in YES_FRACTIONS:
+        native[fraction] = run_survey(fraction, inverted=False, rng=rng)
+        inverted[fraction] = run_survey(fraction, inverted=True, rng=rng)
+        rows.append(
+            [
+                f"{fraction:.0%}",
+                round(100 * native[fraction], 3),
+                round(100 * inverted[fraction], 3),
+                should_invert(fraction, Q),
+            ]
+        )
+
+    report.title("Figure 5(a): accuracy loss vs truthful Yes fraction (s=0.9, p=0.9, q=0.6)")
+    report.table(
+        ["Yes fraction", "native query loss (%)", "inverted query loss (%)", "invert?"], rows
+    )
+    report.note(
+        "Paper: at a 10% Yes fraction the native loss is ~2.54% and inversion "
+        "reduces it to ~0.4%; the native loss shrinks as the fraction nears q."
+    )
+
+    # Inversion helps substantially for rare-Yes queries (the paper reports a
+    # ~6x reduction; the Monte-Carlo estimate here is noisier, so we assert a
+    # conservative >1.5x improvement).
+    assert inverted[0.1] < native[0.1]
+    assert native[0.1] / max(inverted[0.1], 1e-6) > 1.5
+    # The native query is better (or comparable) when the Yes fraction is large.
+    assert native[0.9] <= inverted[0.9] + 0.01
+    # The native loss at a 10% Yes fraction is clearly worse than near 60%.
+    assert native[0.1] > native[0.6]
+    # The decision rule agrees with the measurement at the extremes.
+    assert should_invert(0.1, Q)
+    assert not should_invert(0.6, Q)

@@ -1,0 +1,81 @@
+"""Figure 5(b): proxy throughput vs the answer's bit-vector size.
+
+Paper setup: a 3-node Kafka cluster; the client answer bit-vector size sweeps
+10^2 ... 10^4 bits.  Expected shape: throughput (responses/sec) is inversely
+proportional to the bit-vector size.
+
+The benchmark measures the real in-memory pub/sub relay for several bit-vector
+sizes (group ``fig5b-local``) and prints the cluster-model series used for the
+full-scale figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encryption import AnswerCodec
+from repro.core.proxy import ProxyNetwork
+from repro.core.query import QueryAnswer
+from repro.crypto.prng import KeystreamGenerator
+from repro.netsim import ClusterTier
+
+BIT_VECTOR_SIZES = [100, 400, 1_000, 4_000, 10_000]
+
+
+def relay_answers(network: ProxyNetwork, encrypted_answers) -> int:
+    for shares in encrypted_answers:
+        network.transmit(shares)
+    return network.total_shares_relayed()
+
+
+def prepare_answers(bits: int, count: int):
+    codec = AnswerCodec()
+    keystream = KeystreamGenerator(seed=b"5b")
+    out = []
+    for i in range(count):
+        answer = QueryAnswer(query_id="analyst-00000001", bits=tuple([i % 2] * bits), epoch=0)
+        out.append(list(codec.encrypt(answer, num_proxies=2, keystream=keystream).shares))
+    return out
+
+
+@pytest.mark.benchmark(group="fig5b-local")
+@pytest.mark.parametrize("bits", [100, 1_000, 10_000])
+def test_proxy_relay_throughput_local(benchmark, bits):
+    answers = prepare_answers(bits, count=50)
+
+    def run():
+        network = ProxyNetwork(num_proxies=2)
+        return relay_answers(network, answers)
+
+    relayed = benchmark(run)
+    assert relayed == 100  # 50 answers x 2 shares
+
+
+@pytest.mark.benchmark(group="fig5b")
+def test_fig5b_throughput_vs_bitvector_size(benchmark, report):
+    tier = ClusterTier.proxy_tier(num_nodes=3)
+
+    def model_series():
+        return {
+            bits: tier.throughput(message_size_bytes=bits // 8).throughput_k_per_sec
+            for bits in BIT_VECTOR_SIZES
+        }
+
+    series = benchmark(model_series)
+
+    report.title("Figure 5(b): proxy throughput vs answer bit-vector size (3-node cluster)")
+    report.table(
+        ["bit-vector size", "throughput (K responses/sec)"],
+        [[bits, round(series[bits], 1)] for bits in BIT_VECTOR_SIZES],
+    )
+    report.note(
+        "Paper: throughput is inversely proportional to the bit-vector size, "
+        "falling from ~2,000K/sec at 10^2 bits toward ~100K/sec at 10^4 bits."
+    )
+
+    throughputs = [series[bits] for bits in BIT_VECTOR_SIZES]
+    # Monotonically non-increasing in the answer size.
+    assert all(a >= b for a, b in zip(throughputs, throughputs[1:]))
+    # Roughly inverse proportionality across a 10x size change in the large-message regime.
+    ratio = series[1_000] / series[10_000]
+    assert 5.0 < ratio < 15.0

@@ -1,0 +1,110 @@
+"""Figure 7: NYC-taxi case study — utility, privacy, and their trade-off.
+
+Paper setup: the taxi-distance query runs end to end over the (synthetic,
+here) taxi trace for every combination of p, q in {0.3, 0.6, 0.9}, with the
+sampling fraction derived from the privacy target.  Figure 7(a) shows the
+accuracy loss, 7(b) the zero-knowledge privacy level and 7(c) the trade-off
+between the two.
+
+Expected shape: the accuracy loss falls (utility improves) and epsilon_zk
+rises (privacy weakens) as s and p grow; since the taxi trace's first-bucket
+fraction is ~33.6%, q = 0.3 gives the lowest loss; utility and privacy trade
+off monotonically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import histogram_accuracy_loss
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    SystemConfig,
+)
+from repro.core.privacy import zero_knowledge_epsilon
+from repro.datasets import TAXI_DISTANCE_BUCKETS, TaxiRideGenerator
+
+NUM_CLIENTS = 1_500
+RIDES_PER_CLIENT = 1
+SAMPLING_FRACTIONS = [0.4, 0.9]
+PQ_SETTINGS = [(p, q) for p in (0.3, 0.6, 0.9) for q in (0.3, 0.6, 0.9)]
+
+
+def run_case_study(sampling_fraction: float, p: float, q: float, seed: int = 7):
+    """One end-to-end taxi case-study run; returns (accuracy loss, epsilon_zk)."""
+    system = PrivApproxSystem(SystemConfig(num_clients=NUM_CLIENTS, seed=seed))
+    generator = TaxiRideGenerator(seed=seed)
+    system.provision_clients(
+        TaxiRideGenerator.table_columns(),
+        lambda i: generator.rides_for_client(i, num_rides=RIDES_PER_CLIENT),
+    )
+    analyst = Analyst("taxi")
+    query = analyst.create_query(
+        TaxiRideGenerator.case_study_sql(),
+        AnswerSpec(buckets=TAXI_DISTANCE_BUCKETS, value_column="distance"),
+        frequency_seconds=600.0,
+        window_seconds=600.0,
+        slide_seconds=600.0,
+    )
+    params = ExecutionParameters(sampling_fraction=sampling_fraction, p=p, q=q)
+    system.submit_query(analyst, query, QueryBudget(), parameters=params)
+    system.run_epoch(query.query_id, 0)
+    results = system.flush(query.query_id)
+    exact = system.exact_bucket_counts(query.query_id)
+    loss = histogram_accuracy_loss(exact, results[0].histogram.estimates())
+    return loss, zero_knowledge_epsilon(p, q, sampling_fraction)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_taxi_utility_privacy_tradeoff(benchmark, report):
+    # One full end-to-end run is expensive (thousands of clients), so time a
+    # single round rather than letting pytest-benchmark calibrate.
+    benchmark.pedantic(run_case_study, args=(0.9, 0.9, 0.3), rounds=1, iterations=1)
+
+    rows = []
+    measurements = {}
+    for s in SAMPLING_FRACTIONS:
+        for p, q in PQ_SETTINGS:
+            loss, epsilon = run_case_study(s, p, q)
+            measurements[(s, p, q)] = (loss, epsilon)
+            rows.append([s, p, q, round(100 * loss, 3), round(epsilon, 4)])
+
+    report.title("Figure 7: NYC-taxi case study — utility and privacy")
+    report.table(["s", "p", "q", "accuracy loss (%)", "epsilon_zk"], rows)
+    report.note(
+        "Paper: loss falls and epsilon_zk rises as s and p grow; because the "
+        "taxi trace's first-bucket fraction is ~33.6%, q = 0.3 gives the "
+        "smallest loss; utility and privacy trade off against each other."
+    )
+
+    # (a) Utility improves with p (averaged over q) at full-ish sampling.
+    def mean_loss(s, p):
+        return sum(measurements[(s, p, q)][0] for q in (0.3, 0.6, 0.9)) / 3
+
+    assert mean_loss(0.9, 0.9) < mean_loss(0.9, 0.3)
+    # Utility improves with the sampling fraction (averaged over p, q).
+    low_s = sum(measurements[(0.4, p, q)][0] for p, q in PQ_SETTINGS) / len(PQ_SETTINGS)
+    high_s = sum(measurements[(0.9, p, q)][0] for p, q in PQ_SETTINGS) / len(PQ_SETTINGS)
+    assert high_s < low_s
+
+    # (b) Privacy level grows with p and s.
+    for q in (0.3, 0.6, 0.9):
+        assert measurements[(0.9, 0.9, q)][1] > measurements[(0.9, 0.3, q)][1]
+        assert measurements[(0.9, 0.6, q)][1] > measurements[(0.4, 0.6, q)][1]
+
+    # (c) Trade-off: the most private configuration is the least accurate
+    # (compare the extreme corners at fixed q = 0.6).
+    strong_privacy = measurements[(0.4, 0.3, 0.6)]
+    weak_privacy = measurements[(0.9, 0.9, 0.6)]
+    assert strong_privacy[1] < weak_privacy[1]
+    assert strong_privacy[0] > weak_privacy[0]
+
+    # q = 0.3 (closest to the ~33.6% first-bucket fraction) beats q = 0.9 for
+    # the high-utility corner.  (The paper reports the same effect; at this
+    # deployment size the q = 0.3 vs q = 0.6 gap is within the noise, so only
+    # the robust comparison is asserted.)
+    assert measurements[(0.9, 0.9, 0.3)][0] < measurements[(0.9, 0.9, 0.9)][0]

@@ -1,0 +1,86 @@
+"""Figure 9: network traffic and end-to-end latency vs sampling fraction.
+
+Paper setup: the taxi and electricity workloads replayed at different
+client-side sampling fractions; Figure 9(a) reports the total client-to-proxy
+network traffic and 9(b) the latency of processing the dataset.
+
+Expected shape: both traffic and latency fall roughly proportionally with the
+sampling fraction; at s = 0.6 the paper measures a ~1.6x traffic reduction and
+a ~1.66-1.68x latency speedup relative to no sampling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import ELECTRICITY_BUCKETS, TAXI_DISTANCE_BUCKETS
+from repro.netsim import NetworkModel
+
+SAMPLING_FRACTIONS = [0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]
+NUM_ANSWERS = 30_000_000  # answers replayed per workload
+WORKLOADS = {
+    "NYC Taxi": TAXI_DISTANCE_BUCKETS.num_buckets,
+    "Electricity": ELECTRICITY_BUCKETS.num_buckets,
+}
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_network_traffic_and_latency(benchmark, report):
+    model = NetworkModel()
+
+    def sweep():
+        out = {}
+        for workload, buckets in WORKLOADS.items():
+            out[workload] = {
+                "traffic": model.traffic_sweep(NUM_ANSWERS, SAMPLING_FRACTIONS, buckets),
+                "latency": model.latency_sweep(NUM_ANSWERS, SAMPLING_FRACTIONS, buckets),
+            }
+        return out
+
+    series = benchmark(sweep)
+
+    traffic_rows = []
+    latency_rows = []
+    for index, fraction in enumerate(SAMPLING_FRACTIONS):
+        traffic_rows.append(
+            [
+                f"{fraction:.0%}",
+                round(series["NYC Taxi"]["traffic"][index].total_gigabytes, 2),
+                round(series["Electricity"]["traffic"][index].total_gigabytes, 2),
+            ]
+        )
+        latency_rows.append(
+            [
+                f"{fraction:.0%}",
+                round(series["NYC Taxi"]["latency"][index].total_seconds, 2),
+                round(series["Electricity"]["latency"][index].total_seconds, 2),
+            ]
+        )
+
+    report.title("Figure 9: network traffic and latency vs sampling fraction")
+    report.note("(a) total client-to-proxy traffic (GB)")
+    report.table(["sampling fraction", "NYC Taxi", "Electricity"], traffic_rows)
+    report.note("(b) end-to-end processing latency (seconds)")
+    report.table(["sampling fraction", "NYC Taxi", "Electricity"], latency_rows)
+    report.note(
+        "Paper: at s = 0.6 the traffic shrinks by ~1.62x (taxi) / 1.58x "
+        "(electricity) and the latency by ~1.68x / 1.66x versus no sampling."
+    )
+
+    for workload in WORKLOADS:
+        traffic = [r.total_bytes for r in series[workload]["traffic"]]
+        latency = [r.total_seconds for r in series[workload]["latency"]]
+        assert traffic == sorted(traffic)
+        assert latency == sorted(latency)
+        # The s = 0.6 point gives roughly the paper's 1.6x reduction.
+        full_traffic = series[workload]["traffic"][-1]
+        sampled_traffic = series[workload]["traffic"][3]
+        assert sampled_traffic.reduction_versus(full_traffic) == pytest.approx(1.0 / 0.6, rel=0.05)
+        full_latency = series[workload]["latency"][-1]
+        sampled_latency = series[workload]["latency"][3]
+        assert sampled_latency.speedup_versus(full_latency) == pytest.approx(1.0 / 0.6, rel=0.1)
+    # The electricity workload (smaller answers) generates less traffic.
+    assert (
+        series["Electricity"]["traffic"][-1].total_bytes
+        < series["NYC Taxi"]["traffic"][-1].total_bytes
+    )

@@ -1,0 +1,87 @@
+"""Table 1: utility and privacy of query results across randomization parameters.
+
+Paper setup: 10,000 original answers, 60% of which are "Yes"; sampling
+parameter s = 0.6; p and q swept over {0.3, 0.6, 0.9}.  Reported per cell:
+accuracy loss (eta, Eq. 6) and the privacy level.
+
+Expected shape (asserted): larger p -> smaller accuracy loss and larger
+(weaker) epsilon; q closest to the Yes fraction (0.6) -> best utility for a
+given p; every accuracy loss is small (a few percent).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.privacy import randomized_response_epsilon, zero_knowledge_epsilon
+from repro.core.randomized_response import rr_accuracy_loss, simulate_randomized_survey
+from repro.core.sampling import SimpleRandomSampler
+from repro.datasets import generate_binary_answers
+
+TOTAL_ANSWERS = 10_000
+YES_FRACTION = 0.6
+SAMPLING_FRACTION = 0.6
+PARAMETERS = [0.3, 0.6, 0.9]
+TRIALS = 5
+
+
+def run_cell(p: float, q: float, seed: int) -> float:
+    """Mean accuracy loss for one (p, q) cell with sampling at s = 0.6."""
+    rng = random.Random(seed)
+    population = generate_binary_answers(TOTAL_ANSWERS, YES_FRACTION, seed=seed).as_list()
+    true_yes = sum(population)
+    losses = []
+    for _ in range(TRIALS):
+        sampler = SimpleRandomSampler(SAMPLING_FRACTION, rng=rng)
+        sampled = sampler.select(population)
+        sampled_yes = sum(sampled)
+        _, rr_estimate = simulate_randomized_survey(
+            true_yes=sampled_yes, total=len(sampled), p=p, q=q, rng=rng
+        )
+        estimate = (TOTAL_ANSWERS / len(sampled)) * rr_estimate
+        losses.append(rr_accuracy_loss(true_yes, estimate))
+    return sum(losses) / len(losses)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_randomization_parameters(benchmark, report):
+    """Regenerate Table 1 and check its qualitative shape."""
+    # Time one representative cell on the real code path.
+    benchmark(run_cell, 0.6, 0.6, 42)
+
+    rows = []
+    losses = {}
+    for p in PARAMETERS:
+        for q in PARAMETERS:
+            loss = run_cell(p, q, seed=hash((p, q)) % 10_000)
+            eps_dp = randomized_response_epsilon(p, q)
+            eps_zk = zero_knowledge_epsilon(p, q, SAMPLING_FRACTION)
+            losses[(p, q)] = loss
+            rows.append([p, q, loss, eps_dp, eps_zk])
+
+    report.title("Table 1: utility and privacy vs randomization parameters (s = 0.6)")
+    report.table(
+        ["p", "q", "accuracy loss (eta)", "epsilon_dp (Eq. 8)", "epsilon_zk"], rows
+    )
+    report.note(
+        "Paper: eta in 0.0079..0.0278; epsilon 1.25..4.18; higher p -> higher "
+        "utility and weaker privacy; q closest to the Yes fraction is best."
+    )
+
+    # Shape assertions.
+    for q in PARAMETERS:
+        assert losses[(0.9, q)] < losses[(0.3, q)], "higher p must improve utility"
+        assert randomized_response_epsilon(0.9, q) > randomized_response_epsilon(0.3, q)
+    for p in PARAMETERS:
+        # Privacy level decreases as q grows (Table 1's epsilon column).
+        eps = [randomized_response_epsilon(p, q) for q in PARAMETERS]
+        assert eps == sorted(eps, reverse=True)
+    # All losses are small (the paper reports at most ~2.8%; allow slack for
+    # the Monte-Carlo trials).
+    assert all(loss < 0.08 for loss in losses.values())
+    # Zero-knowledge epsilon is tighter than the plain DP epsilon everywhere.
+    for p in PARAMETERS:
+        for q in PARAMETERS:
+            assert zero_knowledge_epsilon(p, q, SAMPLING_FRACTION) <= randomized_response_epsilon(p, q)

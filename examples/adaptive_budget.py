@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Adaptive execution: budgets, the feedback loop, and query inversion.
+
+This example demonstrates the three "knob-turning" mechanisms of PrivApprox
+that the other examples keep fixed:
+
+* the budget planner converting latency / accuracy / privacy budgets into the
+  (s, p, q) system parameters;
+* the feedback loop re-tuning the parameters when a window's observed error
+  exceeds the analyst's accuracy target;
+* query inversion improving utility when truthful "Yes" answers are rare.
+
+Run with:  python examples/adaptive_budget.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analytics import accuracy_loss
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    BudgetPlanner,
+    ExecutionParameters,
+    InvertedEstimator,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+    should_invert,
+)
+from repro.core.randomized_response import RandomizedResponder, estimate_true_yes
+
+
+def show_budget_conversion() -> None:
+    print("1. Budget conversion (the aggregator's initializer module)")
+    planner = BudgetPlanner()
+    budgets = {
+        "accuracy 1%":               QueryBudget(target_accuracy_loss=0.01),
+        "privacy eps <= 0.8":        QueryBudget(max_epsilon=0.8),
+        "latency 10 s, 50M clients": QueryBudget(max_latency_seconds=10, expected_clients=50_000_000),
+        "all three":                 QueryBudget(
+            target_accuracy_loss=0.01, max_epsilon=0.8, max_latency_seconds=10,
+            expected_clients=50_000_000,
+        ),
+    }
+    for label, budget in budgets.items():
+        params = planner.plan(budget)
+        print(
+            f"   {label:<28} -> s={params.sampling_fraction:.2f}  p={params.p:.2f}  "
+            f"q={params.q:.2f}  (eps_zk={params.epsilon_zk:.2f})"
+        )
+    print()
+
+
+def show_feedback_loop() -> None:
+    print("2. Feedback loop (error above target raises the sampling fraction)")
+    system = PrivApproxSystem(SystemConfig(num_clients=60, num_proxies=2, seed=3))
+    rng = random.Random(3)
+    system.provision_clients([("value", "REAL")], lambda i: [{"value": rng.uniform(0, 3)}])
+    analyst = Analyst("ops")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(buckets=RangeBuckets(boundaries=(0.0, 1.0, 2.0), open_ended=True)),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    initial = ExecutionParameters(sampling_fraction=0.3, p=0.3, q=0.6)
+    system.submit_query(
+        analyst, query, QueryBudget(target_accuracy_loss=0.02), parameters=initial
+    )
+    print(f"   initial parameters: s={initial.sampling_fraction:.2f}, p={initial.p:.2f}")
+    for epoch in range(5):
+        system.run_epoch(query.query_id, epoch)
+        current = system.parameters_for(query.query_id)
+        print(f"   after epoch {epoch}: s={current.sampling_fraction:.2f}, p={current.p:.2f}")
+    print()
+
+
+def show_query_inversion() -> None:
+    print("3. Query inversion (rare-Yes query, q = 0.9)")
+    rng = random.Random(7)
+    total, true_yes = 20_000, 1_000  # only 5% truthful Yes answers
+    p, q = 0.9, 0.9
+    trials = 15
+    print(f"   truthful Yes fraction: {true_yes / total:.0%}; invert? {should_invert(true_yes / total, q)}")
+
+    native_losses = []
+    inverted_losses = []
+    for _ in range(trials):
+        responder = RandomizedResponder(p=p, q=q, rng=rng)
+        native_observed = sum(responder.randomize_bit(1) for _ in range(true_yes)) + sum(
+            responder.randomize_bit(0) for _ in range(total - true_yes)
+        )
+        native_estimate = estimate_true_yes(native_observed, total, p, q)
+        native_losses.append(accuracy_loss(true_yes, native_estimate))
+
+        inverted_observed = sum(responder.randomize_bit(0) for _ in range(true_yes)) + sum(
+            responder.randomize_bit(1) for _ in range(total - true_yes)
+        )
+        inverted_estimate = InvertedEstimator(p=p, q=q).estimate_yes(inverted_observed, total)
+        inverted_losses.append(accuracy_loss(true_yes, inverted_estimate))
+
+    native_mean = sum(native_losses) / trials
+    inverted_mean = sum(inverted_losses) / trials
+    print(f"   native query mean loss over {trials} runs:   {100 * native_mean:.2f}%")
+    print(f"   inverted query mean loss over {trials} runs: {100 * inverted_mean:.2f}%")
+
+
+def main() -> None:
+    show_budget_conversion()
+    show_feedback_loop()
+    show_query_inversion()
+
+
+if __name__ == "__main__":
+    main()

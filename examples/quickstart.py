@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: privacy-preserving stream analytics over a toy client population.
+
+This example walks through the whole PrivApprox pipeline on a small synthetic
+deployment:
+
+1. provision a few hundred clients, each holding one private speed reading;
+2. have an analyst publish the paper's driving-speed query together with an
+   execution budget;
+3. run several answering epochs (sampling -> randomized response -> XOR
+   shares -> proxies -> aggregator);
+4. print the windowed histogram results with their error bounds next to the
+   exact (non-private) ground truth.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+)
+
+NUM_CLIENTS = 500
+NUM_EPOCHS = 3
+
+
+def provision_system(seed: int = 7) -> PrivApproxSystem:
+    """Create the deployment and load each client's private speed reading."""
+    system = PrivApproxSystem(SystemConfig(num_clients=NUM_CLIENTS, num_proxies=2, seed=seed))
+    rng = random.Random(seed)
+
+    def data_for_client(index: int) -> list[dict]:
+        return [{"speed": rng.uniform(0.0, 110.0), "location": "San Francisco"}]
+
+    system.provision_clients(
+        columns=[("speed", "REAL"), ("location", "TEXT")],
+        data_for_client=data_for_client,
+    )
+    return system
+
+
+def main() -> None:
+    system = provision_system()
+
+    # The analyst formulates the paper's example query: the driving-speed
+    # distribution across vehicles in San Francisco, with 12 speed buckets.
+    analyst = Analyst(analyst_id="quickstart-analyst")
+    speed_buckets = RangeBuckets(
+        boundaries=(0.0, 1.0, 11.0, 21.0, 31.0, 41.0, 51.0, 61.0, 71.0, 81.0, 91.0, 101.0),
+        open_ended=True,
+    )
+    query = analyst.create_query(
+        sql="SELECT speed FROM private_data WHERE location = 'San Francisco'",
+        answer_spec=AnswerSpec(buckets=speed_buckets, value_column="speed"),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+
+    # The budget asks for at most 5% accuracy loss and a zero-knowledge
+    # privacy level of at most 1.5; the planner converts it into (s, p, q).
+    budget = QueryBudget(
+        target_accuracy_loss=0.05,
+        max_epsilon=1.5,
+        expected_clients=NUM_CLIENTS,
+        answer_bits=speed_buckets.num_buckets,
+    )
+    parameters = system.submit_query(analyst, query, budget)
+    print("Execution parameters derived from the budget:")
+    print(f"  sampling fraction s = {parameters.sampling_fraction:.2f}")
+    print(f"  randomization     p = {parameters.p:.2f}, q = {parameters.q:.2f}")
+    print(f"  zero-knowledge privacy level epsilon_zk = {parameters.epsilon_zk:.3f}")
+    print()
+
+    for epoch in range(NUM_EPOCHS):
+        report = system.run_epoch(query.query_id, epoch)
+        print(
+            f"epoch {epoch}: {report.num_participants}/{report.num_clients} clients participated"
+        )
+    results = system.flush(query.query_id)
+    all_results = analyst.results_for(query.query_id)
+    print(f"\n{len(all_results)} window results delivered to the analyst\n")
+
+    exact = system.exact_bucket_counts(query.query_id)
+    last = all_results[-1]
+    print(f"Window [{last.window.start:.0f}s, {last.window.end:.0f}s) — estimated speed histogram:")
+    print(f"{'bucket':>16}  {'estimate':>10}  {'error bound':>12}  {'exact':>7}")
+    for bucket, exact_count in zip(last.histogram.buckets, exact):
+        print(
+            f"{bucket.label:>16}  {bucket.estimate:>10.1f}  ±{bucket.error_bound:>11.1f}  {exact_count:>7d}"
+        )
+    print(
+        "\nNote: 'exact' is computed by the simulation for comparison only — in a"
+        "\nreal deployment no component ever sees the truthful answers."
+    )
+
+
+if __name__ == "__main__":
+    main()

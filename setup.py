@@ -1,0 +1,11 @@
+"""Setuptools shim so editable installs work without the ``wheel`` package.
+
+The offline environment ships setuptools 65 but not ``wheel``, so PEP 660
+editable installs (which build an editable wheel) fail.  Keeping a ``setup.py``
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

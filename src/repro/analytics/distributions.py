@@ -1,0 +1,39 @@
+"""Small helpers for working with bucket-fraction distributions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def normalize(values: Sequence[float]) -> list[float]:
+    """Scale non-negative values so they sum to 1 (all-zero input stays zero)."""
+    if any(v < 0 for v in values):
+        raise ValueError("normalize expects non-negative values")
+    total = sum(values)
+    if total == 0:
+        return [0.0 for _ in values]
+    return [v / total for v in values]
+
+
+def empirical_fractions(bucket_indices: Sequence[int], num_buckets: int) -> list[float]:
+    """Fraction of items falling into each of ``num_buckets`` buckets."""
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    counts = [0] * num_buckets
+    for index in bucket_indices:
+        if not 0 <= index < num_buckets:
+            raise ValueError(f"bucket index {index} out of range [0, {num_buckets})")
+        counts[index] += 1
+    return normalize(counts)
+
+
+def counts_from_indices(bucket_indices: Sequence[int], num_buckets: int) -> list[int]:
+    """Raw per-bucket counts for a list of bucket indices."""
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    counts = [0] * num_buckets
+    for index in bucket_indices:
+        if not 0 <= index < num_buckets:
+            raise ValueError(f"bucket index {index} out of range [0, {num_buckets})")
+        counts[index] += 1
+    return counts

@@ -1,0 +1,64 @@
+"""Utility metrics: accuracy loss and relative error.
+
+The paper defines the accuracy loss of an estimate as
+``η = |A_y - E_y| / A_y`` (Equation 6) where ``A_y`` is the actual value and
+``E_y`` the estimated one; the case studies use the same metric written as
+``|estimate - exact| / exact`` (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def accuracy_loss(actual: float, estimate: float) -> float:
+    """Relative accuracy loss ``|actual - estimate| / actual`` (Equation 6).
+
+    A zero actual with a zero estimate is a perfect answer (loss 0); a zero
+    actual with a non-zero estimate is reported as the absolute estimate so the
+    metric stays finite and monotone in the error.
+    """
+    if actual == 0:
+        return abs(estimate)
+    return abs(actual - estimate) / abs(actual)
+
+
+def relative_error(actual: float, estimate: float) -> float:
+    """Signed relative error ``(estimate - actual) / actual``."""
+    if actual == 0:
+        return estimate
+    return (estimate - actual) / actual
+
+
+def mean_accuracy_loss(actuals: Sequence[float], estimates: Sequence[float]) -> float:
+    """Mean accuracy loss over paired actual/estimated values.
+
+    Pairs whose actual value is zero are skipped (they carry no relative
+    information); if every pair is zero the loss is zero.
+    """
+    if len(actuals) != len(estimates):
+        raise ValueError("actuals and estimates must have the same length")
+    losses = [
+        accuracy_loss(actual, estimate)
+        for actual, estimate in zip(actuals, estimates)
+        if actual != 0
+    ]
+    if not losses:
+        return 0.0
+    return sum(losses) / len(losses)
+
+
+def histogram_accuracy_loss(exact_counts: Sequence[float], estimated_counts: Sequence[float]) -> float:
+    """Accuracy loss of a whole histogram.
+
+    Computed as the total absolute deviation over the total exact count, which
+    matches the way the case studies report a single utility number per
+    query result.
+    """
+    if len(exact_counts) != len(estimated_counts):
+        raise ValueError("histograms must have the same number of buckets")
+    total_exact = sum(abs(v) for v in exact_counts)
+    if total_exact == 0:
+        return sum(abs(v) for v in estimated_counts)
+    deviation = sum(abs(e - a) for a, e in zip(exact_counts, estimated_counts))
+    return deviation / total_exact

@@ -1,0 +1,22 @@
+"""Baseline systems PrivApprox is compared against in the evaluation.
+
+* :mod:`repro.baselines.rappor` — Google's RAPPOR (CCS 2014): Bloom-filter
+  encoding plus permanent and instantaneous randomized response.  Used for
+  the privacy-level comparison of Figure 5(c).
+* :mod:`repro.baselines.splitx` — SplitX (SIGCOMM 2013): a high-performance
+  private analytics system whose proxies must synchronize (noise addition,
+  answer intersection and shuffling).  Used for the proxy-latency comparison
+  of Figure 6.
+"""
+
+from repro.baselines.rappor import RapporClient, RapporAggregator, RapporParams
+from repro.baselines.splitx import SplitXModel, SplitXLatencyBreakdown, PrivApproxLatencyModel
+
+__all__ = [
+    "RapporClient",
+    "RapporAggregator",
+    "RapporParams",
+    "SplitXModel",
+    "SplitXLatencyBreakdown",
+    "PrivApproxLatencyModel",
+]

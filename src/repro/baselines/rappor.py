@@ -1,0 +1,150 @@
+"""Basic RAPPOR (Randomized Aggregatable Privacy-Preserving Ordinal Response).
+
+RAPPOR (Erlingsson, Pihur, Korolova — CCS 2014) is the closest prior system to
+PrivApprox's randomized-response core: each client encodes its value into a
+Bloom filter of ``k`` bits using ``h`` hash functions, applies a *permanent*
+randomized response with parameter ``f`` (memoized, protecting longitudinal
+privacy), and optionally an *instantaneous* randomized response with
+parameters ``(p, q)`` on every report.
+
+PrivApprox's Figure 5(c) compares the two systems' differential-privacy levels
+under the mapping ``p = 1 - f``, ``q = 0.5``, ``h = 1``, where both share the
+same per-report randomization but PrivApprox additionally samples at the
+source.  This module implements enough of RAPPOR — the one-hash "basic
+RAPPOR" configuration plus the aggregate decoder — to run that comparison on
+real code, and to serve as an independent randomized-response baseline in
+tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RapporParams:
+    """RAPPOR configuration.
+
+    Attributes
+    ----------
+    num_bits:
+        Bloom filter size ``k``.  Basic RAPPOR uses one bit per candidate
+        value (no hashing collisions), which is the paper's comparison setup.
+    num_hashes:
+        Number of hash functions ``h``.
+    f:
+        Permanent randomized response parameter (probability mass moved to
+        random bits, split evenly between 1 and 0).
+    p, q:
+        Instantaneous randomized response parameters: a permanent 1 is
+        reported as 1 with probability ``q``; a permanent 0 with probability
+        ``p``.  Setting ``p = 0, q = 1`` disables the instantaneous step
+        (one-time collection), which is the configuration Figure 5(c) uses.
+    """
+
+    num_bits: int = 16
+    num_hashes: int = 1
+    f: float = 0.5
+    p: float = 0.0
+    q: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_bits < 1:
+            raise ValueError("num_bits must be positive")
+        if self.num_hashes < 1:
+            raise ValueError("num_hashes must be positive")
+        if not 0.0 < self.f < 1.0:
+            raise ValueError("f must lie in (0, 1)")
+        if not 0.0 <= self.p <= 1.0 or not 0.0 <= self.q <= 1.0:
+            raise ValueError("p and q must lie in [0, 1]")
+
+    def one_time_epsilon(self) -> float:
+        """Differential-privacy level of the permanent (one-time) report."""
+        return 2.0 * self.num_hashes * math.log((1.0 - 0.5 * self.f) / (0.5 * self.f))
+
+
+@dataclass
+class RapporClient:
+    """One RAPPOR reporting client."""
+
+    params: RapporParams
+    rng: random.Random = field(default_factory=random.Random)
+
+    def __post_init__(self) -> None:
+        self._permanent: dict[str, list[int]] = {}
+
+    def _bloom_bits(self, value: str) -> list[int]:
+        bits = [0] * self.params.num_bits
+        for hash_index in range(self.params.num_hashes):
+            digest = hashlib.sha256(f"{hash_index}:{value}".encode("utf-8")).digest()
+            position = int.from_bytes(digest[:4], "big") % self.params.num_bits
+            bits[position] = 1
+        return bits
+
+    def _permanent_response(self, value: str) -> list[int]:
+        """Memoized permanent randomized response for a value."""
+        if value in self._permanent:
+            return self._permanent[value]
+        bloom = self._bloom_bits(value)
+        permanent = []
+        for bit in bloom:
+            roll = self.rng.random()
+            if roll < 0.5 * self.params.f:
+                permanent.append(1)
+            elif roll < self.params.f:
+                permanent.append(0)
+            else:
+                permanent.append(bit)
+        self._permanent[value] = permanent
+        return permanent
+
+    def report(self, value: str) -> list[int]:
+        """Produce one report for a value (permanent + instantaneous RR)."""
+        permanent = self._permanent_response(value)
+        if self.params.p == 0.0 and self.params.q == 1.0:
+            return list(permanent)
+        report = []
+        for bit in permanent:
+            probability = self.params.q if bit == 1 else self.params.p
+            report.append(1 if self.rng.random() < probability else 0)
+        return report
+
+
+@dataclass
+class RapporAggregator:
+    """Decodes aggregate bit counts back into per-value frequency estimates."""
+
+    params: RapporParams
+
+    def estimate_bit_counts(self, reports: list[list[int]]) -> list[float]:
+        """Estimated number of clients whose true Bloom bit is 1, per position.
+
+        For one-time basic RAPPOR the observed count of a bit is
+        ``c = t (1 - f/2) + (n - t) (f/2)`` where ``t`` is the true count, so
+        ``t = (c - n f/2) / (1 - f)``.
+        """
+        if not reports:
+            return [0.0] * self.params.num_bits
+        n = len(reports)
+        f = self.params.f
+        estimates = []
+        for position in range(self.params.num_bits):
+            observed = sum(report[position] for report in reports)
+            estimate = (observed - 0.5 * f * n) / (1.0 - f)
+            estimates.append(estimate)
+        return estimates
+
+    def estimate_value_counts(
+        self, reports: list[list[int]], candidate_values: list[str]
+    ) -> dict[str, float]:
+        """Frequency estimate per candidate value (basic RAPPOR, h = 1)."""
+        bit_estimates = self.estimate_bit_counts(reports)
+        out: dict[str, float] = {}
+        for value in candidate_values:
+            digest = hashlib.sha256(f"0:{value}".encode("utf-8")).digest()
+            position = int.from_bytes(digest[:4], "big") % self.params.num_bits
+            out[value] = bit_estimates[position]
+        return out

@@ -1,0 +1,239 @@
+"""Command-line interface for the PrivApprox reproduction.
+
+The CLI exposes the most common workflows without writing Python:
+
+* ``plan``       — convert an execution budget into the (s, p, q) parameters;
+* ``privacy``    — report the differential and zero-knowledge privacy levels
+                   of a parameter configuration;
+* ``simulate``   — run an end-to-end synthetic deployment and print the
+                   estimated histogram next to the ground truth;
+* ``taxi`` / ``electricity`` — run the two case studies;
+* ``crypto-table`` — print the Table 2 device-calibrated crypto comparison.
+
+Run ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from repro.analytics import histogram_accuracy_loss
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    BudgetPlanner,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+)
+from repro.core.privacy import randomized_response_epsilon, zero_knowledge_epsilon
+from repro.datasets import (
+    ELECTRICITY_BUCKETS,
+    ElectricityGenerator,
+    TAXI_DISTANCE_BUCKETS,
+    TaxiRideGenerator,
+)
+from repro.netsim import DeviceProfile, OperationKind
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="privapprox",
+        description="PrivApprox: privacy-preserving stream analytics (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan = subparsers.add_parser("plan", help="convert a budget into (s, p, q)")
+    plan.add_argument("--accuracy-loss", type=float, default=None,
+                      help="target accuracy loss, e.g. 0.05 for 5%%")
+    plan.add_argument("--epsilon", type=float, default=None,
+                      help="maximum zero-knowledge privacy level")
+    plan.add_argument("--latency", type=float, default=None, help="latency SLA in seconds")
+    plan.add_argument("--clients", type=int, default=10_000, help="expected client count")
+
+    privacy = subparsers.add_parser("privacy", help="privacy levels of a configuration")
+    privacy.add_argument("--sampling-fraction", "-s", type=float, required=True)
+    privacy.add_argument("-p", type=float, required=True)
+    privacy.add_argument("-q", type=float, required=True)
+
+    simulate = subparsers.add_parser("simulate", help="run a synthetic end-to-end deployment")
+    simulate.add_argument("--clients", type=int, default=500)
+    simulate.add_argument("--epochs", type=int, default=2)
+    simulate.add_argument("--buckets", type=int, default=8)
+    simulate.add_argument("--sampling-fraction", "-s", type=float, default=0.9)
+    simulate.add_argument("-p", type=float, default=0.9)
+    simulate.add_argument("-q", type=float, default=0.6)
+    simulate.add_argument("--seed", type=int, default=7)
+
+    taxi = subparsers.add_parser("taxi", help="run the NYC-taxi case study")
+    taxi.add_argument("--clients", type=int, default=800)
+    taxi.add_argument("--sampling-fraction", "-s", type=float, default=0.9)
+    taxi.add_argument("-p", type=float, default=0.9)
+    taxi.add_argument("-q", type=float, default=0.3)
+    taxi.add_argument("--seed", type=int, default=11)
+
+    electricity = subparsers.add_parser("electricity", help="run the electricity case study")
+    electricity.add_argument("--clients", type=int, default=800)
+    electricity.add_argument("--sampling-fraction", "-s", type=float, default=0.9)
+    electricity.add_argument("-p", type=float, default=0.9)
+    electricity.add_argument("-q", type=float, default=0.3)
+    electricity.add_argument("--seed", type=int, default=17)
+
+    subparsers.add_parser("crypto-table", help="print the Table 2 crypto comparison")
+    return parser
+
+
+# -- command implementations -----------------------------------------------------
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    budget = QueryBudget(
+        target_accuracy_loss=args.accuracy_loss,
+        max_epsilon=args.epsilon,
+        max_latency_seconds=args.latency,
+        expected_clients=args.clients,
+    )
+    params = BudgetPlanner().plan(budget)
+    print(f"sampling fraction s = {params.sampling_fraction:.3f}")
+    print(f"randomization     p = {params.p:.3f}")
+    print(f"randomization     q = {params.q:.3f}")
+    print(f"zero-knowledge privacy level = {params.epsilon_zk:.3f}")
+    return 0
+
+
+def cmd_privacy(args: argparse.Namespace) -> int:
+    eps_dp = randomized_response_epsilon(args.p, args.q)
+    eps_zk = zero_knowledge_epsilon(args.p, args.q, args.sampling_fraction)
+    print(f"epsilon_dp (randomized response alone) = {eps_dp:.4f}")
+    print(f"epsilon_zk (with sampling s={args.sampling_fraction}) = {eps_zk:.4f}")
+    return 0
+
+
+def _print_histogram(labels, estimates, bounds, exact) -> None:
+    print(f"{'bucket':>16}  {'estimate':>10}  {'error bound':>12}  {'exact':>7}")
+    for label, estimate, bound, truth in zip(labels, estimates, bounds, exact):
+        print(f"{label:>16}  {estimate:>10.1f}  ±{bound:>11.1f}  {truth:>7d}")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    system = PrivApproxSystem(SystemConfig(num_clients=args.clients, seed=args.seed))
+    rng = random.Random(args.seed)
+    system.provision_clients(
+        [("value", "REAL")], lambda i: [{"value": rng.gammavariate(2.0, 1.0)}]
+    )
+    analyst = Analyst("cli")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, args.buckets, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    params = ExecutionParameters(
+        sampling_fraction=args.sampling_fraction, p=args.p, q=args.q
+    )
+    system.submit_query(analyst, query, QueryBudget(), parameters=params)
+    for epoch in range(args.epochs):
+        system.run_epoch(query.query_id, epoch)
+    system.flush(query.query_id)
+    results = analyst.results_for(query.query_id)
+    exact = system.exact_bucket_counts(query.query_id)
+    last = results[-1]
+    print(f"{len(results)} window results; last window shown below")
+    _print_histogram(last.histogram.labels(), last.histogram.estimates(),
+                     last.histogram.error_bounds(), exact)
+    print(f"histogram accuracy loss vs exact: "
+          f"{100 * histogram_accuracy_loss(exact, last.histogram.estimates()):.2f}%")
+    return 0
+
+
+def _run_case_study(args: argparse.Namespace, generator, buckets, sql, value_column) -> int:
+    system = PrivApproxSystem(SystemConfig(num_clients=args.clients, seed=args.seed))
+    system.provision_clients(
+        generator.table_columns(),
+        lambda i: (
+            generator.rides_for_client(i, num_rides=2)
+            if hasattr(generator, "rides_for_client")
+            else generator.readings_for_client(i, num_readings=2)
+        ),
+    )
+    analyst = Analyst("cli-case-study")
+    query = analyst.create_query(
+        sql,
+        AnswerSpec(buckets=buckets, value_column=value_column),
+        frequency_seconds=600.0,
+        window_seconds=600.0,
+        slide_seconds=600.0,
+    )
+    params = ExecutionParameters(
+        sampling_fraction=args.sampling_fraction, p=args.p, q=args.q
+    )
+    system.submit_query(analyst, query, QueryBudget(), parameters=params)
+    system.run_epoch(query.query_id, 0)
+    result = system.flush(query.query_id)[0]
+    exact = system.exact_bucket_counts(query.query_id)
+    _print_histogram(result.histogram.labels(), result.histogram.estimates(),
+                     result.histogram.error_bounds(), exact)
+    loss = histogram_accuracy_loss(exact, result.histogram.estimates())
+    print(f"accuracy loss: {100 * loss:.2f}%   "
+          f"epsilon_zk: {zero_knowledge_epsilon(args.p, args.q, args.sampling_fraction):.3f}")
+    return 0
+
+
+def cmd_taxi(args: argparse.Namespace) -> int:
+    generator = TaxiRideGenerator(seed=args.seed)
+    return _run_case_study(
+        args, generator, TAXI_DISTANCE_BUCKETS, TaxiRideGenerator.case_study_sql(), "distance"
+    )
+
+
+def cmd_electricity(args: argparse.Namespace) -> int:
+    generator = ElectricityGenerator(seed=args.seed)
+    return _run_case_study(
+        args, generator, ELECTRICITY_BUCKETS, ElectricityGenerator.case_study_sql(), "kwh"
+    )
+
+
+def cmd_crypto_table(_: argparse.Namespace) -> int:
+    devices = DeviceProfile.all_devices()
+    schemes = [
+        ("RSA", OperationKind.RSA_ENCRYPT),
+        ("Goldwasser-Micali", OperationKind.GM_ENCRYPT),
+        ("Paillier", OperationKind.PAILLIER_ENCRYPT),
+        ("PrivApprox (XOR)", OperationKind.XOR_ENCRYPTION),
+    ]
+    print(f"{'scheme':>18}  {'phone':>10}  {'laptop':>10}  {'server':>10}   (encrypt ops/sec)")
+    for name, operation in schemes:
+        rates = [device.ops_per_second(operation) for device in devices]
+        print(f"{name:>18}  " + "  ".join(f"{rate:>10,.0f}" for rate in rates))
+    return 0
+
+
+_COMMANDS = {
+    "plan": cmd_plan,
+    "privacy": cmd_privacy,
+    "simulate": cmd_simulate,
+    "taxi": cmd_taxi,
+    "electricity": cmd_electricity,
+    "crypto-table": cmd_crypto_table,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

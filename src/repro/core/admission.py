@@ -1,0 +1,99 @@
+"""Answer admission control: duplicate and rate-limit defenses.
+
+Section 3.2.4 notes that "an adversarial client might answer a query many
+times in an attempt to distort the query result", and points at the answer
+splitting technique of SplitX as a remedy.  The defense implemented here keeps
+the synchronization-free property of PrivApprox:
+
+* every client attaches a **per-epoch participation token** to its message id;
+  the token is the keyed hash of a per-client secret and the epoch, so it is
+  stable within an epoch, unlinkable across epochs, and reveals nothing about
+  the client's identity to the aggregator;
+* the aggregator's :class:`AnswerAdmissionController` admits at most one
+  answer per (query, epoch, token) and tracks how many duplicates it refused;
+* a global per-epoch rate limit bounds the damage of a flood of fabricated
+  tokens (Sybil defenses proper are out of scope, as in the paper).
+
+Because the token is derived client-side and checked aggregator-side, no proxy
+coordination is required.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+
+def participation_token(client_secret: bytes, query_id: str, epoch: int) -> str:
+    """Anonymous, epoch-scoped participation token.
+
+    The token is an HMAC over (query id, epoch) keyed with the client's local
+    secret: stable for one epoch (so duplicates collide), but different and
+    unlinkable across epochs and queries (so the aggregator cannot track a
+    client over time).
+    """
+    if not client_secret:
+        raise ValueError("client secret must not be empty")
+    if epoch < 0:
+        raise ValueError("epoch must be non-negative")
+    message = f"{query_id}|{epoch}".encode("utf-8")
+    return hmac.new(client_secret, message, hashlib.sha256).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of admitting one answer."""
+
+    admitted: bool
+    reason: str = "ok"
+
+
+@dataclass
+class AnswerAdmissionController:
+    """Aggregator-side duplicate suppression and rate limiting.
+
+    Parameters
+    ----------
+    max_answers_per_epoch:
+        Optional global cap on admitted answers per (query, epoch); ``None``
+        disables the cap.  The cap is a blunt defense against token-forging
+        floods — it bounds how much a group of malicious clients can inflate
+        the answer count.
+    """
+
+    max_answers_per_epoch: int | None = None
+
+    def __post_init__(self) -> None:
+        self._seen: dict[tuple[str, int], set[str]] = {}
+        self._admitted_counts: dict[tuple[str, int], int] = {}
+        self.duplicates_rejected = 0
+        self.rate_limited = 0
+
+    def admit(self, query_id: str, epoch: int, token: str) -> AdmissionDecision:
+        """Decide whether to accept one answer for aggregation."""
+        if not token:
+            return AdmissionDecision(admitted=False, reason="missing token")
+        key = (query_id, epoch)
+        seen = self._seen.setdefault(key, set())
+        if token in seen:
+            self.duplicates_rejected += 1
+            return AdmissionDecision(admitted=False, reason="duplicate token")
+        count = self._admitted_counts.get(key, 0)
+        if self.max_answers_per_epoch is not None and count >= self.max_answers_per_epoch:
+            self.rate_limited += 1
+            return AdmissionDecision(admitted=False, reason="epoch rate limit")
+        seen.add(token)
+        self._admitted_counts[key] = count + 1
+        return AdmissionDecision(admitted=True)
+
+    def admitted_count(self, query_id: str, epoch: int) -> int:
+        return self._admitted_counts.get((query_id, epoch), 0)
+
+    def forget_epoch(self, query_id: str, epoch: int) -> None:
+        """Drop the state of an epoch whose window results are finalized."""
+        self._seen.pop((query_id, epoch), None)
+        self._admitted_counts.pop((query_id, epoch), None)
+
+    def tracked_epochs(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,263 @@
+"""Step IV: generating results at the aggregator (Section 3.2.4).
+
+The aggregator consumes the share streams relayed by the proxies, joins the
+shares of each message identifier ``MID``, XOR-decrypts them to recover the
+randomized answers, and processes the answers as sliding windows: for every
+window it inverts the randomization (Eq. 5), scales the per-window counts by
+``U / U'`` to account for sampling (Eq. 2), estimates the error bound of each
+bucket (Eq. 3 plus the empirical randomization error), and emits
+``queryResult +/- errorBound`` per bucket.
+
+The windowed dataflow is built on the streaming substrate: a keyed join
+operator pairs shares by ``MID`` and a window-aggregate operator groups
+decrypted answers into the query's sliding windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytics.histogram import BucketEstimate, HistogramResult
+from repro.core.admission import AnswerAdmissionController
+from repro.core.budget import ExecutionParameters
+from repro.core.encryption import AnswerCodec
+from repro.core.estimation import ErrorEstimator
+from repro.core.query import Query, QueryAnswer
+from repro.core.randomized_response import estimate_true_yes
+from repro.core.validation import AnswerValidator
+from repro.crypto.xor import MessageShare
+from repro.pubsub import Consumer
+from repro.streaming.operators import KeyedJoinOperator, WindowAggregateOperator
+from repro.streaming.records import StreamRecord
+from repro.streaming.windows import SlidingWindowAssigner, Window
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """The analyst-facing result for one sliding window."""
+
+    window: Window
+    histogram: HistogramResult
+    num_answers: int
+    population: int
+
+    @property
+    def sampling_fraction_observed(self) -> float:
+        if self.population == 0:
+            return 0.0
+        return self.num_answers / self.population
+
+
+@dataclass
+class Aggregator:
+    """Joins, decrypts, window-aggregates and error-estimates client answers.
+
+    Parameters
+    ----------
+    query:
+        The analyst's query (provides bucket labels, window length and slide).
+    parameters:
+        The execution parameters in force (``s, p, q``), needed to invert the
+        randomization and to scale for sampling.
+    total_clients:
+        ``U`` — the number of clients subscribed to the query per epoch.
+    confidence_level:
+        Confidence level of the reported error bounds.
+    """
+
+    query: Query
+    parameters: ExecutionParameters
+    total_clients: int
+    num_proxies: int = 2
+    confidence_level: float = 0.95
+    error_estimator: ErrorEstimator | None = None
+    validator: AnswerValidator | None = None
+    admission: AnswerAdmissionController | None = None
+    allowed_lateness_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_clients <= 0:
+            raise ValueError("total_clients must be positive")
+        if self.num_proxies < 2:
+            raise ValueError("PrivApprox requires at least two proxies")
+        self._codec = AnswerCodec()
+        if self.error_estimator is None:
+            self.error_estimator = ErrorEstimator(
+                p=self.parameters.p,
+                q=self.parameters.q,
+                confidence_level=self.confidence_level,
+            )
+        self._assigner = SlidingWindowAssigner(
+            window_length=self.query.window_seconds,
+            slide_interval=self.query.slide_seconds,
+        )
+        self._join = KeyedJoinOperator(expected_per_key=self._expected_shares())
+        self._window_op = WindowAggregateOperator(
+            assigner=self._assigner,
+            aggregate_fn=self._aggregate_window,
+            allowed_lateness=self.allowed_lateness_seconds,
+        )
+        self.answers_processed = 0
+        self.shares_received = 0
+        self.malformed_messages = 0
+        self.invalid_answers = 0
+        self.rejected_duplicates = 0
+
+    def _expected_shares(self) -> int:
+        # One encrypted share plus one key share per additional proxy.
+        return max(2, self.num_proxies)
+
+    # -- ingestion ----------------------------------------------------------
+
+    def ingest_shares(
+        self, shares: list[MessageShare], epoch: int
+    ) -> list[WindowResult]:
+        """Ingest a batch of shares belonging to one epoch.
+
+        Returns the results of any windows that became complete (their end
+        time passed the watermark) as a consequence of this batch.
+        """
+        timestamp = self._epoch_timestamp(epoch)
+        records = [
+            StreamRecord(value=share, timestamp=timestamp, key=share.message_id)
+            for share in shares
+        ]
+        self.shares_received += len(records)
+        joined = self._join.process(records)
+        decoded = []
+        for record in joined:
+            try:
+                answer = self._decrypt(record.value)
+            except ValueError:
+                # A malformed or maliciously crafted message: dropping it only
+                # loses that client's (invalid) answer and cannot poison the
+                # window (Section 2.2 threat model — malicious clients).
+                self.malformed_messages += 1
+                continue
+            if not self._accept(answer, epoch):
+                continue
+            decoded.append(record.with_value(answer))
+        self.answers_processed += len(decoded)
+        emitted = self._window_op.process(decoded)
+        return [self._to_window_result(record) for record in emitted]
+
+    def consume_from_proxies(self, consumers: list[Consumer], epoch: int) -> list[WindowResult]:
+        """Poll the proxy streams and ingest every new share."""
+        shares: list[MessageShare] = []
+        for consumer in consumers:
+            shares.extend(record.value for record in consumer.poll())
+        return self.ingest_shares(shares, epoch)
+
+    def flush(self) -> list[WindowResult]:
+        """Emit every pending window (end of stream / end of experiment)."""
+        emitted = self._window_op.flush()
+        return [self._to_window_result(record) for record in emitted]
+
+    def pending_joins(self) -> int:
+        """Messages still waiting for some of their shares."""
+        return self._join.pending_keys()
+
+    @property
+    def late_answers_dropped(self) -> int:
+        """Answers that arrived after their window (and grace period) had closed."""
+        return self._window_op.late_records_dropped
+
+    # -- internals -------------------------------------------------------------
+
+    def _epoch_timestamp(self, epoch: int) -> float:
+        return epoch * self.query.frequency_seconds
+
+    def _decrypt(self, shares: list[MessageShare]) -> QueryAnswer:
+        return self._codec.decrypt(shares)
+
+    def _accept(self, answer: QueryAnswer, arrival_epoch: int) -> bool:
+        """Apply structural validation and duplicate admission control."""
+        if self.validator is not None:
+            if not self.validator.validate(answer, arrival_epoch).valid:
+                self.invalid_answers += 1
+                return False
+        if self.admission is not None:
+            decision = self.admission.admit(self.query.query_id, answer.epoch, answer.token)
+            if not decision.admitted:
+                self.rejected_duplicates += 1
+                return False
+        return True
+
+    def _aggregate_window(self, answers: list[QueryAnswer]) -> dict:
+        """Window aggregation function handed to the streaming operator."""
+        num_buckets = self.query.num_buckets
+        counts = [0] * num_buckets
+        epochs = set()
+        for answer in answers:
+            epochs.add(answer.epoch)
+            for index, bit in enumerate(answer.bits[:num_buckets]):
+                counts[index] += bit
+        return {
+            "counts": counts,
+            "num_answers": len(answers),
+            "num_epochs": max(1, len(epochs)),
+        }
+
+    def _to_window_result(self, record: StreamRecord) -> WindowResult:
+        window, aggregate = record.value
+        counts = aggregate["counts"]
+        num_answers = aggregate["num_answers"]
+        population = self.total_clients * aggregate["num_epochs"]
+        histogram = self._estimate_histogram(window, counts, num_answers, population)
+        return WindowResult(
+            window=window,
+            histogram=histogram,
+            num_answers=num_answers,
+            population=population,
+        )
+
+    def _estimate_histogram(
+        self, window: Window, counts: list[int], num_answers: int, population: int
+    ) -> HistogramResult:
+        p = self.parameters.p
+        q = self.parameters.q
+        labels = self.query.answer_spec.labels()
+        histogram = HistogramResult(
+            window=(window.start, window.end), num_answers=num_answers
+        )
+        if num_answers == 0:
+            for index, label in enumerate(labels):
+                histogram.add_bucket(
+                    BucketEstimate(
+                        bucket_index=index,
+                        label=label,
+                        estimate=0.0,
+                        error_bound=float("inf") if population > 0 else 0.0,
+                        confidence_level=self.confidence_level,
+                    )
+                )
+            return histogram
+
+        scale = population / num_answers
+        for index, label in enumerate(labels):
+            observed_yes = counts[index]
+            corrected = estimate_true_yes(observed_yes, num_answers, p, q)
+            estimate = scale * corrected
+            # Per-answer corrected contributions: the a_i of Eq. 2, carrying
+            # the randomization noise.  Bits are 0/1, so there are exactly two
+            # distinct corrected values.
+            corrected_one = (1.0 - (1.0 - p) * q) / p
+            corrected_zero = (0.0 - (1.0 - p) * q) / p
+            contributions = [corrected_one] * observed_yes + [corrected_zero] * (
+                num_answers - observed_yes
+            )
+            error = self.error_estimator.bucket_error_bound(
+                corrected_values=contributions,
+                population_size=population,
+                estimated_count=estimate,
+            )
+            histogram.add_bucket(
+                BucketEstimate(
+                    bucket_index=index,
+                    label=label,
+                    estimate=estimate,
+                    error_bound=error,
+                    confidence_level=self.confidence_level,
+                )
+            )
+        return histogram

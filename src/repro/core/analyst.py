@@ -1,0 +1,76 @@
+"""The analyst-facing interface.
+
+Analysts publish streaming queries together with an execution budget and
+receive windowed, error-bounded histogram results back (Sections 2.1 and 3.1).
+The :class:`Analyst` owns query construction (including signing and serial
+numbering), keeps the budget associated with each query, and collects the
+results delivered by the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.budget import QueryBudget
+from repro.core.query import AnswerSpec, Query, make_query_id
+
+
+@dataclass
+class Analyst:
+    """An analyst identity: builds, signs and tracks streaming queries."""
+
+    analyst_id: str = "analyst"
+    signing_key: bytes = b"privapprox-analyst-key"
+
+    def __post_init__(self) -> None:
+        self._serial = 0
+        self._budgets: dict[str, QueryBudget] = {}
+        self._results: dict[str, list] = {}
+
+    # -- query construction --------------------------------------------------
+
+    def create_query(
+        self,
+        sql: str,
+        answer_spec: AnswerSpec,
+        frequency_seconds: float = 1.0,
+        window_seconds: float = 600.0,
+        slide_seconds: float = 60.0,
+    ) -> Query:
+        """Build and sign a streaming query with a fresh serial number."""
+        query_id = make_query_id(self.analyst_id, self._serial)
+        self._serial += 1
+        query = Query(
+            query_id=query_id,
+            sql=sql,
+            answer_spec=answer_spec,
+            frequency_seconds=frequency_seconds,
+            window_seconds=window_seconds,
+            slide_seconds=slide_seconds,
+            analyst_id=self.analyst_id,
+        )
+        return query.sign(self.signing_key)
+
+    def attach_budget(self, query: Query, budget: QueryBudget) -> None:
+        """Associate an execution budget with a query before submission."""
+        self._budgets[query.query_id] = budget
+
+    def budget_for(self, query_id: str) -> QueryBudget:
+        if query_id not in self._budgets:
+            raise KeyError(f"no budget attached to query {query_id}")
+        return self._budgets[query_id]
+
+    # -- result collection -----------------------------------------------------
+
+    def deliver_result(self, query_id: str, result) -> None:
+        """Called by the system whenever a window result is produced."""
+        self._results.setdefault(query_id, []).append(result)
+
+    def results_for(self, query_id: str) -> list:
+        """All window results received so far for a query, in arrival order."""
+        return list(self._results.get(query_id, []))
+
+    def latest_result(self, query_id: str):
+        """The most recent window result, or None if nothing arrived yet."""
+        results = self._results.get(query_id)
+        return results[-1] if results else None

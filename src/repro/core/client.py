@@ -1,0 +1,176 @@
+"""The PrivApprox client: local data, sampling, query answering, encryption.
+
+Each client stores its user's private data in a local database and subscribes
+to queries.  In every answering epoch a client (Section 3.2):
+
+1. flips the sampling coin (Step I) — non-participants send nothing;
+2. executes the analyst's SQL against its local database and buckets the
+   resulting value into the n-bit truthful answer vector;
+3. randomizes the vector with the two-coin randomized response (Step II);
+4. encodes ``<QID, randomized answer>`` and splits it into XOR shares, one per
+   proxy (Step III).
+
+The client never transmits its truthful answer: only the randomized,
+encrypted shares leave the device.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.admission import participation_token
+from repro.core.budget import ExecutionParameters
+from repro.core.encryption import AnswerCodec, EncryptedAnswer
+from repro.core.query import Query, QueryAnswer
+from repro.core.randomized_response import RandomizedResponder
+from repro.core.sampling import SimpleRandomSampler
+from repro.crypto.prng import KeystreamGenerator, secure_random_bytes
+from repro.sqldb import Database
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Static configuration of one client device."""
+
+    client_id: str
+    num_proxies: int = 2
+    table_name: str = "private_data"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_proxies < 2:
+            raise ValueError("PrivApprox requires at least two proxies")
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """What a participating client produces for one epoch.
+
+    ``encrypted`` carries the shares to transmit.  ``truthful_bits`` is kept
+    *only* for evaluation purposes (computing exact baselines in experiments);
+    it is never placed on the wire by :class:`~repro.core.system.PrivApproxSystem`.
+    """
+
+    client_id: str
+    query_id: str
+    epoch: int
+    encrypted: EncryptedAnswer
+    truthful_bits: tuple
+    randomized_bits: tuple
+
+
+class Client:
+    """A client device participating in PrivApprox."""
+
+    def __init__(self, config: ClientConfig):
+        self.config = config
+        self.database = Database(name=f"client-{config.client_id}")
+        self._rng = random.Random(config.seed)
+        self._keystream = KeystreamGenerator(
+            seed=None if config.seed is None else config.seed.to_bytes(8, "big", signed=True)
+        )
+        self._codec = AnswerCodec()
+        self._subscriptions: dict[str, tuple[Query, ExecutionParameters]] = {}
+        # Local secret behind the anonymous per-epoch participation tokens;
+        # it never leaves the device.
+        if config.seed is None:
+            self._token_secret = secure_random_bytes(32)
+        else:
+            self._token_secret = self._keystream.next_bytes(32)
+
+    # -- local data management ------------------------------------------------
+
+    def create_table(self, columns: list[tuple[str, str]], table_name: str | None = None) -> None:
+        """Create the local private-data table."""
+        self.database.create_table(table_name or self.config.table_name, columns)
+
+    def ingest(self, records: list[dict[str, Any]], table_name: str | None = None) -> int:
+        """Store private records locally (they never leave the device raw)."""
+        return self.database.insert_rows(table_name or self.config.table_name, records)
+
+    def local_row_count(self, table_name: str | None = None) -> int:
+        return len(self.database.table(table_name or self.config.table_name))
+
+    # -- query subscription -------------------------------------------------------
+
+    def subscribe(self, query: Query, parameters: ExecutionParameters) -> None:
+        """Subscribe to a query distributed by the aggregator via the proxies."""
+        self._subscriptions[query.query_id] = (query, parameters)
+
+    def unsubscribe(self, query_id: str) -> None:
+        self._subscriptions.pop(query_id, None)
+
+    @property
+    def subscribed_query_ids(self) -> list[str]:
+        return sorted(self._subscriptions)
+
+    # -- query answering -----------------------------------------------------------
+
+    def answer_query(self, query_id: str, epoch: int = 0) -> ClientResponse | None:
+        """Run one answering epoch for a subscribed query.
+
+        Returns ``None`` when the sampling coin says not to participate (or
+        when the query is unknown), otherwise the encrypted response.
+        """
+        if query_id not in self._subscriptions:
+            return None
+        query, parameters = self._subscriptions[query_id]
+
+        sampler = SimpleRandomSampler(parameters.sampling_fraction, rng=self._rng)
+        if not sampler.should_participate():
+            return None
+
+        truthful_bits = self._execute_query_locally(query)
+        responder = RandomizedResponder(p=parameters.p, q=parameters.q, rng=self._rng)
+        randomized_bits = responder.randomize_vector(truthful_bits)
+
+        answer = QueryAnswer(
+            query_id=query.query_id,
+            bits=tuple(randomized_bits),
+            epoch=epoch,
+            token=participation_token(self._token_secret, query.query_id, epoch),
+        )
+        encrypted = self._codec.encrypt(
+            answer, num_proxies=self.config.num_proxies, keystream=self._keystream
+        )
+        return ClientResponse(
+            client_id=self.config.client_id,
+            query_id=query.query_id,
+            epoch=epoch,
+            encrypted=encrypted,
+            truthful_bits=tuple(truthful_bits),
+            randomized_bits=tuple(randomized_bits),
+        )
+
+    def truthful_answer(self, query_id: str) -> list[int]:
+        """The truthful (pre-randomization) answer vector.
+
+        Used only by experiments to compute the exact baseline; a deployment
+        would never expose this outside the device.
+        """
+        if query_id not in self._subscriptions:
+            raise KeyError(f"client is not subscribed to query {query_id}")
+        query, _ = self._subscriptions[query_id]
+        return self._execute_query_locally(query)
+
+    def _execute_query_locally(self, query: Query) -> list[int]:
+        """Run the analyst's SQL on the local database and bucket the result.
+
+        The client answers with the most recent matching row (the paper's
+        examples — current driving speed, last ride distance, current power
+        draw — are all "latest value" readings).  A client with no matching
+        rows answers all-zeros, which still gets randomized so non-matching
+        clients are indistinguishable from matching ones.
+        """
+        result = self.database.query(query.sql)
+        value = None
+        if len(result) > 0:
+            column = query.answer_spec.value_column
+            row = result.rows[-1]
+            if column is not None and column in result.columns:
+                value = row[result.columns.index(column)]
+            else:
+                value = row[0]
+        return query.encode_value(value)

@@ -1,0 +1,111 @@
+"""Query distribution: the "submitting queries" phase (Section 3.1).
+
+An analyst's query travels in the opposite direction of the answers: from the
+analyst to the aggregator (which converts the budget into system parameters)
+and onward to every client via the proxies.  In the paper this uses the same
+Kafka infrastructure as the answer path; here the :class:`QueryDistributor`
+publishes signed query announcements to a dedicated ``queries`` topic on each
+proxy's broker and clients subscribe to it.
+
+Clients must not execute forged or tampered queries, so every announcement
+carries the analyst's signature and clients verify it against the analyst's
+registered key before subscribing (the threat model makes analysts potentially
+malicious, and proxies could try to tamper with queries in transit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.budget import BudgetPlanner, ExecutionParameters, QueryBudget
+from repro.core.client import Client
+from repro.core.query import Query
+from repro.pubsub import BrokerCluster, Consumer, Producer
+
+QUERY_TOPIC = "queries"
+
+
+@dataclass(frozen=True)
+class QueryAnnouncement:
+    """What travels from the aggregator to the clients for one query.
+
+    The announcement carries the signed query plus the execution parameters the
+    initializer derived from the analyst's budget.  The budget itself stays at
+    the aggregator — clients only need ``(s, p, q)``.
+    """
+
+    query: Query
+    parameters: ExecutionParameters
+    epoch_offset: int = 0
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of the announcement."""
+        return len(self.query.sql.encode("utf-8")) + 64
+
+
+@dataclass
+class QueryDistributor:
+    """Publishes query announcements and lets clients pick them up.
+
+    Parameters
+    ----------
+    cluster:
+        The broker cluster shared with the proxies.
+    planner:
+        Budget planner used when an explicit parameter set is not supplied.
+    """
+
+    cluster: BrokerCluster
+    planner: BudgetPlanner = field(default_factory=BudgetPlanner)
+
+    def __post_init__(self) -> None:
+        self.cluster.ensure_topic(QUERY_TOPIC, num_partitions=1)
+        self._producer = Producer(self.cluster, client_id="query-distributor")
+        self.queries_published = 0
+
+    # -- aggregator side ----------------------------------------------------
+
+    def publish(
+        self,
+        query: Query,
+        budget: QueryBudget,
+        parameters: ExecutionParameters | None = None,
+    ) -> QueryAnnouncement:
+        """Convert the budget and publish the signed query to the proxies."""
+        if query.signature is None:
+            raise ValueError("refusing to distribute an unsigned query")
+        params = parameters or self.planner.plan(budget)
+        announcement = QueryAnnouncement(query=query, parameters=params)
+        self._producer.send(QUERY_TOPIC, value=announcement, key=query.query_id)
+        self.queries_published += 1
+        return announcement
+
+    # -- client side ----------------------------------------------------------
+
+    def make_subscription_feed(self, client_id: str) -> Consumer:
+        """A consumer a client uses to receive query announcements."""
+        consumer = Consumer(self.cluster, group_id=f"client-{client_id}", consumer_id=client_id)
+        consumer.subscribe([QUERY_TOPIC])
+        return consumer
+
+    @staticmethod
+    def deliver_to_client(
+        client: Client,
+        feed: Consumer,
+        analyst_keys: dict[str, bytes],
+    ) -> list[QueryAnnouncement]:
+        """Pull pending announcements and subscribe the client to valid ones.
+
+        ``analyst_keys`` maps analyst ids to their signature-verification keys;
+        announcements whose signature does not verify (unknown analyst, forged
+        or tampered query) are ignored.  Returns the announcements accepted.
+        """
+        accepted: list[QueryAnnouncement] = []
+        for record in feed.poll():
+            announcement: QueryAnnouncement = record.value
+            key = analyst_keys.get(announcement.query.analyst_id)
+            if key is None or not announcement.query.verify_signature(key):
+                continue
+            client.subscribe(announcement.query, announcement.parameters)
+            accepted.append(announcement)
+        return accepted

@@ -1,0 +1,74 @@
+"""Query inversion (Section 3.3.2).
+
+When the fraction of truthful "Yes" answers is far from the second
+randomization parameter ``q``, the utility of the query result degrades: the
+forced-"Yes" noise dominates the few genuine "Yes" answers (or vice versa).
+PrivApprox's remedy is to invert the query — count the truthful "No" answers
+instead — whenever that brings the target fraction closer to ``q``, and invert
+the resulting estimate back.
+
+The module provides the decision rule (:func:`should_invert`), the bit-level
+inversion applied at the client (:func:`invert_answer_vector`), and the
+aggregator-side estimator that works on inverted responses
+(:class:`InvertedEstimator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.randomized_response import estimate_true_yes
+
+
+def should_invert(expected_yes_fraction: float, q: float) -> bool:
+    """Decide whether the inverted query gives higher utility.
+
+    The inverted query targets the "No" fraction ``1 - y``; inversion pays off
+    when that fraction is closer to ``q`` than the native "Yes" fraction is.
+    """
+    if not 0.0 <= expected_yes_fraction <= 1.0:
+        raise ValueError("expected_yes_fraction must lie in [0, 1]")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must lie in [0, 1]")
+    native_distance = abs(expected_yes_fraction - q)
+    inverted_distance = abs((1.0 - expected_yes_fraction) - q)
+    return inverted_distance < native_distance
+
+
+def invert_answer_vector(bits: Sequence[int]) -> list[int]:
+    """Invert a truthful answer vector bit-by-bit (clients answer the "No" query)."""
+    out = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError("answer bits must be 0 or 1")
+        out.append(1 - bit)
+    return out
+
+
+@dataclass(frozen=True)
+class InvertedEstimator:
+    """Estimates the truthful "Yes" count from responses to the inverted query.
+
+    Clients answered the inverted question, so the aggregator first estimates
+    the truthful "No" count with the standard Eq. 5 estimator and then maps it
+    back: ``yes = total - no``.
+    """
+
+    p: float
+    q: float
+
+    def estimate_yes(self, observed_inverted_yes: float, total: int) -> float:
+        """Truthful "Yes" estimate given the inverted responses.
+
+        ``observed_inverted_yes`` is the number of 1-responses to the inverted
+        query (i.e. randomized claims of "No" to the original question).
+        """
+        estimated_no = estimate_true_yes(observed_inverted_yes, total, self.p, self.q)
+        return total - estimated_no
+
+    def estimate_yes_counts(
+        self, observed_inverted_counts: Sequence[float], total: int
+    ) -> list[float]:
+        """Apply the inverted estimator to every bucket of a histogram."""
+        return [self.estimate_yes(count, total) for count in observed_inverted_counts]

@@ -1,0 +1,110 @@
+"""Operational metrics for a running PrivApprox deployment.
+
+A deployment operator needs to see, per query: how many clients participate
+each epoch (is the sampling fraction behaving?), how many shares the proxies
+relay and how many bytes that costs, how many answers the aggregator joined,
+and how many messages were rejected as malformed, invalid or duplicate.  The
+:class:`SystemMetrics` collector pulls those counters from the system's
+components without touching any private data — everything it reports is
+already visible to the respective component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.system import EpochReport, PrivApproxSystem
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """A point-in-time snapshot of one query's operational counters."""
+
+    query_id: str
+    epochs_run: int
+    mean_participation_rate: float
+    shares_relayed: int
+    bytes_relayed: int
+    answers_processed: int
+    pending_joins: int
+    malformed_messages: int
+    invalid_answers: int
+    rejected_duplicates: int
+    current_sampling_fraction: float
+    current_p: float
+    current_q: float
+    epsilon_zk: float
+
+    def rejection_rate(self) -> float:
+        """Fraction of joined messages that were rejected for any reason."""
+        rejected = self.malformed_messages + self.invalid_answers + self.rejected_duplicates
+        total = self.answers_processed + rejected
+        if total == 0:
+            return 0.0
+        return rejected / total
+
+
+@dataclass
+class SystemMetrics:
+    """Collects operational metrics from a :class:`PrivApproxSystem`."""
+
+    system: PrivApproxSystem
+
+    def __post_init__(self) -> None:
+        self._epoch_reports: dict[str, list[EpochReport]] = {}
+
+    def record_epoch(self, report: EpochReport, query_id: str) -> None:
+        """Record one epoch report (call after each ``run_epoch``)."""
+        self._epoch_reports.setdefault(query_id, []).append(report)
+
+    def run_and_record(self, query_id: str, epoch: int) -> EpochReport:
+        """Convenience wrapper: run an epoch on the system and record it."""
+        report = self.system.run_epoch(query_id, epoch)
+        self.record_epoch(report, query_id)
+        return report
+
+    def snapshot(self, query_id: str) -> QueryMetrics:
+        """A snapshot of every counter relevant to one query."""
+        aggregator = self.system.aggregator_for(query_id)
+        parameters = self.system.parameters_for(query_id)
+        reports = self._epoch_reports.get(query_id, [])
+        participation = (
+            sum(r.participation_rate for r in reports) / len(reports) if reports else 0.0
+        )
+        return QueryMetrics(
+            query_id=query_id,
+            epochs_run=len(reports),
+            mean_participation_rate=participation,
+            shares_relayed=self.system.proxies.total_shares_relayed(),
+            bytes_relayed=self.system.proxies.total_bytes_relayed(),
+            answers_processed=aggregator.answers_processed,
+            pending_joins=aggregator.pending_joins(),
+            malformed_messages=aggregator.malformed_messages,
+            invalid_answers=aggregator.invalid_answers,
+            rejected_duplicates=aggregator.rejected_duplicates,
+            current_sampling_fraction=parameters.sampling_fraction,
+            current_p=parameters.p,
+            current_q=parameters.q,
+            epsilon_zk=parameters.epsilon_zk,
+        )
+
+    def format_snapshot(self, query_id: str) -> str:
+        """A human-readable multi-line summary of one query's metrics."""
+        snapshot = self.snapshot(query_id)
+        lines = [
+            f"query {snapshot.query_id}",
+            f"  epochs run:             {snapshot.epochs_run}",
+            f"  mean participation:     {snapshot.mean_participation_rate:.1%}",
+            f"  shares relayed:         {snapshot.shares_relayed}"
+            f" ({snapshot.bytes_relayed} bytes)",
+            f"  answers processed:      {snapshot.answers_processed}",
+            f"  pending joins:          {snapshot.pending_joins}",
+            f"  malformed messages:     {snapshot.malformed_messages}",
+            f"  invalid answers:        {snapshot.invalid_answers}",
+            f"  duplicate answers:      {snapshot.rejected_duplicates}",
+            f"  rejection rate:         {snapshot.rejection_rate():.1%}",
+            f"  parameters:             s={snapshot.current_sampling_fraction:.2f}"
+            f" p={snapshot.current_p:.2f} q={snapshot.current_q:.2f}"
+            f" (epsilon_zk={snapshot.epsilon_zk:.3f})",
+        ]
+        return "\n".join(lines)

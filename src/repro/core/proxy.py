@@ -1,0 +1,112 @@
+"""Proxies: anonymizing relays between clients and the aggregator.
+
+Proxies receive either the encrypted answer share or one of the key shares —
+they cannot tell which — tagged with the message identifier ``MID``, and
+forward them to the aggregator.  Because noise is added at the clients (not at
+the proxies), proxies require no mutual synchronization: the entire per-share
+work is "answer transmission" (Section 6, #VIII), which is why PrivApprox's
+proxy latency is an order of magnitude below SplitX's.
+
+Each :class:`Proxy` is backed by a topic on the in-memory pub/sub broker
+(:mod:`repro.pubsub`), mirroring the Kafka deployment of the paper: one topic
+for the encrypted answer stream and one per key stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.xor import MessageShare
+from repro.netsim.cluster import ClusterTier
+from repro.pubsub import BrokerCluster, Consumer, Producer
+
+
+@dataclass
+class Proxy:
+    """A single proxy: a relay topic plus accounting counters."""
+
+    proxy_id: int
+    cluster: BrokerCluster
+    topic_name: str = ""
+    num_partitions: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.topic_name:
+            self.topic_name = f"proxy-{self.proxy_id}"
+        self.cluster.ensure_topic(self.topic_name, self.num_partitions)
+        self._producer = Producer(self.cluster, client_id=f"proxy-{self.proxy_id}-in")
+        self.shares_relayed = 0
+        self.bytes_relayed = 0
+
+    def receive_share(self, share: MessageShare) -> None:
+        """Accept one share from a client and publish it for the aggregator."""
+        self._producer.send(self.topic_name, value=share, key=share.message_id)
+        self.shares_relayed += 1
+        self.bytes_relayed += share.size_bytes()
+
+    def make_consumer(self, group_id: str = "aggregator") -> Consumer:
+        """Create a consumer the aggregator uses to pull this proxy's stream."""
+        consumer = Consumer(self.cluster, group_id=group_id, consumer_id=f"{group_id}-{self.proxy_id}")
+        consumer.subscribe([self.topic_name])
+        return consumer
+
+    def pending_shares(self) -> int:
+        """Number of shares currently stored in the relay topic."""
+        return self.cluster.topic(self.topic_name).total_records()
+
+    def reset_metrics(self) -> None:
+        self.shares_relayed = 0
+        self.bytes_relayed = 0
+
+
+@dataclass
+class ProxyNetwork:
+    """The set of non-colluding proxies a deployment uses (at least two).
+
+    The network fans a client's shares out so that share ``i`` goes to proxy
+    ``i``; it also owns the throughput model used by the scalability and
+    latency experiments (Figures 5b, 6 and 8).
+    """
+
+    num_proxies: int = 2
+    cluster: BrokerCluster = field(default_factory=lambda: BrokerCluster(num_brokers=2))
+    tier_model: ClusterTier = field(default_factory=lambda: ClusterTier.proxy_tier(num_nodes=4))
+
+    def __post_init__(self) -> None:
+        if self.num_proxies < 2:
+            raise ValueError("PrivApprox requires at least two proxies")
+        self.proxies = [Proxy(proxy_id=i, cluster=self.cluster) for i in range(self.num_proxies)]
+
+    def transmit(self, shares: list[MessageShare]) -> None:
+        """Send each share of one encrypted answer to its proxy."""
+        if len(shares) != self.num_proxies:
+            raise ValueError(
+                f"expected {self.num_proxies} shares (one per proxy), got {len(shares)}"
+            )
+        for proxy, share in zip(self.proxies, shares):
+            proxy.receive_share(share)
+
+    def total_shares_relayed(self) -> int:
+        return sum(proxy.shares_relayed for proxy in self.proxies)
+
+    def total_bytes_relayed(self) -> int:
+        return sum(proxy.bytes_relayed for proxy in self.proxies)
+
+    def make_consumers(self, group_id: str = "aggregator") -> list:
+        """One consumer per proxy stream, for the aggregator."""
+        return [proxy.make_consumer(group_id) for proxy in self.proxies]
+
+    # -- performance model ------------------------------------------------------
+
+    def modelled_throughput(self, message_size_bytes: int) -> float:
+        """Relay throughput (shares/sec) predicted by the tier model."""
+        return self.tier_model.throughput(message_size_bytes).throughput_msgs_per_sec
+
+    def modelled_latency(self, num_shares: int, message_size_bytes: int) -> float:
+        """Seconds to relay ``num_shares`` shares of a given size.
+
+        PrivApprox proxies only transmit; there is no noise addition,
+        intersection or shuffling phase (contrast with the SplitX model in
+        :mod:`repro.baselines.splitx`).
+        """
+        return self.tier_model.processing_latency(num_shares, message_size_bytes)

@@ -1,0 +1,217 @@
+"""Stratified deployments (technical-report extension of Step I).
+
+The body of the paper assumes every client's stream follows the same
+distribution ("all clients' data streams belong to the same stratum"); the
+technical report extends sampling to *stratified* populations: clients are
+grouped into strata (by region, device class, provider, ...), each stratum is
+sampled and aggregated independently, and the per-stratum estimates are summed
+— with their variances added — to form the population result.  Stratification
+reduces the sampling variance whenever the strata have different answer
+distributions.
+
+This module provides the deployment-level counterpart of
+:class:`repro.core.sampling.StratifiedSampler`:
+
+* :class:`StratumSpec` — one stratum: its name, client count and data loader;
+* :class:`StratifiedDeployment` — runs one :class:`PrivApproxSystem` per
+  stratum against the same analyst query and combines the per-stratum window
+  results into population-level histograms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.analytics.histogram import BucketEstimate, HistogramResult
+from repro.core.aggregator import WindowResult
+from repro.core.analyst import Analyst
+from repro.core.budget import ExecutionParameters, QueryBudget
+from repro.core.query import Query
+from repro.core.system import PrivApproxSystem, SystemConfig
+
+
+@dataclass(frozen=True)
+class StratumSpec:
+    """Description of one stratum of the client population."""
+
+    name: str
+    num_clients: int
+    columns: tuple
+    data_for_client: Callable[[int], list]
+    sampling_fraction: float | None = None  # overrides the shared fraction if set
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError("a stratum needs at least one client")
+        if self.sampling_fraction is not None and not 0.0 < self.sampling_fraction <= 1.0:
+            raise ValueError("sampling fraction must lie in (0, 1]")
+
+
+def combine_stratum_histograms(
+    histograms: Sequence[HistogramResult],
+    window: tuple[float, float] | None = None,
+) -> HistogramResult:
+    """Combine per-stratum histograms into a population histogram.
+
+    Estimates add across strata; because the strata are sampled independently,
+    the variances add as well, so the combined error bound per bucket is the
+    root-sum-of-squares of the per-stratum bounds.
+    """
+    if not histograms:
+        raise ValueError("need at least one stratum histogram")
+    num_buckets = len(histograms[0])
+    if any(len(h) != num_buckets for h in histograms):
+        raise ValueError("stratum histograms must have the same bucket layout")
+    combined = HistogramResult(
+        window=window, num_answers=sum(h.num_answers for h in histograms)
+    )
+    for index in range(num_buckets):
+        per_stratum = [h.bucket(index) for h in histograms]
+        estimate = sum(b.estimate for b in per_stratum)
+        finite_bounds = [b.error_bound for b in per_stratum if math.isfinite(b.error_bound)]
+        if len(finite_bounds) < len(per_stratum):
+            error = float("inf")
+        else:
+            error = math.sqrt(sum(bound ** 2 for bound in finite_bounds))
+        combined.add_bucket(
+            BucketEstimate(
+                bucket_index=index,
+                label=per_stratum[0].label,
+                estimate=estimate,
+                error_bound=error,
+                confidence_level=per_stratum[0].confidence_level,
+            )
+        )
+    return combined
+
+
+@dataclass(frozen=True)
+class StratifiedWindowResult:
+    """A combined window result plus the per-stratum results it came from."""
+
+    window: tuple[float, float] | None
+    histogram: HistogramResult
+    per_stratum: dict
+
+
+@dataclass
+class StratifiedDeployment:
+    """One PrivApprox deployment per stratum, sharing a single analyst query."""
+
+    strata: list[StratumSpec]
+    num_proxies: int = 2
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.strata:
+            raise ValueError("need at least one stratum")
+        names = [s.name for s in self.strata]
+        if len(set(names)) != len(names):
+            raise ValueError("stratum names must be unique")
+        self.systems: dict[str, PrivApproxSystem] = {}
+        for index, spec in enumerate(self.strata):
+            seed = None if self.seed is None else self.seed * 7919 + index
+            system = PrivApproxSystem(
+                SystemConfig(
+                    num_clients=spec.num_clients, num_proxies=self.num_proxies, seed=seed
+                )
+            )
+            system.provision_clients(list(spec.columns), spec.data_for_client)
+            self.systems[spec.name] = system
+        self._query: Query | None = None
+        self._pending_windows: dict[tuple[float, float], dict[str, WindowResult]] = {}
+
+    # -- query submission -------------------------------------------------------
+
+    def submit_query(
+        self,
+        analyst: Analyst,
+        query: Query,
+        budget: QueryBudget,
+        parameters: ExecutionParameters,
+    ) -> dict[str, ExecutionParameters]:
+        """Submit the same query to every stratum.
+
+        A stratum whose spec pins a sampling fraction gets that fraction
+        (proportional or optimal allocation decided by the caller); the other
+        strata share ``parameters``.
+        """
+        self._query = query
+        applied: dict[str, ExecutionParameters] = {}
+        for spec in self.strata:
+            params = parameters
+            if spec.sampling_fraction is not None:
+                params = parameters.with_sampling_fraction(spec.sampling_fraction)
+            self.systems[spec.name].submit_query(analyst, query, budget, parameters=params)
+            applied[spec.name] = params
+        return applied
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_epoch(self, epoch: int) -> list[StratifiedWindowResult]:
+        """Run one epoch in every stratum and combine any completed windows."""
+        self._require_query()
+        per_stratum_results: dict[str, list[WindowResult]] = {}
+        for spec in self.strata:
+            report = self.systems[spec.name].run_epoch(self._query.query_id, epoch)
+            per_stratum_results[spec.name] = list(report.window_results)
+        return self._combine(per_stratum_results)
+
+    def flush(self) -> list[StratifiedWindowResult]:
+        """Flush pending windows in every stratum and combine them."""
+        self._require_query()
+        per_stratum_results = {
+            spec.name: self.systems[spec.name].flush(self._query.query_id)
+            for spec in self.strata
+        }
+        return self._combine(per_stratum_results)
+
+    def exact_bucket_counts(self) -> list[int]:
+        """Ground-truth population histogram across all strata (evaluation only)."""
+        self._require_query()
+        totals: list[int] | None = None
+        for spec in self.strata:
+            counts = self.systems[spec.name].exact_bucket_counts(self._query.query_id)
+            if totals is None:
+                totals = list(counts)
+            else:
+                totals = [a + b for a, b in zip(totals, counts)]
+        return totals or []
+
+    def total_clients(self) -> int:
+        return sum(spec.num_clients for spec in self.strata)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require_query(self) -> None:
+        if self._query is None:
+            raise RuntimeError("submit_query() must be called before running epochs")
+
+    def _combine(
+        self, per_stratum_results: dict[str, list[WindowResult]]
+    ) -> list[StratifiedWindowResult]:
+        # Group per-stratum window results by their window boundaries; a
+        # combined result is emitted once every stratum has reported that
+        # window, and incomplete windows stay buffered until then.
+        for stratum, results in per_stratum_results.items():
+            for result in results:
+                key = (result.window.start, result.window.end)
+                self._pending_windows.setdefault(key, {})[stratum] = result
+        combined: list[StratifiedWindowResult] = []
+        for window_key in sorted(self._pending_windows):
+            stratum_results = self._pending_windows[window_key]
+            if len(stratum_results) != len(self.strata):
+                continue
+            histogram = combine_stratum_histograms(
+                [r.histogram for r in stratum_results.values()], window=window_key
+            )
+            combined.append(
+                StratifiedWindowResult(
+                    window=window_key, histogram=histogram, per_stratum=stratum_results
+                )
+            )
+        for result in combined:
+            del self._pending_windows[result.window]
+        return combined

@@ -1,0 +1,302 @@
+"""End-to-end wiring of the PrivApprox deployment.
+
+:class:`PrivApproxSystem` connects the four components of Figure 1 — clients,
+proxies, aggregator and analyst — into a runnable system:
+
+1. the analyst submits a query plus execution budget;
+2. the initializer (the :class:`~repro.core.budget.BudgetPlanner`) converts
+   the budget into the sampling and randomization parameters and the query is
+   distributed to all clients;
+3. every epoch, each client answers locally (sample -> SQL -> randomize ->
+   encrypt) and its shares travel through the proxies to the aggregator;
+4. the aggregator joins, decrypts and window-aggregates the answers, attaches
+   error bounds, and delivers results to the analyst; a feedback loop re-tunes
+   the parameters when the observed error exceeds the budget.
+
+The system also (optionally) persists every decrypted randomized answer to the
+historical store so batch analytics can run over longer periods.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.admission import AnswerAdmissionController
+from repro.core.aggregator import Aggregator, WindowResult
+from repro.core.analyst import Analyst
+from repro.core.budget import BudgetPlanner, ExecutionParameters, QueryBudget
+from repro.core.client import Client, ClientConfig, ClientResponse
+from repro.core.distribution import QueryDistributor
+from repro.core.historical import HistoricalStore
+from repro.core.proxy import ProxyNetwork
+from repro.core.query import Query
+from repro.core.validation import AnswerValidator
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Deployment-level configuration.
+
+    ``distribute_queries_via_proxies`` routes signed query announcements
+    through the proxies' broker (the paper's "submitting queries" phase);
+    unsigned queries fall back to direct subscription.
+    ``enable_validation`` and ``enable_admission_control`` turn on the
+    aggregator-side structural checks and the duplicate-answer defense.
+    """
+
+    num_clients: int = 100
+    num_proxies: int = 2
+    seed: int | None = None
+    table_name: str = "private_data"
+    keep_historical: bool = False
+    distribute_queries_via_proxies: bool = True
+    enable_validation: bool = True
+    enable_admission_control: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if self.num_proxies < 2:
+            raise ValueError("PrivApprox requires at least two proxies")
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Summary of one answering epoch."""
+
+    epoch: int
+    num_participants: int
+    num_clients: int
+    window_results: tuple
+    parameters: ExecutionParameters
+
+    @property
+    def participation_rate(self) -> float:
+        if self.num_clients == 0:
+            return 0.0
+        return self.num_participants / self.num_clients
+
+
+class PrivApproxSystem:
+    """A complete PrivApprox deployment running in-process."""
+
+    def __init__(self, config: SystemConfig, planner: BudgetPlanner | None = None):
+        self.config = config
+        self.planner = planner or BudgetPlanner()
+        self._rng = random.Random(config.seed)
+        self.proxies = ProxyNetwork(num_proxies=config.num_proxies)
+        self.clients: list[Client] = []
+        for index in range(config.num_clients):
+            seed = None if config.seed is None else config.seed * 1_000_003 + index
+            self.clients.append(
+                Client(
+                    ClientConfig(
+                        client_id=f"client-{index:06d}",
+                        num_proxies=config.num_proxies,
+                        table_name=config.table_name,
+                        seed=seed,
+                    )
+                )
+            )
+        self.analyst: Analyst | None = None
+        self.historical_store = HistoricalStore() if config.keep_historical else None
+        self.query_distributor = QueryDistributor(
+            cluster=self.proxies.cluster, planner=self.planner
+        )
+        self._analyst_keys: dict[str, bytes] = {}
+        self._aggregators: dict[str, Aggregator] = {}
+        self._parameters: dict[str, ExecutionParameters] = {}
+        self._queries: dict[str, Query] = {}
+        self._budgets: dict[str, QueryBudget] = {}
+        self._consumers: dict[str, list] = {}
+        self._responses_log: dict[str, list[ClientResponse]] = {}
+
+    # -- provisioning -------------------------------------------------------
+
+    def provision_clients(
+        self,
+        columns: list[tuple[str, str]],
+        data_for_client: Callable[[int], list[dict[str, Any]]],
+    ) -> None:
+        """Create the local table on every client and load its private data.
+
+        ``data_for_client(i)`` returns the records belonging to client ``i``;
+        this is how the case studies replay per-vehicle / per-household slices
+        of the datasets onto the clients.
+        """
+        for index, client in enumerate(self.clients):
+            client.create_table(columns)
+            records = data_for_client(index)
+            if records:
+                client.ingest(records)
+
+    # -- query submission -----------------------------------------------------
+
+    def submit_query(
+        self,
+        analyst: Analyst,
+        query: Query,
+        budget: QueryBudget,
+        parameters: ExecutionParameters | None = None,
+    ) -> ExecutionParameters:
+        """Submit a query: convert the budget, distribute to clients.
+
+        ``parameters`` may be supplied directly to bypass the planner (the
+        microbenchmarks sweep explicit ``s, p, q`` values); otherwise the
+        planner derives them from the budget.
+        """
+        self.analyst = analyst
+        analyst.attach_budget(query, budget)
+        self._analyst_keys[analyst.analyst_id] = analyst.signing_key
+        params = parameters or self.planner.plan(budget)
+        self._queries[query.query_id] = query
+        self._budgets[query.query_id] = budget
+        self._parameters[query.query_id] = params
+        aggregator = Aggregator(
+            query=query,
+            parameters=params,
+            total_clients=self.config.num_clients,
+            num_proxies=self.config.num_proxies,
+            validator=AnswerValidator(query) if self.config.enable_validation else None,
+            admission=(
+                AnswerAdmissionController() if self.config.enable_admission_control else None
+            ),
+        )
+        self._aggregators[query.query_id] = aggregator
+        self._consumers[query.query_id] = self.proxies.make_consumers(
+            group_id=f"aggregator-{query.query_id}"
+        )
+        self._responses_log[query.query_id] = []
+        self._distribute_query(query, budget, params)
+        return params
+
+    def _distribute_query(
+        self, query: Query, budget: QueryBudget, params: ExecutionParameters
+    ) -> None:
+        """Deliver the query to every client, via the proxies when possible."""
+        if self.config.distribute_queries_via_proxies and query.signature is not None:
+            self.query_distributor.publish(query, budget, parameters=params)
+            for client in self.clients:
+                feed = self.query_distributor.make_subscription_feed(client.config.client_id)
+                QueryDistributor.deliver_to_client(client, feed, self._analyst_keys)
+            return
+        for client in self.clients:
+            client.subscribe(query, params)
+
+    def parameters_for(self, query_id: str) -> ExecutionParameters:
+        if query_id not in self._parameters:
+            raise KeyError(f"unknown query {query_id}")
+        return self._parameters[query_id]
+
+    def aggregator_for(self, query_id: str) -> Aggregator:
+        if query_id not in self._aggregators:
+            raise KeyError(f"unknown query {query_id}")
+        return self._aggregators[query_id]
+
+    # -- epoch execution ------------------------------------------------------------
+
+    def run_epoch(self, query_id: str, epoch: int) -> EpochReport:
+        """Run one answering epoch end-to-end for a query."""
+        if query_id not in self._queries:
+            raise KeyError(f"unknown query {query_id}")
+        query = self._queries[query_id]
+        params = self._parameters[query_id]
+        aggregator = self._aggregators[query_id]
+        consumers = self._consumers[query_id]
+
+        participants = 0
+        for client in self.clients:
+            response = client.answer_query(query_id, epoch=epoch)
+            if response is None:
+                continue
+            participants += 1
+            self._responses_log[query_id].append(response)
+            self.proxies.transmit(list(response.encrypted.shares))
+
+        window_results = aggregator.consume_from_proxies(consumers, epoch=epoch)
+        self._record_historical(query, aggregator, epoch)
+        self._deliver_and_retune(query_id, window_results)
+        return EpochReport(
+            epoch=epoch,
+            num_participants=participants,
+            num_clients=self.config.num_clients,
+            window_results=tuple(window_results),
+            parameters=self._parameters[query_id],
+        )
+
+    def run_epochs(self, query_id: str, num_epochs: int) -> list[EpochReport]:
+        """Run several consecutive epochs."""
+        return [self.run_epoch(query_id, epoch) for epoch in range(num_epochs)]
+
+    def flush(self, query_id: str) -> list[WindowResult]:
+        """Flush pending windows at the end of an experiment."""
+        results = self._aggregators[query_id].flush()
+        self._deliver_and_retune(query_id, results)
+        return results
+
+    # -- evaluation helpers ------------------------------------------------------------
+
+    def exact_bucket_counts(self, query_id: str) -> list[int]:
+        """The exact per-bucket counts over *all* clients (no sampling, no noise).
+
+        This is the ground truth the evaluation compares estimates against; it
+        reads each client's truthful answer directly and is only available in
+        the simulation, not in a real deployment.
+        """
+        query = self._queries[query_id]
+        counts = [0] * query.num_buckets
+        for client in self.clients:
+            bits = client.truthful_answer(query_id)
+            for index, bit in enumerate(bits):
+                counts[index] += bit
+        return counts
+
+    def responses_log(self, query_id: str) -> list[ClientResponse]:
+        """All responses produced so far (evaluation only)."""
+        return list(self._responses_log.get(query_id, []))
+
+    # -- internals ------------------------------------------------------------
+
+    def _record_historical(self, query: Query, aggregator: Aggregator, epoch: int) -> None:
+        if self.historical_store is None:
+            return
+        timestamp = epoch * query.frequency_seconds
+        for response in self._responses_log[query.query_id]:
+            if response.epoch != epoch:
+                continue
+            answer = aggregator._codec.decrypt(list(response.encrypted.shares))
+            self.historical_store.append_answer(answer, timestamp)
+
+    def _deliver_and_retune(self, query_id: str, window_results: list[WindowResult]) -> None:
+        budget = self._budgets[query_id]
+        params = self._parameters[query_id]
+        for result in window_results:
+            if self.analyst is not None:
+                self.analyst.deliver_result(query_id, result)
+            if budget.target_accuracy_loss is None:
+                continue
+            observed = self._observed_relative_error(result)
+            if observed is None:
+                continue
+            new_params = self.planner.retune(params, observed, budget.target_accuracy_loss)
+            if new_params != params:
+                params = new_params
+                self._parameters[query_id] = new_params
+                for client in self.clients:
+                    client.subscribe(self._queries[query_id], new_params)
+                # The aggregator keeps the original estimator for already
+                # ingested epochs; new epochs use the re-tuned parameters.
+                self._aggregators[query_id].parameters = new_params
+
+    @staticmethod
+    def _observed_relative_error(result: WindowResult) -> float | None:
+        """Relative error proxy used by the feedback loop: error bound / estimate."""
+        total = result.histogram.total()
+        if total <= 0:
+            return None
+        bounded = [b.error_bound for b in result.histogram.buckets if b.error_bound != float("inf")]
+        if not bounded:
+            return None
+        return sum(bounded) / total

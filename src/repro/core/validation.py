@@ -1,0 +1,80 @@
+"""Answer validation at the aggregator.
+
+Clients are potentially malicious (Section 2.2): besides answering multiple
+times (handled by :mod:`repro.core.admission`) they can send structurally
+invalid answers — wrong query id, wrong bit-vector length, out-of-range epoch,
+or several bits set where the query model expects at most one.  The
+:class:`AnswerValidator` centralizes these checks so the aggregator only feeds
+well-formed answers into the estimator, and keeps counters so operators can
+observe the rejection rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import Query, QueryAnswer
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of validating one answer."""
+
+    valid: bool
+    reason: str = "ok"
+
+
+@dataclass
+class AnswerValidator:
+    """Structural validation of decrypted answers against their query.
+
+    Parameters
+    ----------
+    query:
+        The query the answers must belong to.
+    max_set_bits:
+        Maximum number of 1-bits allowed in an answer.  The query model sets
+        exactly one bucket for numeric queries, but randomized response can
+        legitimately flip extra bits to 1, so the default allows any count;
+        deployments whose queries use very small `q` can tighten it.
+    max_epoch_drift:
+        How far (in epochs) an answer's embedded epoch may differ from the
+        epoch it arrived in; answers drifting further are rejected as replays.
+    """
+
+    query: Query
+    max_set_bits: int | None = None
+    max_epoch_drift: int = 2
+
+    def __post_init__(self) -> None:
+        self.rejected_by_reason: dict[str, int] = {}
+        self.accepted = 0
+
+    def validate(self, answer: QueryAnswer, arrival_epoch: int) -> ValidationResult:
+        """Check one decrypted answer."""
+        result = self._check(answer, arrival_epoch)
+        if result.valid:
+            self.accepted += 1
+        else:
+            self.rejected_by_reason[result.reason] = (
+                self.rejected_by_reason.get(result.reason, 0) + 1
+            )
+        return result
+
+    def _check(self, answer: QueryAnswer, arrival_epoch: int) -> ValidationResult:
+        if answer.query_id != self.query.query_id:
+            return ValidationResult(False, "wrong query id")
+        if answer.num_buckets != self.query.num_buckets:
+            return ValidationResult(False, "wrong answer length")
+        if any(bit not in (0, 1) for bit in answer.bits):
+            return ValidationResult(False, "non-binary answer")
+        if answer.epoch < 0:
+            return ValidationResult(False, "negative epoch")
+        if abs(answer.epoch - arrival_epoch) > self.max_epoch_drift:
+            return ValidationResult(False, "epoch drift")
+        if self.max_set_bits is not None and sum(answer.bits) > self.max_set_bits:
+            return ValidationResult(False, "too many set bits")
+        return ValidationResult(True)
+
+    def total_rejected(self) -> int:
+        return sum(self.rejected_by_reason.values())

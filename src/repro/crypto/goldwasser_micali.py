@@ -1,0 +1,79 @@
+"""Goldwasser-Micali bit-wise probabilistic encryption.
+
+Used by "Towards Statistical Queries over Distributed Private User Data"
+(NSDI'12), one of the systems PrivApprox compares against in Table 2.  GM
+encrypts one bit at a time: a ciphertext is a quadratic residue modulo ``n``
+iff the plaintext bit is 0.  It is therefore dramatically more expensive per
+answer bit than the XOR one-time pad, which is exactly the point of the
+comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.numbers import generate_prime, jacobi_symbol, random_coprime
+
+
+@dataclass(frozen=True)
+class GMPublicKey:
+    """Goldwasser-Micali public key ``(n, x)`` with ``x`` a non-residue."""
+
+    n: int
+    x: int
+
+    def encrypt_bit(self, bit: int, rng: random.Random) -> int:
+        """Encrypt a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        y = random_coprime(self.n, rng)
+        c = (y * y) % self.n
+        if bit == 1:
+            c = (c * self.x) % self.n
+        return c
+
+    def encrypt_bits(self, bits: list[int], rng: random.Random | None = None) -> list[int]:
+        """Encrypt a bit vector (e.g. a client answer vector)."""
+        rng = rng or random.Random()
+        return [self.encrypt_bit(b, rng) for b in bits]
+
+
+@dataclass(frozen=True)
+class GMPrivateKey:
+    """Goldwasser-Micali private key: the factorization ``(p, q)``."""
+
+    p: int
+    q: int
+
+    def decrypt_bit(self, ciphertext: int) -> int:
+        """Return 0 if the ciphertext is a quadratic residue, else 1."""
+        legendre_p = pow(ciphertext, (self.p - 1) // 2, self.p)
+        return 0 if legendre_p == 1 else 1
+
+    def decrypt_bits(self, ciphertexts: list[int]) -> list[int]:
+        return [self.decrypt_bit(c) for c in ciphertexts]
+
+
+@dataclass(frozen=True)
+class GMKeyPair:
+    public: GMPublicKey
+    private: GMPrivateKey
+
+
+def generate_gm_keypair(key_size_bits: int = 1024, seed: int | None = None) -> GMKeyPair:
+    """Generate a Goldwasser-Micali key pair."""
+    rng = random.Random(seed)
+    half = key_size_bits // 2
+    p = generate_prime(half, rng)
+    q = generate_prime(key_size_bits - half, rng)
+    while q == p:
+        q = generate_prime(key_size_bits - half, rng)
+    n = p * q
+    # Find x that is a quadratic non-residue mod both p and q (Jacobi symbol 1
+    # but not a residue), the standard GM construction.
+    while True:
+        x = rng.randrange(2, n)
+        if jacobi_symbol(x, p) == -1 and jacobi_symbol(x, q) == -1:
+            break
+    return GMKeyPair(public=GMPublicKey(n=n, x=x), private=GMPrivateKey(p=p, q=q))

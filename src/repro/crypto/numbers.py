@@ -1,0 +1,111 @@
+"""Number-theoretic helpers shared by the public-key schemes.
+
+These routines back the from-scratch RSA, Goldwasser-Micali and Paillier
+implementations used as comparators in Table 2.  They favour clarity over raw
+speed — the benchmark only needs the relative ordering of the schemes, which a
+straightforward implementation preserves (XOR remains orders of magnitude
+cheaper than any modular-exponentiation scheme).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+# Small primes used for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def is_probable_prime(n: int, rounds: int = 20, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random witnesses."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random()
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random | None = None) -> int:
+    """Generate a random probable prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    rng = rng or random.Random()
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` modulo ``m``; raises if it does not exist."""
+    g, x, _ = _extended_gcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m}")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple."""
+    return abs(a * b) // math.gcd(a, b)
+
+
+def jacobi_symbol(a: int, n: int) -> int:
+    """Jacobi symbol (a/n) for odd ``n`` > 0."""
+    if n <= 0 or n % 2 == 0:
+        raise ValueError("Jacobi symbol requires odd positive n")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def random_coprime(n: int, rng: random.Random) -> int:
+    """Return a random integer in ``[1, n)`` coprime to ``n``."""
+    while True:
+        candidate = rng.randrange(1, n)
+        if math.gcd(candidate, n) == 1:
+            return candidate

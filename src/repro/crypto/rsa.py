@@ -1,0 +1,93 @@
+"""Textbook RSA used as the "public-key crypto" comparator from [10] in Table 2.
+
+Only encryption/decryption of short messages is needed for the overhead
+comparison; no padding scheme is implemented (the paper's comparison likewise
+measures raw crypto operations).  The implementation supports arbitrary key
+sizes; the benchmark uses 1024-bit keys to match the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.numbers import generate_prime, modinv
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def key_size_bits(self) -> int:
+        return self.n.bit_length()
+
+    def encrypt_int(self, message: int) -> int:
+        """Encrypt an integer ``0 <= message < n``."""
+        if not 0 <= message < self.n:
+            raise ValueError("message out of range for this key")
+        return pow(message, self.e, self.n)
+
+    def encrypt_bytes(self, message: bytes) -> int:
+        value = int.from_bytes(message, "big")
+        return self.encrypt_int(value)
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """RSA private key ``(n, d)`` with CRT parameters for faster decryption."""
+
+    n: int
+    d: int
+    p: int
+    q: int
+
+    def decrypt_int(self, ciphertext: int) -> int:
+        """Decrypt using the Chinese Remainder Theorem."""
+        if not 0 <= ciphertext < self.n:
+            raise ValueError("ciphertext out of range for this key")
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        q_inv = modinv(self.q, self.p)
+        m1 = pow(ciphertext, dp, self.p)
+        m2 = pow(ciphertext, dq, self.q)
+        h = (q_inv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+    def decrypt_bytes(self, ciphertext: int, length: int) -> bytes:
+        value = self.decrypt_int(ciphertext)
+        return value.to_bytes(length, "big")
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """An RSA public/private key pair."""
+
+    public: RSAPublicKey
+    private: RSAPrivateKey
+
+
+def generate_rsa_keypair(key_size_bits: int = 1024, seed: int | None = None) -> RSAKeyPair:
+    """Generate an RSA key pair with modulus of roughly ``key_size_bits`` bits."""
+    if key_size_bits < 64:
+        raise ValueError("key size too small")
+    rng = random.Random(seed)
+    e = 65537
+    half = key_size_bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(key_size_bits - half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        n = p * q
+        d = modinv(e, phi)
+        return RSAKeyPair(
+            public=RSAPublicKey(n=n, e=e),
+            private=RSAPrivateKey(n=n, d=d, p=p, q=q),
+        )

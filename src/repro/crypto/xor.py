@@ -1,0 +1,151 @@
+"""XOR-based encryption used for the synchronization-free proxy pipeline.
+
+Section 3.2.3 of the paper describes the scheme: to send a message ``M`` of
+length ``l`` through ``n`` proxies, the client generates ``n - 1`` random key
+strings ``MK_2 ... MK_n`` of the same length; their XOR is the secret ``MK``;
+the encrypted payload is ``ME = M xor MK``.  The encrypted message goes to one
+proxy and each key string to another proxy, all tagged with the same message
+identifier ``MID`` so the aggregator can re-join and decrypt them.  Because the
+n shares are individually indistinguishable from random bit strings, no proxy
+learns anything about the answer, and no proxy coordination is needed.
+
+This module implements the byte-level primitives:
+
+* :func:`xor_bytes` — constant-helper bitwise XOR of equal-length byte strings.
+* :class:`XorCipher` — a stateful cipher bound to a set of key shares.
+* :func:`split_message` / :func:`join_shares` — the share-splitting protocol
+  used by clients and the aggregator.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+
+from repro.crypto.prng import KeystreamGenerator
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Return the bitwise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"xor_bytes requires equal lengths, got {len(a)} and {len(b)}"
+        )
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def xor_many(parts: list[bytes]) -> bytes:
+    """XOR together an arbitrary number of equal-length byte strings."""
+    if not parts:
+        raise ValueError("xor_many requires at least one part")
+    result = parts[0]
+    for part in parts[1:]:
+        result = xor_bytes(result, part)
+    return result
+
+
+@dataclass(frozen=True)
+class MessageShare:
+    """A single share of a split message.
+
+    Attributes
+    ----------
+    message_id:
+        The ``MID`` joining all shares of one message.
+    payload:
+        Either the encrypted message ``ME`` or one key string ``MK_i``; the
+        two are computationally indistinguishable by design.
+    index:
+        Position of the share (0 for ``ME``, 1..n-1 for key shares).  The
+        aggregator does not need it for decryption — XOR of all shares
+        recovers ``M`` regardless — but it is useful for routing and tests.
+    """
+
+    message_id: str
+    payload: bytes
+    index: int
+
+    def size_bytes(self) -> int:
+        """Wire size of this share (payload plus a 16-byte MID)."""
+        return len(self.payload) + 16
+
+
+@dataclass
+class XorCipher:
+    """One-time-pad cipher over a fixed number of key shares.
+
+    Parameters
+    ----------
+    num_shares:
+        Total number of shares ``n`` (encrypted message plus ``n - 1`` keys).
+        The paper requires at least two proxies, hence ``n >= 2``.
+    keystream:
+        Optional deterministic keystream generator (used by tests); a fresh
+        randomly seeded generator is created when omitted.
+    """
+
+    num_shares: int = 2
+    keystream: KeystreamGenerator = field(default_factory=KeystreamGenerator)
+
+    def __post_init__(self) -> None:
+        if self.num_shares < 2:
+            raise ValueError(
+                f"XOR encryption needs at least 2 shares, got {self.num_shares}"
+            )
+
+    def encrypt(self, message: bytes, message_id: str | None = None) -> list[MessageShare]:
+        """Split ``message`` into ``num_shares`` shares.
+
+        The first returned share carries the encrypted payload ``ME``; the
+        remaining shares carry the key strings ``MK_i``.  All shares have the
+        same length as the message.
+        """
+        if message_id is None:
+            message_id = uuid.uuid4().hex
+        keys = [self.keystream.next_bytes(len(message)) for _ in range(self.num_shares - 1)]
+        secret = keys[0]
+        for key in keys[1:]:
+            secret = xor_bytes(secret, key)
+        encrypted = xor_bytes(message, secret)
+        shares = [MessageShare(message_id=message_id, payload=encrypted, index=0)]
+        shares.extend(
+            MessageShare(message_id=message_id, payload=key, index=i + 1)
+            for i, key in enumerate(keys)
+        )
+        return shares
+
+    @staticmethod
+    def decrypt(shares: list[MessageShare]) -> bytes:
+        """Recover the original message from all shares of one ``MID``.
+
+        The aggregator "just XORs all the n received messages" (Section 3.2.4):
+        it cannot and need not distinguish ``ME`` from the key shares.
+        """
+        return join_shares(shares)
+
+
+def split_message(
+    message: bytes,
+    num_proxies: int,
+    keystream: KeystreamGenerator | None = None,
+    message_id: str | None = None,
+) -> list[MessageShare]:
+    """Split ``message`` into one share per proxy (convenience wrapper)."""
+    cipher = XorCipher(
+        num_shares=num_proxies,
+        keystream=keystream if keystream is not None else KeystreamGenerator(),
+    )
+    return cipher.encrypt(message, message_id=message_id)
+
+
+def join_shares(shares: list[MessageShare]) -> bytes:
+    """Join all shares of one message id and recover the plaintext."""
+    if len(shares) < 2:
+        raise ValueError("joining requires at least two shares")
+    message_ids = {share.message_id for share in shares}
+    if len(message_ids) != 1:
+        raise ValueError(f"shares belong to different messages: {sorted(message_ids)}")
+    lengths = {len(share.payload) for share in shares}
+    if len(lengths) != 1:
+        raise ValueError("shares of one message must have equal length")
+    return xor_many([share.payload for share in shares])

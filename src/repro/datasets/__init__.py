@@ -1,0 +1,26 @@
+"""Synthetic workload generators used by the evaluation.
+
+The paper's case studies replay two real datasets we do not have — the NYC
+Taxi rides from the DEBS 2015 Grand Challenge and a household electricity
+consumption trace.  The generators here produce synthetic equivalents whose
+bucket-fraction distributions match the published characteristics (about a
+third of taxi rides fall into the first distance bucket; household power draw
+is skewed toward low consumption), which is the only property the utility and
+privacy results depend on.
+
+A generic yes/no answer generator backs the microbenchmarks that need "10,000
+original answers, 60% of which are Yes".
+"""
+
+from repro.datasets.synthetic import SyntheticAnswers, generate_binary_answers
+from repro.datasets.taxi import TaxiRideGenerator, TAXI_DISTANCE_BUCKETS
+from repro.datasets.electricity import ElectricityGenerator, ELECTRICITY_BUCKETS
+
+__all__ = [
+    "SyntheticAnswers",
+    "generate_binary_answers",
+    "TaxiRideGenerator",
+    "TAXI_DISTANCE_BUCKETS",
+    "ElectricityGenerator",
+    "ELECTRICITY_BUCKETS",
+]

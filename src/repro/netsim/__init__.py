@@ -1,0 +1,38 @@
+"""Device, cluster and network simulation.
+
+The paper's performance numbers come from physical hardware we do not have: an
+Android phone, a MacBook laptop, a 32-core Linux server (Tables 2-3) and a
+44-node Gigabit cluster running Kafka and Flink (Figures 5b, 6, 8, 9).  This
+package substitutes first-principles cost models for that hardware:
+
+* :mod:`repro.netsim.devices` — per-device cost models for the client-side
+  operations (database read, randomized response, crypto), calibrated so the
+  *relative* ordering and rough magnitudes match the published measurements,
+  plus the ability to measure the real operations on the local machine.
+* :mod:`repro.netsim.cluster` — scale-up / scale-out throughput model for the
+  proxy and aggregator tiers (cores, nodes, per-message cost, parallel
+  efficiency).
+* :mod:`repro.netsim.network` — traffic and latency accounting between
+  clients, proxies and the aggregator as a function of the sampling fraction,
+  answer size and number of proxies.
+
+Every experiment that in the paper ran on the testbed runs here against these
+models; the goal is to reproduce shapes (scaling curves, crossovers, ratios),
+not absolute numbers.
+"""
+
+from repro.netsim.devices import DeviceProfile, DeviceKind, OperationKind
+from repro.netsim.cluster import ClusterNode, ClusterTier, ScalingResult
+from repro.netsim.network import NetworkModel, TrafficReport, LatencyReport
+
+__all__ = [
+    "DeviceProfile",
+    "DeviceKind",
+    "OperationKind",
+    "ClusterNode",
+    "ClusterTier",
+    "ScalingResult",
+    "NetworkModel",
+    "TrafficReport",
+    "LatencyReport",
+]

@@ -1,0 +1,155 @@
+"""Client device cost models (phone, laptop, server).
+
+Tables 2 and 3 of the paper report operations-per-second for the client-side
+pipeline (SQLite read, randomized response, XOR encryption) and for the
+public-key comparators (RSA, Goldwasser-Micali, Paillier) on three devices: an
+Android Galaxy S III mini, a MacBook Air, and a 32-core Linux server.
+
+We model each device as a relative speed factor applied to a per-operation
+base cost.  The base costs are anchored to the paper's *server* column, so the
+model reproduces both the device ordering (phone < laptop < server) and the
+scheme ordering (XOR orders of magnitude faster than RSA/GM/Paillier).  The
+crypto benchmarks additionally measure the real pure-Python implementations on
+the local machine to confirm the scheme ordering on an actual code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class DeviceKind(str, Enum):
+    """The three device classes used in the paper's client-side evaluation."""
+
+    PHONE = "phone"
+    LAPTOP = "laptop"
+    SERVER = "server"
+
+
+class OperationKind(str, Enum):
+    """Client-side operations whose throughput the paper reports."""
+
+    SQLITE_READ = "sqlite_read"
+    RANDOMIZED_RESPONSE = "randomized_response"
+    XOR_ENCRYPTION = "xor_encryption"
+    RSA_ENCRYPT = "rsa_encrypt"
+    RSA_DECRYPT = "rsa_decrypt"
+    GM_ENCRYPT = "gm_encrypt"
+    GM_DECRYPT = "gm_decrypt"
+    PAILLIER_ENCRYPT = "paillier_encrypt"
+    PAILLIER_DECRYPT = "paillier_decrypt"
+
+
+# Paper-calibrated operations per second (Tables 2 and 3).  Keys: (device, op).
+_CALIBRATED_OPS_PER_SEC: dict[tuple[DeviceKind, OperationKind], float] = {
+    # Table 3 — client pipeline.
+    (DeviceKind.PHONE, OperationKind.SQLITE_READ): 1_162,
+    (DeviceKind.LAPTOP, OperationKind.SQLITE_READ): 19_646,
+    (DeviceKind.SERVER, OperationKind.SQLITE_READ): 23_418,
+    (DeviceKind.PHONE, OperationKind.RANDOMIZED_RESPONSE): 168_938,
+    (DeviceKind.LAPTOP, OperationKind.RANDOMIZED_RESPONSE): 418_668,
+    (DeviceKind.SERVER, OperationKind.RANDOMIZED_RESPONSE): 1_809_662,
+    (DeviceKind.PHONE, OperationKind.XOR_ENCRYPTION): 15_026,
+    (DeviceKind.LAPTOP, OperationKind.XOR_ENCRYPTION): 943_902,
+    (DeviceKind.SERVER, OperationKind.XOR_ENCRYPTION): 1_351_937,
+    # Table 2 — public-key comparators (encryption / decryption).
+    (DeviceKind.PHONE, OperationKind.RSA_ENCRYPT): 937,
+    (DeviceKind.LAPTOP, OperationKind.RSA_ENCRYPT): 2_770,
+    (DeviceKind.SERVER, OperationKind.RSA_ENCRYPT): 4_909,
+    (DeviceKind.PHONE, OperationKind.RSA_DECRYPT): 126,
+    (DeviceKind.LAPTOP, OperationKind.RSA_DECRYPT): 698,
+    (DeviceKind.SERVER, OperationKind.RSA_DECRYPT): 859,
+    (DeviceKind.PHONE, OperationKind.GM_ENCRYPT): 2_106,
+    (DeviceKind.LAPTOP, OperationKind.GM_ENCRYPT): 17_064,
+    (DeviceKind.SERVER, OperationKind.GM_ENCRYPT): 22_902,
+    (DeviceKind.PHONE, OperationKind.GM_DECRYPT): 127,
+    (DeviceKind.LAPTOP, OperationKind.GM_DECRYPT): 6_329,
+    (DeviceKind.SERVER, OperationKind.GM_DECRYPT): 7_068,
+    (DeviceKind.PHONE, OperationKind.PAILLIER_ENCRYPT): 116,
+    (DeviceKind.LAPTOP, OperationKind.PAILLIER_ENCRYPT): 489,
+    (DeviceKind.SERVER, OperationKind.PAILLIER_ENCRYPT): 579,
+    (DeviceKind.PHONE, OperationKind.PAILLIER_DECRYPT): 72,
+    (DeviceKind.LAPTOP, OperationKind.PAILLIER_DECRYPT): 250,
+    (DeviceKind.SERVER, OperationKind.PAILLIER_DECRYPT): 309,
+    # XOR decryption at the aggregator (Table 2, "Decryption" column).
+}
+
+# XOR decryption throughput from Table 2 (aggregator side).
+_XOR_DECRYPT_OPS: dict[DeviceKind, float] = {
+    DeviceKind.PHONE: 3_262_186,
+    DeviceKind.LAPTOP: 16_519_076,
+    DeviceKind.SERVER: 22_678_285,
+}
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A device with calibrated per-operation throughput.
+
+    The profile answers two questions the benchmarks need: how many operations
+    of a kind the device performs per second, and how long a batch of mixed
+    operations (the client query-answering pipeline) takes.
+    """
+
+    kind: DeviceKind
+    clock_ghz: float
+    cores: int
+
+    @classmethod
+    def phone(cls) -> "DeviceProfile":
+        """Android Galaxy S III mini: 1.5 GHz, dual core."""
+        return cls(kind=DeviceKind.PHONE, clock_ghz=1.5, cores=2)
+
+    @classmethod
+    def laptop(cls) -> "DeviceProfile":
+        """MacBook Air: 2.2 GHz Core i7."""
+        return cls(kind=DeviceKind.LAPTOP, clock_ghz=2.2, cores=4)
+
+    @classmethod
+    def server(cls) -> "DeviceProfile":
+        """Linux server: 2.2 GHz, 32 cores."""
+        return cls(kind=DeviceKind.SERVER, clock_ghz=2.2, cores=32)
+
+    @classmethod
+    def all_devices(cls) -> list["DeviceProfile"]:
+        return [cls.phone(), cls.laptop(), cls.server()]
+
+    # -- throughput model ----------------------------------------------------
+
+    def ops_per_second(self, operation: OperationKind) -> float:
+        """Calibrated operations per second for one operation kind."""
+        key = (self.kind, operation)
+        if key not in _CALIBRATED_OPS_PER_SEC:
+            raise KeyError(f"no calibration for {self.kind.value}/{operation.value}")
+        return _CALIBRATED_OPS_PER_SEC[key]
+
+    def xor_decrypt_ops_per_second(self) -> float:
+        """Calibrated XOR decryption throughput (aggregator-side operation)."""
+        return _XOR_DECRYPT_OPS[self.kind]
+
+    def seconds_per_op(self, operation: OperationKind) -> float:
+        """Time for one operation, in seconds."""
+        return 1.0 / self.ops_per_second(operation)
+
+    def pipeline_ops_per_second(self, operations: list[OperationKind]) -> float:
+        """Throughput of a pipeline executing each operation once per item.
+
+        The client query-answering pipeline runs SQLite read, randomized
+        response and XOR encryption in sequence; its throughput is the inverse
+        of the summed per-operation times (Table 3's "Total" row).
+        """
+        if not operations:
+            raise ValueError("pipeline must contain at least one operation")
+        total_time = sum(self.seconds_per_op(op) for op in operations)
+        return 1.0 / total_time
+
+    def time_for(self, operation: OperationKind, count: int) -> float:
+        """Seconds needed to run ``count`` operations of one kind."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return count * self.seconds_per_op(operation)
+
+    def speedup_versus(self, other: "DeviceProfile", operation: OperationKind) -> float:
+        """How many times faster this device is than ``other`` for an operation."""
+        return self.ops_per_second(operation) / other.ops_per_second(operation)

@@ -1,0 +1,39 @@
+"""An in-memory publish-subscribe message broker, standing in for Apache Kafka.
+
+PrivApprox proxies are implemented on Kafka: clients publish their encrypted
+answer shares and key shares to two topics ("answer" and "key"), and the
+aggregator consumes both (Section 5, "Proxies").  This package reproduces the
+parts of Kafka the system relies on:
+
+* topics split into partitions, each an append-only ordered log;
+* brokers hosting partitions, grouped in a :class:`BrokerCluster` so that
+  partition leadership can be spread over several nodes;
+* producers that publish records (optionally keyed, for stable partitioning);
+* consumers and consumer groups with per-partition offsets, supporting both
+  "read everything so far" batch consumption and incremental polling.
+
+The implementation is single-process and synchronous; the simulated cluster in
+:mod:`repro.netsim` supplies the throughput model for the scalability
+experiments, while this package supplies the real routing semantics the
+PrivApprox pipeline is built on.
+"""
+
+from repro.pubsub.record import Record
+from repro.pubsub.topic import Topic, Partition
+from repro.pubsub.broker import Broker, BrokerCluster
+from repro.pubsub.producer import Producer
+from repro.pubsub.consumer import Consumer, ConsumerGroup
+from repro.pubsub.errors import PubSubError, UnknownTopicError
+
+__all__ = [
+    "Record",
+    "Topic",
+    "Partition",
+    "Broker",
+    "BrokerCluster",
+    "Producer",
+    "Consumer",
+    "ConsumerGroup",
+    "PubSubError",
+    "UnknownTopicError",
+]

@@ -1,0 +1,13 @@
+"""Exceptions raised by the in-memory pub/sub broker."""
+
+
+class PubSubError(Exception):
+    """Base class for pub/sub errors."""
+
+
+class UnknownTopicError(PubSubError):
+    """Raised when producing to or consuming from a topic that does not exist."""
+
+
+class UnknownPartitionError(PubSubError):
+    """Raised when addressing a partition index outside the topic's range."""

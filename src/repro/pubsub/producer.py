@@ -1,0 +1,51 @@
+"""Producer API for the in-memory pub/sub broker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.pubsub.broker import BrokerCluster
+from repro.pubsub.record import Record
+
+
+@dataclass
+class Producer:
+    """Publishes records to topics on a broker cluster.
+
+    Tracks how many records and bytes it has sent, which the network model
+    uses to compute client → proxy traffic.
+    """
+
+    cluster: BrokerCluster
+    client_id: str = "producer"
+    records_sent: int = 0
+    bytes_sent: int = 0
+    _clock: float = field(default=0.0, repr=False)
+
+    def send(
+        self,
+        topic: str,
+        value: Any,
+        key: str | None = None,
+        timestamp: float | None = None,
+        headers: dict | None = None,
+    ) -> Record:
+        """Publish one record and return it with its assigned position."""
+        if timestamp is None:
+            self._clock += 1.0
+            timestamp = self._clock
+        record = Record(
+            value=value,
+            key=key,
+            timestamp=timestamp,
+            headers=headers or {},
+        )
+        positioned = self.cluster.publish(topic, record)
+        self.records_sent += 1
+        self.bytes_sent += positioned.size_bytes()
+        return positioned
+
+    def send_batch(self, topic: str, values: list[Any], key: str | None = None) -> list[Record]:
+        """Publish a list of values in order."""
+        return [self.send(topic, value, key=key) for value in values]

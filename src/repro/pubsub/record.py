@@ -1,0 +1,61 @@
+"""Record type for the in-memory pub/sub broker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single published record.
+
+    Attributes
+    ----------
+    value:
+        Arbitrary payload (PrivApprox publishes :class:`~repro.crypto.xor.MessageShare`
+        objects or serialized bytes).
+    key:
+        Optional partitioning key; records with the same key land in the same
+        partition, preserving per-key order.
+    timestamp:
+        Logical event time in seconds, assigned by the producer.
+    headers:
+        Optional metadata attached by the producer.
+    offset / partition / topic:
+        Assigned by the broker when the record is appended.
+    """
+
+    value: Any
+    key: str | None = None
+    timestamp: float = 0.0
+    headers: dict = field(default_factory=dict)
+    topic: str | None = None
+    partition: int | None = None
+    offset: int | None = None
+
+    def with_position(self, topic: str, partition: int, offset: int) -> "Record":
+        """Return a copy annotated with its committed position in the log."""
+        return Record(
+            value=self.value,
+            key=self.key,
+            timestamp=self.timestamp,
+            headers=self.headers,
+            topic=topic,
+            partition=partition,
+            offset=offset,
+        )
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of the record, used by the network model."""
+        value = self.value
+        if hasattr(value, "size_bytes"):
+            payload = value.size_bytes()
+        elif isinstance(value, (bytes, bytearray)):
+            payload = len(value)
+        elif isinstance(value, str):
+            payload = len(value.encode("utf-8"))
+        else:
+            payload = len(repr(value).encode("utf-8"))
+        key_size = len(self.key.encode("utf-8")) if self.key else 0
+        return payload + key_size + 16  # 16 bytes of framing/timestamp overhead

@@ -1,0 +1,88 @@
+"""Topics and partitions: append-only ordered logs."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.pubsub.errors import UnknownPartitionError
+from repro.pubsub.record import Record
+
+
+@dataclass
+class Partition:
+    """One partition of a topic: an append-only log of records."""
+
+    topic_name: str
+    index: int
+    records: list[Record] = field(default_factory=list)
+
+    def append(self, record: Record) -> Record:
+        """Append a record and return it annotated with its offset."""
+        positioned = record.with_position(self.topic_name, self.index, len(self.records))
+        self.records.append(positioned)
+        return positioned
+
+    def read(self, offset: int = 0, max_records: int | None = None) -> list[Record]:
+        """Read records starting at ``offset`` (up to ``max_records`` of them)."""
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        end = len(self.records) if max_records is None else offset + max_records
+        return self.records[offset:end]
+
+    @property
+    def end_offset(self) -> int:
+        """Offset one past the last record (the next offset to be assigned)."""
+        return len(self.records)
+
+    def total_bytes(self) -> int:
+        """Total approximate wire size of all records in the partition."""
+        return sum(record.size_bytes() for record in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class Topic:
+    """A named stream of records split into a fixed number of partitions."""
+
+    name: str
+    num_partitions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise ValueError("a topic needs at least one partition")
+        self.partitions = [Partition(self.name, i) for i in range(self.num_partitions)]
+
+    def partition_for(self, key: str | None, round_robin_counter: int) -> int:
+        """Choose a partition: hash of the key if present, else round-robin."""
+        if key is None:
+            return round_robin_counter % self.num_partitions
+        digest = hashlib.sha1(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % self.num_partitions
+
+    def partition(self, index: int) -> Partition:
+        if not 0 <= index < self.num_partitions:
+            raise UnknownPartitionError(
+                f"topic {self.name} has {self.num_partitions} partitions, asked for {index}"
+            )
+        return self.partitions[index]
+
+    def append(self, record: Record, round_robin_counter: int = 0) -> Record:
+        """Route a record to a partition and append it."""
+        index = self.partition_for(record.key, round_robin_counter)
+        return self.partitions[index].append(record)
+
+    def all_records(self) -> list[Record]:
+        """All records across partitions, ordered by (partition, offset)."""
+        out: list[Record] = []
+        for partition in self.partitions:
+            out.extend(partition.records)
+        return out
+
+    def total_records(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def total_bytes(self) -> int:
+        return sum(p.total_bytes() for p in self.partitions)

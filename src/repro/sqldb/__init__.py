@@ -1,0 +1,31 @@
+"""A miniature in-memory SQL database, standing in for SQLite at the clients.
+
+PrivApprox clients store their private data locally in SQLite and execute the
+analyst's SQL query against it (Section 5, "Clients").  This package provides
+the subset of SQL the query model needs:
+
+* ``CREATE TABLE name (col TYPE, ...)``
+* ``INSERT INTO name VALUES (...)`` / ``INSERT INTO name (cols) VALUES (...)``
+* ``SELECT cols FROM name [WHERE predicate] [ORDER BY col [DESC]] [LIMIT n]``
+  with ``COUNT/SUM/AVG/MIN/MAX`` aggregates, ``AND``/``OR``/``NOT`` and the
+  usual comparison operators.
+
+The engine is deliberately small but fully functional and tested; its purpose
+is to let the client-side "query answering" module run real SQL over local
+rows, and to let Table 3's "database read" cost be measured on a real code
+path rather than a stub.
+"""
+
+from repro.sqldb.engine import Database
+from repro.sqldb.table import Table, Column
+from repro.sqldb.errors import SqlError, ParseError, SchemaError, ExecutionError
+
+__all__ = [
+    "Database",
+    "Table",
+    "Column",
+    "SqlError",
+    "ParseError",
+    "SchemaError",
+    "ExecutionError",
+]

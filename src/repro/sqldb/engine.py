@@ -1,0 +1,322 @@
+"""Execution engine for the mini SQL database."""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any
+
+from repro.sqldb import ast
+from repro.sqldb.errors import ExecutionError, SchemaError
+from repro.sqldb.parser import parse_statement
+from repro.sqldb.table import Column, Table
+
+
+class ResultSet:
+    """Result of a SELECT: ordered column names plus a list of row tuples."""
+
+    def __init__(self, columns: list[str], rows: list[tuple]):
+        self.columns = columns
+        self.rows = rows
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExecutionError(f"result has no column {name}")
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class Database:
+    """An in-memory SQL database holding a set of named tables."""
+
+    def __init__(self, name: str = "local"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # -- schema management ---------------------------------------------------
+
+    def create_table(self, name: str, columns: list[tuple[str, str]]) -> Table:
+        """Create a table from (column name, SQL type) pairs."""
+        if name in self._tables:
+            raise SchemaError(f"table {name} already exists")
+        table = Table(name=name, columns=[Column(n, t) for n, t in columns])
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise SchemaError(f"table {name} does not exist")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise SchemaError(f"table {name} does not exist")
+        return self._tables[name]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def insert_rows(self, table_name: str, records: list[dict[str, Any]]) -> int:
+        """Bulk-insert dictionaries into a table; returns the number inserted."""
+        table = self.table(table_name)
+        for record in records:
+            table.insert_dict(record)
+        return len(records)
+
+    # -- statement execution ---------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet | int:
+        """Execute one SQL statement.
+
+        SELECT returns a :class:`ResultSet`; INSERT/DELETE return the number of
+        affected rows; CREATE/DROP return 0.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.SelectStatement):
+            return self._execute_select(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.CreateTableStatement):
+            self.create_table(statement.table, list(statement.columns))
+            return 0
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            self.drop_table(statement.table)
+            return 0
+        raise ExecutionError(f"unsupported statement type: {type(statement).__name__}")
+
+    def query(self, sql: str) -> ResultSet:
+        """Execute a SELECT and return its result set."""
+        result = self.execute(sql)
+        if not isinstance(result, ResultSet):
+            raise ExecutionError("query() requires a SELECT statement")
+        return result
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def _execute_select(self, stmt: ast.SelectStatement) -> ResultSet:
+        table = self.table(stmt.table)
+        rows = [row for row in table.scan() if _evaluate(stmt.where, row)]
+
+        if stmt.group_by:
+            return self._execute_grouped(stmt, rows)
+
+        has_aggregate = any(isinstance(item, ast.Aggregate) for item in stmt.items)
+        if has_aggregate:
+            if any(isinstance(item, ast.SelectItem) for item in stmt.items):
+                raise ExecutionError(
+                    "mixing plain columns and aggregates requires GROUP BY"
+                )
+            columns = [_aggregate_label(item) for item in stmt.items]
+            values = tuple(_compute_aggregate(item, rows) for item in stmt.items)
+            return ResultSet(columns=columns, rows=[values])
+
+        if stmt.select_star:
+            out_columns = table.column_names
+            projected = [tuple(row[c] for c in out_columns) for row in rows]
+        else:
+            out_columns = [item.alias or item.column for item in stmt.items]
+            source_columns = [item.column for item in stmt.items]
+            for column in source_columns:
+                table.column_index(column)  # validate existence
+            projected = [tuple(row[c] for c in source_columns) for row in rows]
+
+        if stmt.order_by is not None:
+            order_column = stmt.order_by.column
+            if stmt.select_star or order_column in out_columns:
+                sort_key_rows = list(zip(projected, rows))
+                sort_key_rows.sort(
+                    key=lambda pair: _sort_key(pair[1][order_column]),
+                    reverse=stmt.order_by.descending,
+                )
+                projected = [pair[0] for pair in sort_key_rows]
+            else:
+                pairs = sorted(
+                    zip(projected, rows),
+                    key=lambda pair: _sort_key(pair[1].get(order_column)),
+                    reverse=stmt.order_by.descending,
+                )
+                projected = [pair[0] for pair in pairs]
+
+        if stmt.limit is not None:
+            projected = projected[: stmt.limit]
+        return ResultSet(columns=out_columns, rows=projected)
+
+    def _execute_grouped(self, stmt: ast.SelectStatement, rows: list[dict]) -> ResultSet:
+        groups: dict[tuple, list[dict]] = {}
+        for row in rows:
+            key = tuple(row.get(col) for col in stmt.group_by)
+            groups.setdefault(key, []).append(row)
+
+        out_columns: list[str] = []
+        for item in stmt.items:
+            if isinstance(item, ast.SelectItem):
+                if item.column not in stmt.group_by:
+                    raise ExecutionError(
+                        f"column {item.column} must appear in GROUP BY"
+                    )
+                out_columns.append(item.alias or item.column)
+            else:
+                out_columns.append(_aggregate_label(item))
+
+        result_rows: list[tuple] = []
+        for key in sorted(groups, key=lambda k: tuple(_sort_key(v) for v in k)):
+            group_rows = groups[key]
+            values = []
+            for item in stmt.items:
+                if isinstance(item, ast.SelectItem):
+                    values.append(key[stmt.group_by.index(item.column)])
+                else:
+                    values.append(_compute_aggregate(item, group_rows))
+            result_rows.append(tuple(values))
+        if stmt.limit is not None:
+            result_rows = result_rows[: stmt.limit]
+        return ResultSet(columns=out_columns, rows=result_rows)
+
+    # -- INSERT / DELETE -----------------------------------------------------------
+
+    def _execute_insert(self, stmt: ast.InsertStatement) -> int:
+        table = self.table(stmt.table)
+        columns = list(stmt.columns) if stmt.columns is not None else None
+        table.insert(list(stmt.values), column_names=columns)
+        return 1
+
+    def _execute_delete(self, stmt: ast.DeleteStatement) -> int:
+        table = self.table(stmt.table)
+        names = table.column_names
+        kept: list[tuple] = []
+        deleted = 0
+        for row_tuple in table.rows:
+            row = dict(zip(names, row_tuple))
+            if _evaluate(stmt.where, row):
+                deleted += 1
+            else:
+                kept.append(row_tuple)
+        table.rows = kept
+        return deleted
+
+
+# -- expression evaluation ------------------------------------------------------
+
+
+def _evaluate(expression, row: dict[str, Any]) -> bool:
+    """Evaluate a WHERE expression against one row (None means 'match all')."""
+    if expression is None:
+        return True
+    return bool(_evaluate_value(expression, row))
+
+
+def _evaluate_value(node, row: dict[str, Any]):
+    if isinstance(node, ast.Literal):
+        return node.value
+    if isinstance(node, ast.ColumnRef):
+        if node.name not in row:
+            lowered = {k.lower(): v for k, v in row.items()}
+            if node.name.lower() in lowered:
+                return lowered[node.name.lower()]
+            raise ExecutionError(f"unknown column in expression: {node.name}")
+        return row[node.name]
+    if isinstance(node, ast.Comparison):
+        left = _evaluate_value(node.left, row)
+        right = _evaluate_value(node.right, row)
+        return _compare(left, node.operator, right)
+    if isinstance(node, ast.BooleanOp):
+        if node.operator == "AND":
+            return _evaluate(node.left, row) and _evaluate(node.right, row)
+        return _evaluate(node.left, row) or _evaluate(node.right, row)
+    if isinstance(node, ast.NotOp):
+        return not _evaluate(node.operand, row)
+    if isinstance(node, ast.BetweenOp):
+        value = _evaluate_value(node.operand, row)
+        low = _evaluate_value(node.low, row)
+        high = _evaluate_value(node.high, row)
+        if value is None:
+            return False
+        return low <= value <= high
+    if isinstance(node, ast.InOp):
+        value = _evaluate_value(node.operand, row)
+        return value in node.choices
+    if isinstance(node, ast.IsNullOp):
+        value = _evaluate_value(node.operand, row)
+        return (value is not None) if node.negated else (value is None)
+    if isinstance(node, ast.LikeOp):
+        value = _evaluate_value(node.operand, row)
+        if value is None:
+            return False
+        pattern = node.pattern.replace("%", "*").replace("_", "?")
+        return fnmatch.fnmatch(str(value), pattern)
+    raise ExecutionError(f"unsupported expression node: {type(node).__name__}")
+
+
+def _compare(left, operator: str, right) -> bool:
+    if left is None or right is None:
+        return False
+    if operator == "=":
+        return left == right
+    if operator in ("!=", "<>"):
+        return left != right
+    if operator == "<":
+        return left < right
+    if operator == "<=":
+        return left <= right
+    if operator == ">":
+        return left > right
+    if operator == ">=":
+        return left >= right
+    raise ExecutionError(f"unsupported comparison operator: {operator}")
+
+
+def _sort_key(value):
+    """Ordering key that tolerates None and mixed numeric values."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def _aggregate_label(item: ast.Aggregate) -> str:
+    if item.alias:
+        return item.alias
+    argument = item.argument if item.argument is not None else "*"
+    return f"{item.function.lower()}({argument})"
+
+
+def _compute_aggregate(item: ast.Aggregate, rows: list[dict]):
+    if item.function == "COUNT":
+        if item.argument is None:
+            return len(rows)
+        return sum(1 for row in rows if row.get(item.argument) is not None)
+    values = [row.get(item.argument) for row in rows if row.get(item.argument) is not None]
+    if not values:
+        return None
+    if item.function == "SUM":
+        return sum(values)
+    if item.function == "AVG":
+        return sum(values) / len(values)
+    if item.function == "MIN":
+        return min(values)
+    if item.function == "MAX":
+        return max(values)
+    raise ExecutionError(f"unsupported aggregate: {item.function}")

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the mini SQL engine."""
+
+
+class SqlError(Exception):
+    """Base class for all errors raised by :mod:`repro.sqldb`."""
+
+
+class ParseError(SqlError):
+    """Raised when a SQL statement cannot be parsed."""
+
+
+class SchemaError(SqlError):
+    """Raised for schema violations: unknown tables, columns, or type issues."""
+
+
+class ExecutionError(SqlError):
+    """Raised when a parsed statement cannot be executed."""

@@ -1,0 +1,107 @@
+"""Table and column definitions for the mini SQL engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.sqldb.errors import SchemaError
+
+# SQL type name -> python conversion callable.
+_TYPE_CONVERTERS = {
+    "INTEGER": int,
+    "INT": int,
+    "REAL": float,
+    "FLOAT": float,
+    "DOUBLE": float,
+    "TEXT": str,
+    "VARCHAR": str,
+    "BOOLEAN": bool,
+    "BOOL": bool,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition: a name and a declared SQL type."""
+
+    name: str
+    sql_type: str = "TEXT"
+
+    def __post_init__(self) -> None:
+        if self.sql_type.upper() not in _TYPE_CONVERTERS:
+            raise SchemaError(f"unsupported column type: {self.sql_type}")
+
+    def convert(self, value: Any) -> Any:
+        """Coerce ``value`` to this column's type (None passes through)."""
+        if value is None:
+            return None
+        converter = _TYPE_CONVERTERS[self.sql_type.upper()]
+        try:
+            return converter(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot convert {value!r} to {self.sql_type} for column {self.name}"
+            ) from exc
+
+
+@dataclass
+class Table:
+    """An in-memory table: an ordered schema plus a list of row tuples."""
+
+    name: str
+    columns: list[Column]
+    rows: list[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name}")
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        """Index of a column by name (case-insensitive)."""
+        if name in self._index:
+            return self._index[name]
+        lowered = {k.lower(): v for k, v in self._index.items()}
+        if name.lower() in lowered:
+            return lowered[name.lower()]
+        raise SchemaError(f"table {self.name} has no column {name}")
+
+    def insert(self, values: list[Any], column_names: list[str] | None = None) -> None:
+        """Insert one row, coercing values to the declared column types."""
+        if column_names is None:
+            if len(values) != len(self.columns):
+                raise SchemaError(
+                    f"table {self.name} expects {len(self.columns)} values, got {len(values)}"
+                )
+            row = tuple(col.convert(v) for col, v in zip(self.columns, values))
+        else:
+            if len(values) != len(column_names):
+                raise SchemaError("column list and value list lengths differ")
+            row_map = {name: value for name, value in zip(column_names, values)}
+            row = tuple(
+                col.convert(row_map[col.name]) if col.name in row_map else None
+                for col in self.columns
+            )
+            unknown = set(row_map) - set(self.column_names)
+            if unknown:
+                raise SchemaError(f"unknown columns in INSERT: {sorted(unknown)}")
+        self.rows.append(row)
+
+    def insert_dict(self, record: dict[str, Any]) -> None:
+        """Insert one row from a column-name → value mapping."""
+        self.insert(list(record.values()), column_names=list(record.keys()))
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Yield every row as a column-name → value dict."""
+        names = self.column_names
+        for row in self.rows:
+            yield dict(zip(names, row))
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,16 @@
+"""A replicated, append-only block store standing in for HDFS.
+
+PrivApprox's historical-analytics extension stores clients' (randomized,
+already privacy-preserving) responses in "a fault-tolerant distributed storage
+(e.g., HDFS) at the aggregator" so analysts can run batch queries over longer
+time periods (Section 3.3.1).  This package provides the minimum distributed
+storage behaviour that workflow relies on:
+
+* files made of fixed-size blocks, each replicated on several data nodes;
+* append / read-all semantics (the workload is write-once, read-many);
+* node failure injection with reads surviving as long as one replica remains.
+"""
+
+from repro.storage.blockstore import BlockStore, DataNode, StoredFile, StorageError
+
+__all__ = ["BlockStore", "DataNode", "StoredFile", "StorageError"]

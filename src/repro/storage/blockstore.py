@@ -1,0 +1,181 @@
+"""Replicated append-only block store (HDFS substitute)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class StorageError(Exception):
+    """Raised for storage failures: unknown files, unavailable blocks, bad config."""
+
+
+@dataclass
+class DataNode:
+    """One storage node holding block replicas keyed by (file, block index)."""
+
+    node_id: int
+    alive: bool = True
+    blocks: dict[tuple[str, int], bytes] = field(default_factory=dict)
+
+    def store(self, file_name: str, block_index: int, data: bytes) -> None:
+        if not self.alive:
+            raise StorageError(f"data node {self.node_id} is down")
+        self.blocks[(file_name, block_index)] = data
+
+    def fetch(self, file_name: str, block_index: int) -> bytes:
+        if not self.alive:
+            raise StorageError(f"data node {self.node_id} is down")
+        key = (file_name, block_index)
+        if key not in self.blocks:
+            raise StorageError(f"data node {self.node_id} does not hold block {key}")
+        return self.blocks[key]
+
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self.blocks.values())
+
+
+@dataclass
+class StoredFile:
+    """Namenode-side metadata for one file: ordered block list and placement."""
+
+    name: str
+    num_blocks: int = 0
+    length_bytes: int = 0
+    placements: list[list[int]] = field(default_factory=list)  # block -> node ids
+
+
+@dataclass
+class BlockStore:
+    """A replicated block store with a single in-process "namenode".
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of data nodes.
+    replication:
+        Number of replicas per block; must not exceed the node count.
+    block_size:
+        Maximum bytes per block; appends are split across blocks.
+    """
+
+    num_nodes: int = 3
+    replication: int = 2
+    block_size: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise StorageError("need at least one data node")
+        if not 1 <= self.replication <= self.num_nodes:
+            raise StorageError("replication must be between 1 and the node count")
+        if self.block_size <= 0:
+            raise StorageError("block size must be positive")
+        self.nodes = [DataNode(node_id=i) for i in range(self.num_nodes)]
+        self._files: dict[str, StoredFile] = {}
+        self._placement_cursor = 0
+
+    # -- write path ---------------------------------------------------------
+
+    def create(self, file_name: str) -> StoredFile:
+        """Create an empty file; appending to a missing file also creates it."""
+        if file_name in self._files:
+            raise StorageError(f"file {file_name} already exists")
+        stored = StoredFile(name=file_name)
+        self._files[file_name] = stored
+        return stored
+
+    def append(self, file_name: str, data: bytes) -> None:
+        """Append bytes to a file, splitting into replicated blocks."""
+        if file_name not in self._files:
+            self.create(file_name)
+        stored = self._files[file_name]
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset:offset + self.block_size]
+            self._write_block(stored, chunk)
+            offset += len(chunk)
+        if not data:
+            # Appending an empty payload is a no-op but must not fail.
+            return
+
+    def _write_block(self, stored: StoredFile, chunk: bytes) -> None:
+        node_ids = self._pick_nodes()
+        block_index = stored.num_blocks
+        for node_id in node_ids:
+            self.nodes[node_id].store(stored.name, block_index, chunk)
+        stored.placements.append(node_ids)
+        stored.num_blocks += 1
+        stored.length_bytes += len(chunk)
+
+    def _pick_nodes(self) -> list[int]:
+        alive = [node.node_id for node in self.nodes if node.alive]
+        if len(alive) < self.replication:
+            raise StorageError(
+                f"not enough live nodes for replication {self.replication}: {len(alive)} alive"
+            )
+        chosen = []
+        for _ in range(self.replication):
+            chosen.append(alive[self._placement_cursor % len(alive)])
+            self._placement_cursor += 1
+        return chosen
+
+    # -- read path ------------------------------------------------------------
+
+    def read(self, file_name: str) -> bytes:
+        """Read a whole file, falling back across replicas for each block."""
+        if file_name not in self._files:
+            raise StorageError(f"file {file_name} does not exist")
+        stored = self._files[file_name]
+        out = bytearray()
+        for block_index, node_ids in enumerate(stored.placements):
+            out.extend(self._read_block(stored.name, block_index, node_ids))
+        return bytes(out)
+
+    def _read_block(self, file_name: str, block_index: int, node_ids: list[int]) -> bytes:
+        last_error: StorageError | None = None
+        for node_id in node_ids:
+            node = self.nodes[node_id]
+            if not node.alive:
+                continue
+            try:
+                return node.fetch(file_name, block_index)
+            except StorageError as exc:
+                last_error = exc
+        raise StorageError(
+            f"block {block_index} of {file_name} is unavailable on all replicas"
+        ) from last_error
+
+    # -- metadata and failures -----------------------------------------------------
+
+    def exists(self, file_name: str) -> bool:
+        return file_name in self._files
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def file_length(self, file_name: str) -> int:
+        if file_name not in self._files:
+            raise StorageError(f"file {file_name} does not exist")
+        return self._files[file_name].length_bytes
+
+    def delete(self, file_name: str) -> None:
+        if file_name not in self._files:
+            raise StorageError(f"file {file_name} does not exist")
+        stored = self._files.pop(file_name)
+        for block_index, node_ids in enumerate(stored.placements):
+            for node_id in node_ids:
+                self.nodes[node_id].blocks.pop((file_name, block_index), None)
+
+    def fail_node(self, node_id: int) -> None:
+        """Mark a data node as down (failure injection for tests)."""
+        self._node(node_id).alive = False
+
+    def recover_node(self, node_id: int) -> None:
+        self._node(node_id).alive = True
+
+    def _node(self, node_id: int) -> DataNode:
+        if not 0 <= node_id < self.num_nodes:
+            raise StorageError(f"unknown data node {node_id}")
+        return self.nodes[node_id]
+
+    def total_used_bytes(self) -> int:
+        return sum(node.used_bytes() for node in self.nodes)

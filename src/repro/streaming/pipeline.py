@@ -1,0 +1,121 @@
+"""Pipeline assembly and execution for the mini stream-processing engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.streaming.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyByOperator,
+    MapOperator,
+    Operator,
+    WindowAggregateOperator,
+)
+from repro.streaming.records import StreamRecord
+from repro.streaming.windows import SlidingWindowAssigner
+
+
+@dataclass
+class StreamSource:
+    """Turns plain values into timestamped stream records.
+
+    ``timestamp_fn`` extracts event time from a value; when omitted, values are
+    assigned increasing integer timestamps in arrival order.
+    """
+
+    name: str = "source"
+    timestamp_fn: Callable[[Any], float] | None = None
+
+    def to_records(self, values: Iterable[Any]) -> list[StreamRecord]:
+        records = []
+        for index, value in enumerate(values):
+            timestamp = self.timestamp_fn(value) if self.timestamp_fn else float(index)
+            records.append(StreamRecord(value=value, timestamp=timestamp))
+        return records
+
+
+@dataclass
+class StreamPipeline:
+    """A linear chain of operators executed over batches of records.
+
+    The pipeline supports two execution modes:
+
+    * :meth:`run` — push a bounded collection through all operators and flush
+      any windowed state (batch / historical analytics);
+    * :meth:`run_epoch` — push one epoch's worth of records and return what the
+      operators emit, keeping windowed/join state for the next epoch (stream
+      analytics).
+    """
+
+    source: StreamSource = field(default_factory=StreamSource)
+    operators: list[Operator] = field(default_factory=list)
+
+    # -- fluent construction -------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], name: str = "map") -> "StreamPipeline":
+        self.operators.append(MapOperator(fn=fn, name=name))
+        return self
+
+    def filter(self, predicate: Callable[[Any], bool], name: str = "filter") -> "StreamPipeline":
+        self.operators.append(FilterOperator(predicate=predicate, name=name))
+        return self
+
+    def flat_map(self, fn: Callable[[Any], list], name: str = "flat_map") -> "StreamPipeline":
+        self.operators.append(FlatMapOperator(fn=fn, name=name))
+        return self
+
+    def key_by(self, key_fn: Callable[[Any], Any], name: str = "key_by") -> "StreamPipeline":
+        self.operators.append(KeyByOperator(key_fn=key_fn, name=name))
+        return self
+
+    def window_aggregate(
+        self,
+        assigner: SlidingWindowAssigner,
+        aggregate_fn: Callable[[list], Any],
+        name: str = "window_aggregate",
+    ) -> "StreamPipeline":
+        self.operators.append(
+            WindowAggregateOperator(assigner=assigner, aggregate_fn=aggregate_fn, name=name)
+        )
+        return self
+
+    def add_operator(self, operator: Operator) -> "StreamPipeline":
+        self.operators.append(operator)
+        return self
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_epoch(self, values: Iterable[Any]) -> list[StreamRecord]:
+        """Process one epoch of input values, preserving operator state."""
+        records = self.source.to_records(values)
+        return self._push(records)
+
+    def run(self, values: Iterable[Any]) -> list[StreamRecord]:
+        """Process a bounded input and flush all windowed state at the end."""
+        output = self.run_epoch(values)
+        output.extend(self.flush())
+        return output
+
+    def flush(self) -> list[StreamRecord]:
+        """Flush windowed operators at end of stream, cascading downstream."""
+        output: list[StreamRecord] = []
+        for index, operator in enumerate(self.operators):
+            if not isinstance(operator, WindowAggregateOperator):
+                continue
+            flushed = operator.flush()
+            for downstream in self.operators[index + 1:]:
+                flushed = downstream.process(flushed)
+            output.extend(flushed)
+        return output
+
+    def _push(self, records: list[StreamRecord]) -> list[StreamRecord]:
+        for operator in self.operators:
+            records = operator.process(records)
+        return records
+
+    def iter_epochs(self, epochs: Iterable[Iterable[Any]]) -> Iterator[list[StreamRecord]]:
+        """Process a sequence of epochs lazily, yielding each epoch's output."""
+        for epoch_values in epochs:
+            yield self.run_epoch(epoch_values)

@@ -1,0 +1,34 @@
+"""Stream record type: a value with an event-time timestamp and optional key."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """A single element flowing through the dataflow graph.
+
+    Attributes
+    ----------
+    value:
+        Arbitrary payload.
+    timestamp:
+        Event time in seconds.  Window assignment uses this, not arrival
+        order, matching Flink's event-time semantics.
+    key:
+        Optional key set by a key-by operator (or the source).
+    """
+
+    value: Any
+    timestamp: float = 0.0
+    key: Any = None
+
+    def with_value(self, value: Any) -> "StreamRecord":
+        """A copy of this record carrying a new value."""
+        return StreamRecord(value=value, timestamp=self.timestamp, key=self.key)
+
+    def with_key(self, key: Any) -> "StreamRecord":
+        """A copy of this record carrying a new key."""
+        return StreamRecord(value=self.value, timestamp=self.timestamp, key=key)

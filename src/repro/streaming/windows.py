@@ -1,0 +1,102 @@
+"""Event-time window assignment: sliding and tumbling windows.
+
+The analyst's query carries a window length ``w`` and a sliding interval ``δ``
+(Section 3.1).  A record with timestamp ``t`` belongs to every window
+``[start, start + w)`` whose start is a multiple of ``δ`` and satisfies
+``start <= t < start + w`` — the standard sliding-window semantics the paper
+(and Flink) use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """A half-open event-time interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def contains(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.end})"
+
+
+@dataclass(frozen=True)
+class SlidingWindowAssigner:
+    """Assigns each timestamp to the sliding windows that cover it.
+
+    Parameters
+    ----------
+    window_length:
+        ``w`` — the length of each window in seconds.
+    slide_interval:
+        ``δ`` — the spacing between successive window starts.  Must not exceed
+        the window length (otherwise records could be dropped).
+    """
+
+    window_length: float
+    slide_interval: float
+
+    def __post_init__(self) -> None:
+        if self.window_length <= 0:
+            raise ValueError("window_length must be positive")
+        if self.slide_interval <= 0:
+            raise ValueError("slide_interval must be positive")
+        if self.slide_interval > self.window_length:
+            raise ValueError("slide_interval must not exceed window_length")
+
+    def assign(self, timestamp: float) -> list[Window]:
+        """All windows containing ``timestamp``, ordered by start time."""
+        last_start = math.floor(timestamp / self.slide_interval) * self.slide_interval
+        windows = []
+        start = last_start
+        while start > timestamp - self.window_length:
+            window = Window(start=start, end=start + self.window_length)
+            if window.contains(timestamp):
+                windows.append(window)
+            start -= self.slide_interval
+        windows.reverse()
+        return windows
+
+    def windows_between(self, start_time: float, end_time: float) -> list[Window]:
+        """All windows whose start lies in ``[start_time, end_time)``."""
+        if end_time < start_time:
+            raise ValueError("end_time must not precede start_time")
+        first = math.ceil(start_time / self.slide_interval) * self.slide_interval
+        out = []
+        start = first
+        while start < end_time:
+            out.append(Window(start=start, end=start + self.window_length))
+            start += self.slide_interval
+        return out
+
+
+@dataclass(frozen=True)
+class TumblingWindowAssigner:
+    """Non-overlapping windows: a sliding window whose slide equals its length."""
+
+    window_length: float
+
+    def __post_init__(self) -> None:
+        if self.window_length <= 0:
+            raise ValueError("window_length must be positive")
+
+    def assign(self, timestamp: float) -> list[Window]:
+        start = math.floor(timestamp / self.window_length) * self.window_length
+        return [Window(start=start, end=start + self.window_length)]
+
+    def as_sliding(self) -> SlidingWindowAssigner:
+        """The equivalent sliding assigner (slide == length)."""
+        return SlidingWindowAssigner(
+            window_length=self.window_length, slide_interval=self.window_length
+        )

@@ -1,0 +1,54 @@
+"""Tests for the distribution helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytics import empirical_fractions, normalize
+from repro.analytics.distributions import counts_from_indices
+
+
+class TestNormalize:
+    def test_basic(self):
+        assert normalize([1, 1, 2]) == [0.25, 0.25, 0.5]
+
+    def test_all_zero(self):
+        assert normalize([0, 0]) == [0.0, 0.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1, -1])
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+    def test_sums_to_one_or_zero(self, values):
+        result = normalize(values)
+        total = sum(result)
+        assert total == pytest.approx(1.0, abs=1e-9) or total == 0.0
+
+
+class TestEmpiricalFractions:
+    def test_basic(self):
+        assert empirical_fractions([0, 0, 1, 2], 3) == [0.5, 0.25, 0.25]
+
+    def test_empty(self):
+        assert empirical_fractions([], 3) == [0.0, 0.0, 0.0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_fractions([5], 3)
+
+    def test_invalid_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_fractions([0], 0)
+
+
+class TestCountsFromIndices:
+    def test_basic(self):
+        assert counts_from_indices([0, 1, 1, 3], 4) == [1, 2, 0, 1]
+
+    def test_counts_sum_to_total(self):
+        indices = [0, 1, 2, 2, 2, 1]
+        assert sum(counts_from_indices(indices, 3)) == len(indices)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            counts_from_indices([-1], 3)

@@ -1,0 +1,62 @@
+"""Tests for histogram results and bucket estimates."""
+
+import pytest
+
+from repro.analytics import BucketEstimate, HistogramResult
+
+
+class TestBucketEstimate:
+    def test_interval_bounds(self):
+        bucket = BucketEstimate(bucket_index=0, label="[0,1)", estimate=100.0, error_bound=5.0)
+        assert bucket.lower == 95.0
+        assert bucket.upper == 105.0
+
+    def test_contains(self):
+        bucket = BucketEstimate(0, "[0,1)", 100.0, 5.0)
+        assert bucket.contains(97.0)
+        assert bucket.contains(105.0)
+        assert not bucket.contains(106.0)
+
+    def test_zero_error_bound_interval_is_point(self):
+        bucket = BucketEstimate(0, "b", 10.0, 0.0)
+        assert bucket.contains(10.0)
+        assert not bucket.contains(10.1)
+
+
+class TestHistogramResult:
+    def _histogram(self) -> HistogramResult:
+        result = HistogramResult(window=(0.0, 60.0), num_answers=50)
+        result.add_bucket(BucketEstimate(1, "[1,2)", 30.0, 2.0))
+        result.add_bucket(BucketEstimate(0, "[0,1)", 70.0, 3.0))
+        result.add_bucket(BucketEstimate(2, "[2,3)", 0.0, 1.0))
+        return result
+
+    def test_estimates_are_ordered_by_bucket_index(self):
+        assert self._histogram().estimates() == [70.0, 30.0, 0.0]
+
+    def test_labels_follow_bucket_order(self):
+        assert self._histogram().labels() == ["[0,1)", "[1,2)", "[2,3)"]
+
+    def test_error_bounds_follow_bucket_order(self):
+        assert self._histogram().error_bounds() == [3.0, 2.0, 1.0]
+
+    def test_total(self):
+        assert self._histogram().total() == 100.0
+
+    def test_fractions(self):
+        assert self._histogram().fractions() == [0.7, 0.3, 0.0]
+
+    def test_fractions_of_empty_histogram(self):
+        empty = HistogramResult()
+        empty.add_bucket(BucketEstimate(0, "b", 0.0))
+        assert empty.fractions() == [0.0]
+
+    def test_bucket_lookup(self):
+        assert self._histogram().bucket(1).estimate == 30.0
+
+    def test_bucket_lookup_missing(self):
+        with pytest.raises(KeyError):
+            self._histogram().bucket(9)
+
+    def test_len(self):
+        assert len(self._histogram()) == 3

@@ -1,0 +1,88 @@
+"""Tests for the utility metrics (accuracy loss, relative error)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytics import (
+    accuracy_loss,
+    histogram_accuracy_loss,
+    mean_accuracy_loss,
+    relative_error,
+)
+
+
+class TestAccuracyLoss:
+    def test_perfect_estimate(self):
+        assert accuracy_loss(100.0, 100.0) == 0.0
+
+    def test_overestimate(self):
+        assert accuracy_loss(100.0, 110.0) == pytest.approx(0.1)
+
+    def test_underestimate_symmetric(self):
+        assert accuracy_loss(100.0, 90.0) == pytest.approx(0.1)
+
+    def test_zero_actual_with_zero_estimate(self):
+        assert accuracy_loss(0.0, 0.0) == 0.0
+
+    def test_zero_actual_with_nonzero_estimate(self):
+        assert accuracy_loss(0.0, 5.0) == 5.0
+
+    @given(
+        actual=st.floats(min_value=1.0, max_value=1e6),
+        estimate=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_non_negative(self, actual, estimate):
+        assert accuracy_loss(actual, estimate) >= 0.0
+
+    @given(actual=st.floats(min_value=1.0, max_value=1e6), scale=st.floats(min_value=0.0, max_value=2.0))
+    def test_scale_invariance(self, actual, scale):
+        """Loss depends only on the relative deviation, not the magnitude."""
+        estimate = actual * scale
+        assert accuracy_loss(actual, estimate) == pytest.approx(abs(1 - scale), abs=1e-9)
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(100.0, 110.0) == pytest.approx(0.1)
+        assert relative_error(100.0, 90.0) == pytest.approx(-0.1)
+
+    def test_zero_actual(self):
+        assert relative_error(0.0, 3.0) == 3.0
+
+
+class TestMeanAccuracyLoss:
+    def test_basic(self):
+        assert mean_accuracy_loss([100, 200], [110, 180]) == pytest.approx((0.1 + 0.1) / 2)
+
+    def test_skips_zero_actuals(self):
+        assert mean_accuracy_loss([0, 100], [5, 110]) == pytest.approx(0.1)
+
+    def test_all_zero_actuals(self):
+        assert mean_accuracy_loss([0, 0], [1, 2]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_accuracy_loss([1], [1, 2])
+
+
+class TestHistogramAccuracyLoss:
+    def test_identical_histograms(self):
+        assert histogram_accuracy_loss([10, 20, 30], [10, 20, 30]) == 0.0
+
+    def test_total_deviation_over_total_count(self):
+        assert histogram_accuracy_loss([10, 20, 30], [12, 18, 30]) == pytest.approx(4 / 60)
+
+    def test_zero_exact_histogram(self):
+        assert histogram_accuracy_loss([0, 0], [1, 1]) == 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_accuracy_loss([1, 2], [1])
+
+    @given(
+        exact=st.lists(st.floats(min_value=1, max_value=1000), min_size=1, max_size=10),
+        noise=st.floats(min_value=-0.2, max_value=0.2),
+    )
+    def test_uniform_relative_noise_gives_that_loss(self, exact, noise):
+        estimated = [v * (1 + noise) for v in exact]
+        assert histogram_accuracy_loss(exact, estimated) == pytest.approx(abs(noise), abs=1e-9)

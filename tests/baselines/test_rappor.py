@@ -1,0 +1,75 @@
+"""Tests for the basic RAPPOR baseline."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import RapporAggregator, RapporClient, RapporParams
+
+
+class TestRapporParams:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RapporParams(num_bits=0)
+        with pytest.raises(ValueError):
+            RapporParams(f=0.0)
+        with pytest.raises(ValueError):
+            RapporParams(f=1.0)
+        with pytest.raises(ValueError):
+            RapporParams(num_hashes=0)
+        with pytest.raises(ValueError):
+            RapporParams(p=-0.1)
+
+    def test_one_time_epsilon_formula(self):
+        params = RapporParams(f=0.5, num_hashes=1)
+        assert params.one_time_epsilon() == pytest.approx(2 * math.log(0.75 / 0.25))
+
+    def test_smaller_f_means_weaker_privacy(self):
+        assert RapporParams(f=0.1).one_time_epsilon() > RapporParams(f=0.9).one_time_epsilon()
+
+
+class TestRapporClient:
+    def test_report_is_binary_and_right_length(self):
+        client = RapporClient(RapporParams(num_bits=32), rng=random.Random(1))
+        report = client.report("value-a")
+        assert len(report) == 32
+        assert all(bit in (0, 1) for bit in report)
+
+    def test_permanent_response_is_memoized(self):
+        """Longitudinal privacy: the same value always maps to the same permanent bits."""
+        client = RapporClient(RapporParams(num_bits=32, f=0.5), rng=random.Random(2))
+        assert client.report("value-a") == client.report("value-a")
+
+    def test_instantaneous_layer_varies_reports(self):
+        params = RapporParams(num_bits=32, f=0.5, p=0.3, q=0.7)
+        client = RapporClient(params, rng=random.Random(3))
+        reports = {tuple(client.report("value-a")) for _ in range(20)}
+        assert len(reports) > 1
+
+    def test_different_values_give_different_bloom_bits(self):
+        client = RapporClient(RapporParams(num_bits=64, f=0.01), rng=random.Random(4))
+        assert client.report("value-a") != client.report("value-b")
+
+
+class TestRapporAggregator:
+    def test_bit_count_estimator_recovers_truth(self):
+        params = RapporParams(num_bits=16, f=0.5)
+        rng = random.Random(7)
+        candidate_values = [f"v{i}" for i in range(4)]
+        # 4000 clients, uniformly choosing among 4 values.
+        reports = []
+        truth = {value: 0 for value in candidate_values}
+        for i in range(4_000):
+            value = candidate_values[i % 4]
+            truth[value] += 1
+            client = RapporClient(params, rng=rng)
+            reports.append(client.report(value))
+        aggregator = RapporAggregator(params)
+        estimates = aggregator.estimate_value_counts(reports, candidate_values)
+        for value in candidate_values:
+            assert estimates[value] == pytest.approx(truth[value], rel=0.15)
+
+    def test_empty_reports(self):
+        aggregator = RapporAggregator(RapporParams(num_bits=8))
+        assert aggregator.estimate_bit_counts([]) == [0.0] * 8

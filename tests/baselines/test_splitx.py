@@ -1,0 +1,65 @@
+"""Tests for the SplitX latency comparison model (Figure 6)."""
+
+import pytest
+
+from repro.baselines import PrivApproxLatencyModel, SplitXModel
+
+
+class TestSplitXModel:
+    def test_latency_breakdown_components(self):
+        breakdown = SplitXModel().latency(10_000)
+        assert breakdown.transmission_seconds > 0
+        assert breakdown.computation_seconds > 0
+        assert breakdown.shuffling_seconds > 0
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.transmission_seconds
+            + breakdown.computation_seconds
+            + breakdown.shuffling_seconds
+        )
+
+    def test_latency_grows_with_clients(self):
+        model = SplitXModel()
+        series = model.latency_series([10**k for k in range(2, 8)])
+        totals = [b.total_seconds for b in series]
+        assert totals == sorted(totals)
+
+    def test_paper_anchor_point_at_one_million_clients(self):
+        """Paper: SplitX takes ~40.27 s at 10^6 clients."""
+        assert SplitXModel().latency(10**6).total_seconds == pytest.approx(40.27, rel=0.1)
+
+    def test_invalid_client_count(self):
+        with pytest.raises(ValueError):
+            SplitXModel().latency(0)
+
+
+class TestPrivApproxLatencyModel:
+    def test_paper_anchor_point_at_one_million_clients(self):
+        """Paper: PrivApprox takes ~6.21 s at 10^6 clients."""
+        assert PrivApproxLatencyModel().latency(10**6) == pytest.approx(6.21, rel=0.1)
+
+    def test_speedup_at_one_million_clients(self):
+        """Paper: 6.48x speedup over SplitX at 10^6 clients."""
+        speedup = PrivApproxLatencyModel().speedup_versus_splitx(10**6)
+        assert speedup == pytest.approx(6.48, rel=0.15)
+
+    def test_privapprox_faster_at_every_scale(self):
+        """Figure 6: PrivApprox's proxy latency is below SplitX's at all client counts."""
+        splitx = SplitXModel()
+        privapprox = PrivApproxLatencyModel()
+        for exponent in range(2, 9):
+            n = 10**exponent
+            assert privapprox.latency(n) < splitx.latency(n).total_seconds
+
+    def test_gap_is_roughly_an_order_of_magnitude_at_scale(self):
+        speedups = [
+            PrivApproxLatencyModel().speedup_versus_splitx(10**k) for k in range(5, 9)
+        ]
+        assert all(4.0 < s < 12.0 for s in speedups)
+
+    def test_latency_series_monotone(self):
+        series = PrivApproxLatencyModel().latency_series([100, 10_000, 1_000_000])
+        assert series == sorted(series)
+
+    def test_invalid_client_count(self):
+        with pytest.raises(ValueError):
+            PrivApproxLatencyModel().latency(-5)

@@ -1,0 +1,71 @@
+"""Shared pytest fixtures for the PrivApprox reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded RNG for reproducible tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def speed_buckets() -> RangeBuckets:
+    """The paper's driving-speed example: 12 buckets on speed."""
+    return RangeBuckets(
+        boundaries=(0.0, 1.0, 11.0, 21.0, 31.0, 41.0, 51.0, 61.0, 71.0, 81.0, 91.0, 101.0),
+        open_ended=True,
+    )
+
+
+@pytest.fixture
+def small_system() -> tuple[PrivApproxSystem, Analyst, str]:
+    """A tiny provisioned deployment with one submitted query.
+
+    Returns (system, analyst, query_id).  Clients store a single ``speed``
+    reading; the query buckets the speed into four ranges.
+    """
+    config = SystemConfig(num_clients=40, num_proxies=2, seed=99)
+    system = PrivApproxSystem(config)
+    generator = random.Random(42)
+
+    def data_for_client(index: int):
+        return [{"speed": generator.uniform(0.0, 80.0), "location": "San Francisco"}]
+
+    system.provision_clients(
+        columns=[("speed", "REAL"), ("location", "TEXT")],
+        data_for_client=data_for_client,
+    )
+    analyst = Analyst(analyst_id="test-analyst")
+    query = analyst.create_query(
+        sql="SELECT speed FROM private_data WHERE location = 'San Francisco'",
+        answer_spec=AnswerSpec(
+            buckets=RangeBuckets(boundaries=(0.0, 20.0, 40.0, 60.0), open_ended=True),
+            value_column="speed",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    budget = QueryBudget(target_accuracy_loss=0.1, expected_clients=config.num_clients)
+    system.submit_query(
+        analyst,
+        query,
+        budget,
+        parameters=ExecutionParameters(sampling_fraction=0.9, p=0.9, q=0.6),
+    )
+    return system, analyst, query.query_id

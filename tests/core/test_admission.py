@@ -1,0 +1,149 @@
+"""Tests for the duplicate-answer defense (participation tokens + admission)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AnswerAdmissionController, participation_token
+
+
+class TestParticipationToken:
+    def test_stable_within_epoch(self):
+        secret = b"client-secret"
+        assert participation_token(secret, "q1", 5) == participation_token(secret, "q1", 5)
+
+    def test_unlinkable_across_epochs(self):
+        secret = b"client-secret"
+        assert participation_token(secret, "q1", 5) != participation_token(secret, "q1", 6)
+
+    def test_differs_per_query(self):
+        secret = b"client-secret"
+        assert participation_token(secret, "q1", 5) != participation_token(secret, "q2", 5)
+
+    def test_differs_per_client(self):
+        assert participation_token(b"a", "q1", 5) != participation_token(b"b", "q1", 5)
+
+    def test_token_reveals_nothing_obvious(self):
+        token = participation_token(b"secret", "q1", 5)
+        assert "q1" not in token
+        assert len(token) == 32
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            participation_token(b"", "q1", 1)
+        with pytest.raises(ValueError):
+            participation_token(b"s", "q1", -1)
+
+    @given(
+        secret=st.binary(min_size=1, max_size=32),
+        epoch_a=st.integers(min_value=0, max_value=1_000),
+        epoch_b=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_collision_free_across_epochs_property(self, secret, epoch_a, epoch_b):
+        token_a = participation_token(secret, "q", epoch_a)
+        token_b = participation_token(secret, "q", epoch_b)
+        assert (token_a == token_b) == (epoch_a == epoch_b)
+
+
+class TestAnswerAdmissionController:
+    def test_first_answer_admitted(self):
+        controller = AnswerAdmissionController()
+        assert controller.admit("q", 0, "token-a").admitted
+
+    def test_duplicate_rejected(self):
+        controller = AnswerAdmissionController()
+        controller.admit("q", 0, "token-a")
+        decision = controller.admit("q", 0, "token-a")
+        assert not decision.admitted
+        assert decision.reason == "duplicate token"
+        assert controller.duplicates_rejected == 1
+
+    def test_same_token_allowed_in_next_epoch(self):
+        controller = AnswerAdmissionController()
+        controller.admit("q", 0, "token-a")
+        assert controller.admit("q", 1, "token-a").admitted
+
+    def test_same_token_allowed_for_other_query(self):
+        controller = AnswerAdmissionController()
+        controller.admit("q1", 0, "token-a")
+        assert controller.admit("q2", 0, "token-a").admitted
+
+    def test_missing_token_rejected(self):
+        assert not AnswerAdmissionController().admit("q", 0, "").admitted
+
+    def test_rate_limit(self):
+        controller = AnswerAdmissionController(max_answers_per_epoch=2)
+        assert controller.admit("q", 0, "a").admitted
+        assert controller.admit("q", 0, "b").admitted
+        decision = controller.admit("q", 0, "c")
+        assert not decision.admitted
+        assert decision.reason == "epoch rate limit"
+        assert controller.rate_limited == 1
+
+    def test_rate_limit_is_per_epoch(self):
+        controller = AnswerAdmissionController(max_answers_per_epoch=1)
+        controller.admit("q", 0, "a")
+        assert controller.admit("q", 1, "b").admitted
+
+    def test_admitted_count(self):
+        controller = AnswerAdmissionController()
+        controller.admit("q", 0, "a")
+        controller.admit("q", 0, "b")
+        controller.admit("q", 0, "a")  # duplicate
+        assert controller.admitted_count("q", 0) == 2
+
+    def test_forget_epoch_releases_state(self):
+        controller = AnswerAdmissionController()
+        controller.admit("q", 0, "a")
+        assert controller.tracked_epochs() == 1
+        controller.forget_epoch("q", 0)
+        assert controller.tracked_epochs() == 0
+        # After forgetting, the same token is admitted again (the window is closed anyway).
+        assert controller.admit("q", 0, "a").admitted
+
+
+class TestAdmissionInsideAggregator:
+    def test_duplicate_flood_does_not_distort_result(self):
+        """A client replaying its answer 50 times contributes only once."""
+        from repro.core import Aggregator, AnswerSpec, ExecutionParameters, RangeBuckets
+        from repro.core.encryption import AnswerCodec
+        from repro.core.query import Query, QueryAnswer
+        from repro.crypto.prng import KeystreamGenerator
+
+        query = Query(
+            query_id="analyst-00000001",
+            sql="SELECT v FROM private_data",
+            answer_spec=AnswerSpec(
+                buckets=RangeBuckets(boundaries=(0.0, 1.0, 2.0), open_ended=True)
+            ),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        aggregator = Aggregator(
+            query=query,
+            parameters=ExecutionParameters(sampling_fraction=1.0, p=1.0, q=0.5),
+            total_clients=10,
+            admission=AnswerAdmissionController(),
+        )
+        codec = AnswerCodec()
+        keystream = KeystreamGenerator(seed=b"dup")
+        shares = []
+        # Nine honest clients answer bucket 0 once each.
+        for i in range(9):
+            honest = QueryAnswer(
+                query_id=query.query_id, bits=(1, 0, 0), epoch=0, token=f"honest-{i}"
+            )
+            shares.extend(codec.encrypt(honest, num_proxies=2, keystream=keystream).shares)
+        # One malicious client replays a bucket-2 answer 50 times with one token.
+        for _ in range(50):
+            malicious = QueryAnswer(
+                query_id=query.query_id, bits=(0, 0, 1), epoch=0, token="malicious"
+            )
+            shares.extend(codec.encrypt(malicious, num_proxies=2, keystream=keystream).shares)
+        aggregator.ingest_shares(shares, epoch=0)
+        result = aggregator.flush()[0]
+        assert aggregator.rejected_duplicates == 49
+        assert result.num_answers == 10
+        assert result.histogram.estimates()[0] == pytest.approx(9.0)
+        assert result.histogram.estimates()[2] == pytest.approx(1.0)

@@ -1,0 +1,177 @@
+"""Tests for the aggregator (join, decrypt, window aggregation, error bounds)."""
+
+import random
+
+import pytest
+
+from repro.core import Aggregator, AnswerSpec, ExecutionParameters, RangeBuckets
+from repro.core.encryption import AnswerCodec
+from repro.core.query import Query, QueryAnswer
+from repro.crypto.prng import KeystreamGenerator
+
+
+def make_query(window: float = 60.0, slide: float = 60.0) -> Query:
+    return Query(
+        query_id="analyst-00000001",
+        sql="SELECT v FROM private_data",
+        answer_spec=AnswerSpec(
+            buckets=RangeBuckets(boundaries=(0.0, 1.0, 2.0), open_ended=True), value_column="v"
+        ),
+        frequency_seconds=60.0,
+        window_seconds=window,
+        slide_seconds=slide,
+    )
+
+
+def encrypt_answers(bit_vectors, epoch=0, num_proxies=2):
+    codec = AnswerCodec()
+    keystream = KeystreamGenerator(seed=b"agg")
+    shares = []
+    for bits in bit_vectors:
+        answer = QueryAnswer(query_id="analyst-00000001", bits=tuple(bits), epoch=epoch)
+        shares.extend(codec.encrypt(answer, num_proxies=num_proxies, keystream=keystream).shares)
+    return shares
+
+
+NOISELESS = ExecutionParameters(sampling_fraction=1.0, p=1.0, q=0.5)
+
+
+class TestAggregatorBasics:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            Aggregator(query=make_query(), parameters=NOISELESS, total_clients=0)
+        with pytest.raises(ValueError):
+            Aggregator(query=make_query(), parameters=NOISELESS, total_clients=10, num_proxies=1)
+
+    def test_noiseless_single_window_matches_truth(self):
+        aggregator = Aggregator(query=make_query(), parameters=NOISELESS, total_clients=4)
+        vectors = [[1, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]]
+        shares = encrypt_answers(vectors, epoch=0)
+        aggregator.ingest_shares(shares, epoch=0)
+        results = aggregator.flush()
+        assert len(results) == 1
+        result = results[0]
+        assert result.num_answers == 4
+        assert result.histogram.estimates() == pytest.approx([2.0, 1.0, 1.0])
+
+    def test_shares_from_different_epochs_join_correctly(self):
+        aggregator = Aggregator(query=make_query(), parameters=NOISELESS, total_clients=2)
+        epoch0 = encrypt_answers([[1, 0, 0]], epoch=0)
+        epoch1 = encrypt_answers([[0, 1, 0]], epoch=1)
+        aggregator.ingest_shares(epoch0, epoch=0)
+        results = aggregator.ingest_shares(epoch1, epoch=1)
+        # Epoch 1's timestamp (60s) closes the first window [0, 60).
+        assert len(results) == 1
+        assert results[0].histogram.estimates() == pytest.approx([2.0, 0.0, 0.0])
+        final = aggregator.flush()
+        assert len(final) == 1
+        assert final[0].histogram.estimates() == pytest.approx([0.0, 2.0, 0.0])
+
+    def test_partial_shares_do_not_produce_answers(self):
+        aggregator = Aggregator(query=make_query(), parameters=NOISELESS, total_clients=2)
+        shares = encrypt_answers([[1, 0, 0]], epoch=0)
+        aggregator.ingest_shares(shares[:1], epoch=0)  # only one of the two shares
+        assert aggregator.pending_joins() == 1
+        assert aggregator.answers_processed == 0
+        aggregator.ingest_shares(shares[1:], epoch=0)
+        assert aggregator.pending_joins() == 0
+        assert aggregator.answers_processed == 1
+
+    def test_three_proxy_deployment(self):
+        aggregator = Aggregator(
+            query=make_query(), parameters=NOISELESS, total_clients=2, num_proxies=3
+        )
+        shares = encrypt_answers([[1, 0, 0], [0, 0, 1]], epoch=0, num_proxies=3)
+        aggregator.ingest_shares(shares, epoch=0)
+        results = aggregator.flush()
+        assert results[0].histogram.estimates() == pytest.approx([1.0, 0.0, 1.0])
+
+    def test_empty_flush(self):
+        aggregator = Aggregator(query=make_query(), parameters=NOISELESS, total_clients=2)
+        assert aggregator.flush() == []
+
+
+class TestScalingAndEstimation:
+    def test_sampling_scale_up_to_population(self):
+        """With 50% participation the counts scale up by U/U'."""
+        params = ExecutionParameters(sampling_fraction=0.5, p=1.0, q=0.5)
+        aggregator = Aggregator(query=make_query(), parameters=params, total_clients=100)
+        vectors = [[1, 0, 0]] * 30 + [[0, 1, 0]] * 20  # 50 participants out of 100
+        aggregator.ingest_shares(encrypt_answers(vectors), epoch=0)
+        result = aggregator.flush()[0]
+        assert result.population == 100
+        assert result.histogram.estimates()[0] == pytest.approx(60.0)
+        assert result.histogram.estimates()[1] == pytest.approx(40.0)
+
+    def test_randomization_correction_recovers_truth_on_average(self):
+        rng = random.Random(3)
+        p, q = 0.6, 0.3
+        params = ExecutionParameters(sampling_fraction=1.0, p=p, q=q)
+        query = make_query()
+        total_clients = 3_000
+        truth_first_bucket = 1_800
+
+        estimates = []
+        for trial in range(5):
+            aggregator = Aggregator(query=query, parameters=params, total_clients=total_clients)
+            vectors = []
+            for i in range(total_clients):
+                truthful = [1, 0, 0] if i < truth_first_bucket else [0, 1, 0]
+                randomized = [
+                    bit if rng.random() < p else (1 if rng.random() < q else 0)
+                    for bit in truthful
+                ]
+                vectors.append(randomized)
+            aggregator.ingest_shares(encrypt_answers(vectors, epoch=trial), epoch=trial)
+        # All epochs land in different windows; use the mean of per-window estimates.
+        for result in aggregator.flush():
+            estimates.append(result.histogram.estimates()[0])
+        mean_estimate = sum(estimates) / len(estimates)
+        assert mean_estimate == pytest.approx(truth_first_bucket, rel=0.05)
+
+    def test_error_bounds_are_attached(self):
+        params = ExecutionParameters(sampling_fraction=0.5, p=0.9, q=0.6)
+        aggregator = Aggregator(query=make_query(), parameters=params, total_clients=200)
+        vectors = [[1, 0, 0]] * 60 + [[0, 1, 0]] * 40
+        aggregator.ingest_shares(encrypt_answers(vectors), epoch=0)
+        result = aggregator.flush()[0]
+        bounds = result.histogram.error_bounds()
+        assert all(b > 0 for b in bounds)
+        assert all(b != float("inf") for b in bounds)
+
+    def test_confidence_interval_covers_truth_in_noiseless_case(self):
+        aggregator = Aggregator(query=make_query(), parameters=NOISELESS, total_clients=10)
+        vectors = [[1, 0, 0]] * 6 + [[0, 1, 0]] * 4
+        aggregator.ingest_shares(encrypt_answers(vectors), epoch=0)
+        result = aggregator.flush()[0]
+        assert result.histogram.bucket(0).contains(6.0)
+        assert result.histogram.bucket(1).contains(4.0)
+
+    def test_empty_window_reports_infinite_error(self):
+        params = ExecutionParameters(sampling_fraction=0.5, p=0.9, q=0.6)
+        aggregator = Aggregator(query=make_query(), parameters=params, total_clients=10)
+        # Ingest one epoch, then force a later window with no matching data by
+        # flushing after ingesting an empty epoch far in the future.
+        aggregator.ingest_shares(encrypt_answers([[1, 0, 0]]), epoch=0)
+        results = aggregator.flush()
+        assert len(results) == 1
+
+
+class TestSlidingWindows:
+    def test_sliding_window_counts_answers_in_overlapping_windows(self):
+        query = make_query(window=120.0, slide=60.0)
+        aggregator = Aggregator(query=query, parameters=NOISELESS, total_clients=1)
+        aggregator.ingest_shares(encrypt_answers([[1, 0, 0]], epoch=1), epoch=1)
+        results = aggregator.flush()
+        # Epoch 1 (t=60) falls into windows [0,120) and [60,180).
+        assert len(results) == 2
+        for result in results:
+            assert result.histogram.estimates()[0] == pytest.approx(1.0)
+
+    def test_window_results_ordered_by_time(self):
+        aggregator = Aggregator(query=make_query(), parameters=NOISELESS, total_clients=1)
+        for epoch in range(3):
+            aggregator.ingest_shares(encrypt_answers([[1, 0, 0]], epoch=epoch), epoch=epoch)
+        results = aggregator.flush()
+        starts = [r.window.start for r in results]
+        assert starts == sorted(starts)

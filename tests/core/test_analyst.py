@@ -1,0 +1,62 @@
+"""Tests for the analyst interface."""
+
+import pytest
+
+from repro.core import Analyst, AnswerSpec, QueryBudget, RangeBuckets
+
+
+@pytest.fixture
+def analyst() -> Analyst:
+    return Analyst(analyst_id="acme", signing_key=b"secret")
+
+
+SPEC = AnswerSpec(buckets=RangeBuckets(boundaries=(0.0, 1.0), open_ended=True))
+
+
+class TestQueryCreation:
+    def test_query_ids_are_serial(self, analyst):
+        first = analyst.create_query("SELECT a FROM t", SPEC)
+        second = analyst.create_query("SELECT b FROM t", SPEC)
+        assert first.query_id == "acme-00000000"
+        assert second.query_id == "acme-00000001"
+
+    def test_queries_are_signed(self, analyst):
+        query = analyst.create_query("SELECT a FROM t", SPEC)
+        assert query.verify_signature(b"secret")
+        assert not query.verify_signature(b"forged")
+
+    def test_window_parameters_forwarded(self, analyst):
+        query = analyst.create_query(
+            "SELECT a FROM t", SPEC, frequency_seconds=5.0, window_seconds=600.0, slide_seconds=60.0
+        )
+        assert query.frequency_seconds == 5.0
+        assert query.window_seconds == 600.0
+        assert query.slide_seconds == 60.0
+
+
+class TestBudgetsAndResults:
+    def test_attach_and_retrieve_budget(self, analyst):
+        query = analyst.create_query("SELECT a FROM t", SPEC)
+        budget = QueryBudget(target_accuracy_loss=0.05)
+        analyst.attach_budget(query, budget)
+        assert analyst.budget_for(query.query_id) is budget
+
+    def test_budget_for_unknown_query_rejected(self, analyst):
+        with pytest.raises(KeyError):
+            analyst.budget_for("missing")
+
+    def test_result_delivery_order(self, analyst):
+        query = analyst.create_query("SELECT a FROM t", SPEC)
+        analyst.deliver_result(query.query_id, "window-1")
+        analyst.deliver_result(query.query_id, "window-2")
+        assert analyst.results_for(query.query_id) == ["window-1", "window-2"]
+        assert analyst.latest_result(query.query_id) == "window-2"
+
+    def test_latest_result_none_when_empty(self, analyst):
+        assert analyst.latest_result("whatever") is None
+
+    def test_results_are_isolated_per_query(self, analyst):
+        first = analyst.create_query("SELECT a FROM t", SPEC)
+        second = analyst.create_query("SELECT b FROM t", SPEC)
+        analyst.deliver_result(first.query_id, "r1")
+        assert analyst.results_for(second.query_id) == []

@@ -1,0 +1,154 @@
+"""Tests for the PrivApprox client (local DB, sampling, answering, encryption)."""
+
+import pytest
+
+from repro.core import AnswerSpec, Client, ClientConfig, ExecutionParameters, RangeBuckets
+from repro.core.query import Query
+
+
+def make_client(seed: int = 1, num_proxies: int = 2) -> Client:
+    client = Client(ClientConfig(client_id="c-1", num_proxies=num_proxies, seed=seed))
+    client.create_table([("speed", "REAL"), ("location", "TEXT")])
+    return client
+
+
+def make_query(window: float = 60.0) -> Query:
+    return Query(
+        query_id="analyst-00000001",
+        sql="SELECT speed FROM private_data WHERE location = 'San Francisco'",
+        answer_spec=AnswerSpec(
+            buckets=RangeBuckets(boundaries=(0.0, 10.0, 20.0, 30.0), open_ended=True),
+            value_column="speed",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=window,
+        slide_seconds=window,
+    )
+
+
+ALWAYS = ExecutionParameters(sampling_fraction=1.0, p=1.0, q=0.5)
+
+
+class TestClientLocalData:
+    def test_config_requires_two_proxies(self):
+        with pytest.raises(ValueError):
+            ClientConfig(client_id="c", num_proxies=1)
+
+    def test_ingest_and_count(self):
+        client = make_client()
+        client.ingest([{"speed": 15.0, "location": "San Francisco"}])
+        assert client.local_row_count() == 1
+
+    def test_private_data_stays_local(self):
+        """Ingested raw values are only in the client's own database."""
+        client = make_client()
+        client.ingest([{"speed": 33.3, "location": "San Francisco"}])
+        rows = client.database.query("SELECT speed FROM private_data").column("speed")
+        assert rows == [33.3]
+
+
+class TestSubscription:
+    def test_subscribe_and_unsubscribe(self):
+        client = make_client()
+        query = make_query()
+        client.subscribe(query, ALWAYS)
+        assert client.subscribed_query_ids == [query.query_id]
+        client.unsubscribe(query.query_id)
+        assert client.subscribed_query_ids == []
+
+    def test_answer_unknown_query_returns_none(self):
+        assert make_client().answer_query("unknown") is None
+
+    def test_truthful_answer_requires_subscription(self):
+        with pytest.raises(KeyError):
+            make_client().truthful_answer("unknown")
+
+
+class TestAnswering:
+    def test_truthful_answer_buckets_latest_matching_row(self):
+        client = make_client()
+        client.ingest(
+            [
+                {"speed": 5.0, "location": "San Francisco"},
+                {"speed": 25.0, "location": "San Francisco"},
+            ]
+        )
+        query = make_query()
+        client.subscribe(query, ALWAYS)
+        assert client.truthful_answer(query.query_id) == [0, 0, 1, 0]
+
+    def test_non_matching_rows_give_all_zero_answer(self):
+        client = make_client()
+        client.ingest([{"speed": 15.0, "location": "Boston"}])
+        query = make_query()
+        client.subscribe(query, ALWAYS)
+        assert client.truthful_answer(query.query_id) == [0, 0, 0, 0]
+
+    def test_no_data_gives_all_zero_answer(self):
+        client = make_client()
+        query = make_query()
+        client.subscribe(query, ALWAYS)
+        assert client.truthful_answer(query.query_id) == [0, 0, 0, 0]
+
+    def test_answer_with_p1_matches_truth(self):
+        client = make_client()
+        client.ingest([{"speed": 12.0, "location": "San Francisco"}])
+        query = make_query()
+        client.subscribe(query, ALWAYS)
+        response = client.answer_query(query.query_id, epoch=0)
+        assert response is not None
+        assert list(response.randomized_bits) == [0, 1, 0, 0]
+        assert response.truthful_bits == (0, 1, 0, 0)
+
+    def test_zero_sampling_never_participates(self):
+        client = make_client()
+        client.ingest([{"speed": 12.0, "location": "San Francisco"}])
+        query = make_query()
+        client.subscribe(
+            query, ExecutionParameters(sampling_fraction=0.001, p=1.0, q=0.5)
+        )
+        responses = [client.answer_query(query.query_id, epoch=e) for e in range(50)]
+        assert sum(r is not None for r in responses) <= 2
+
+    def test_sampling_rate_respected(self):
+        client = make_client(seed=77)
+        client.ingest([{"speed": 12.0, "location": "San Francisco"}])
+        query = make_query()
+        client.subscribe(query, ExecutionParameters(sampling_fraction=0.5, p=1.0, q=0.5))
+        responses = [client.answer_query(query.query_id, epoch=e) for e in range(400)]
+        participation = sum(r is not None for r in responses) / 400
+        assert 0.4 < participation < 0.6
+
+    def test_encrypted_shares_decrypt_to_randomized_answer(self):
+        from repro.core.encryption import AnswerCodec
+
+        client = make_client()
+        client.ingest([{"speed": 12.0, "location": "San Francisco"}])
+        query = make_query()
+        client.subscribe(query, ALWAYS)
+        response = client.answer_query(query.query_id, epoch=4)
+        decoded = AnswerCodec().decrypt(list(response.encrypted.shares))
+        assert decoded.bits == response.randomized_bits
+        assert decoded.query_id == query.query_id
+        assert decoded.epoch == 4
+
+    def test_shares_count_matches_proxies(self):
+        client = Client(ClientConfig(client_id="c", num_proxies=3, seed=5))
+        client.create_table([("speed", "REAL"), ("location", "TEXT")])
+        client.ingest([{"speed": 12.0, "location": "San Francisco"}])
+        query = make_query()
+        client.subscribe(query, ALWAYS)
+        response = client.answer_query(query.query_id)
+        assert response.encrypted.num_shares == 3
+
+    def test_randomization_changes_answers_with_low_p(self):
+        client = make_client(seed=11)
+        client.ingest([{"speed": 12.0, "location": "San Francisco"}])
+        query = make_query()
+        client.subscribe(query, ExecutionParameters(sampling_fraction=1.0, p=0.1, q=0.5))
+        different = 0
+        for epoch in range(50):
+            response = client.answer_query(query.query_id, epoch=epoch)
+            if response.randomized_bits != response.truthful_bits:
+                different += 1
+        assert different > 10

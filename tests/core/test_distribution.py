@@ -1,0 +1,126 @@
+"""Tests for query distribution through the proxies."""
+
+import pytest
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    Client,
+    ClientConfig,
+    ExecutionParameters,
+    QueryBudget,
+    QueryDistributor,
+    RangeBuckets,
+)
+from repro.pubsub import BrokerCluster
+
+
+SPEC = AnswerSpec(buckets=RangeBuckets(boundaries=(0.0, 1.0), open_ended=True))
+
+
+@pytest.fixture
+def distributor() -> QueryDistributor:
+    return QueryDistributor(cluster=BrokerCluster(num_brokers=2))
+
+
+@pytest.fixture
+def analyst() -> Analyst:
+    return Analyst(analyst_id="acme", signing_key=b"acme-key")
+
+
+def make_client(client_id: str = "c-1") -> Client:
+    client = Client(ClientConfig(client_id=client_id, seed=1))
+    client.create_table([("value", "REAL")])
+    return client
+
+
+class TestPublishing:
+    def test_publish_signed_query(self, distributor, analyst):
+        query = analyst.create_query("SELECT value FROM private_data", SPEC)
+        announcement = distributor.publish(query, QueryBudget())
+        assert announcement.query.query_id == query.query_id
+        assert distributor.queries_published == 1
+
+    def test_unsigned_query_rejected(self, distributor):
+        from repro.core.query import Query
+
+        query = Query(query_id="q", sql="SELECT value FROM private_data", answer_spec=SPEC)
+        with pytest.raises(ValueError):
+            distributor.publish(query, QueryBudget())
+
+    def test_explicit_parameters_bypass_planner(self, distributor, analyst):
+        query = analyst.create_query("SELECT value FROM private_data", SPEC)
+        params = ExecutionParameters(sampling_fraction=0.5, p=0.5, q=0.5)
+        announcement = distributor.publish(query, QueryBudget(), parameters=params)
+        assert announcement.parameters == params
+
+    def test_planner_used_when_parameters_omitted(self, distributor, analyst):
+        query = analyst.create_query("SELECT value FROM private_data", SPEC)
+        announcement = distributor.publish(query, QueryBudget(max_epsilon=1.0))
+        assert announcement.parameters.epsilon_zk <= 1.0 + 1e-6
+
+
+class TestClientDelivery:
+    def test_client_receives_and_subscribes(self, distributor, analyst):
+        query = analyst.create_query("SELECT value FROM private_data", SPEC)
+        client = make_client()
+        feed = distributor.make_subscription_feed(client.config.client_id)
+        distributor.publish(query, QueryBudget())
+        accepted = QueryDistributor.deliver_to_client(
+            client, feed, {"acme": analyst.signing_key}
+        )
+        assert len(accepted) == 1
+        assert client.subscribed_query_ids == [query.query_id]
+
+    def test_unknown_analyst_is_ignored(self, distributor, analyst):
+        query = analyst.create_query("SELECT value FROM private_data", SPEC)
+        client = make_client()
+        feed = distributor.make_subscription_feed(client.config.client_id)
+        distributor.publish(query, QueryBudget())
+        accepted = QueryDistributor.deliver_to_client(client, feed, {})
+        assert accepted == []
+        assert client.subscribed_query_ids == []
+
+    def test_forged_signature_is_ignored(self, distributor, analyst):
+        query = analyst.create_query("SELECT value FROM private_data", SPEC)
+        client = make_client()
+        feed = distributor.make_subscription_feed(client.config.client_id)
+        distributor.publish(query, QueryBudget())
+        accepted = QueryDistributor.deliver_to_client(client, feed, {"acme": b"wrong-key"})
+        assert accepted == []
+
+    def test_multiple_clients_receive_the_same_query(self, distributor, analyst):
+        query = analyst.create_query("SELECT value FROM private_data", SPEC)
+        clients = [make_client(f"c-{i}") for i in range(5)]
+        feeds = [distributor.make_subscription_feed(c.config.client_id) for c in clients]
+        distributor.publish(query, QueryBudget())
+        for client, feed in zip(clients, feeds):
+            QueryDistributor.deliver_to_client(client, feed, {"acme": analyst.signing_key})
+        assert all(c.subscribed_query_ids == [query.query_id] for c in clients)
+
+    def test_feed_only_delivers_new_announcements(self, distributor, analyst):
+        client = make_client()
+        feed = distributor.make_subscription_feed(client.config.client_id)
+        first = analyst.create_query("SELECT value FROM private_data", SPEC)
+        distributor.publish(first, QueryBudget())
+        QueryDistributor.deliver_to_client(client, feed, {"acme": analyst.signing_key})
+        second = analyst.create_query("SELECT value FROM private_data LIMIT 1", SPEC)
+        distributor.publish(second, QueryBudget())
+        accepted = QueryDistributor.deliver_to_client(client, feed, {"acme": analyst.signing_key})
+        assert [a.query.query_id for a in accepted] == [second.query_id]
+        assert set(client.subscribed_query_ids) == {first.query_id, second.query_id}
+
+
+class TestSystemIntegration:
+    def test_system_distributes_queries_via_proxies(self):
+        from repro.core import PrivApproxSystem, SystemConfig
+
+        system = PrivApproxSystem(
+            SystemConfig(num_clients=10, seed=3, distribute_queries_via_proxies=True)
+        )
+        system.provision_clients([("value", "REAL")], lambda i: [{"value": 0.5}])
+        analyst = Analyst("acme", signing_key=b"k")
+        query = analyst.create_query("SELECT value FROM private_data", SPEC)
+        system.submit_query(analyst, query, QueryBudget())
+        assert system.query_distributor.queries_published == 1
+        assert all(query.query_id in c.subscribed_query_ids for c in system.clients)

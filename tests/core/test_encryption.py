@@ -1,0 +1,105 @@
+"""Tests for answer encoding and XOR share splitting (Step III)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AnswerCodec
+from repro.core.query import QueryAnswer
+from repro.crypto.prng import KeystreamGenerator
+
+
+@pytest.fixture
+def codec() -> AnswerCodec:
+    return AnswerCodec()
+
+
+class TestAnswerCodec:
+    def test_encode_decode_roundtrip(self, codec):
+        answer = QueryAnswer(query_id="analyst-00000001", bits=(0, 1, 0, 0, 1), epoch=3)
+        decoded = codec.decode(codec.encode(answer))
+        assert decoded.query_id == answer.query_id
+        assert decoded.bits == answer.bits
+        assert decoded.epoch == 3
+
+    def test_encode_packs_bits_compactly(self, codec):
+        answer = QueryAnswer(query_id="q", bits=tuple([0, 1] * 6))
+        message = codec.encode(answer)
+        # header (11 bytes) + qid (1) + empty token (0) + ceil(12 / 8) = 2 bytes of bits
+        assert len(message) == 11 + 1 + 2
+
+    def test_token_roundtrip(self, codec):
+        answer = QueryAnswer(query_id="q", bits=(1, 0), epoch=2, token="abc123" * 4)
+        decoded = codec.decode(codec.encode(answer))
+        assert decoded.token == "abc123" * 4
+
+    def test_overlong_token_rejected(self, codec):
+        answer = QueryAnswer(query_id="q", bits=(1,), token="x" * 300)
+        with pytest.raises(ValueError):
+            codec.encode(answer)
+
+    def test_decode_rejects_truncated_message(self, codec):
+        answer = QueryAnswer(query_id="q", bits=(1, 0, 1))
+        message = codec.encode(answer)
+        with pytest.raises(ValueError):
+            codec.decode(message[:5])
+
+    def test_decode_rejects_bad_magic(self, codec):
+        answer = QueryAnswer(query_id="q", bits=(1,))
+        message = bytearray(codec.encode(answer))
+        message[0] = 0xFF
+        with pytest.raises(ValueError):
+            codec.decode(bytes(message))
+
+    def test_encrypt_produces_one_share_per_proxy(self, codec):
+        answer = QueryAnswer(query_id="q", bits=(1, 0, 1, 1))
+        encrypted = codec.encrypt(answer, num_proxies=3, keystream=KeystreamGenerator(seed=b"k"))
+        assert encrypted.num_shares == 3
+        assert len({s.message_id for s in encrypted.shares}) == 1
+
+    def test_encrypt_requires_two_proxies(self, codec):
+        with pytest.raises(ValueError):
+            codec.encrypt(QueryAnswer(query_id="q", bits=(1,)), num_proxies=1)
+
+    def test_decrypt_roundtrip(self, codec):
+        answer = QueryAnswer(query_id="analyst-00000042", bits=(1, 1, 0, 0, 0, 1), epoch=9)
+        encrypted = codec.encrypt(answer, num_proxies=2, keystream=KeystreamGenerator(seed=b"k"))
+        decrypted = codec.decrypt(list(encrypted.shares))
+        assert decrypted == QueryAnswer(query_id=answer.query_id, bits=answer.bits, epoch=9)
+
+    def test_shares_are_not_the_plaintext(self, codec):
+        answer = QueryAnswer(query_id="q", bits=(1, 0) * 20)
+        message = codec.encode(answer)
+        encrypted = codec.encrypt(answer, num_proxies=2, keystream=KeystreamGenerator(seed=b"z"))
+        for share in encrypted.shares:
+            assert share.payload != message
+
+    def test_share_for_proxy(self, codec):
+        answer = QueryAnswer(query_id="q", bits=(1,))
+        encrypted = codec.encrypt(answer, num_proxies=2)
+        assert encrypted.share_for_proxy(0).index == 0
+        assert encrypted.share_for_proxy(1).index == 1
+        with pytest.raises(IndexError):
+            encrypted.share_for_proxy(2)
+
+    def test_total_bytes(self, codec):
+        answer = QueryAnswer(query_id="q", bits=(1, 0, 1))
+        encrypted = codec.encrypt(answer, num_proxies=2)
+        assert encrypted.total_bytes() == sum(s.size_bytes() for s in encrypted.shares)
+
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=128),
+        epoch=st.integers(min_value=0, max_value=2**31 - 1),
+        num_proxies=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_encrypt_decrypt_roundtrip_property(self, bits, epoch, num_proxies):
+        """Invariant: encrypt followed by decrypt recovers the exact answer."""
+        codec = AnswerCodec()
+        answer = QueryAnswer(query_id="analyst-x-00001234", bits=tuple(bits), epoch=epoch)
+        encrypted = codec.encrypt(
+            answer, num_proxies=num_proxies, keystream=KeystreamGenerator(seed=b"prop")
+        )
+        decrypted = codec.decrypt(list(encrypted.shares))
+        assert decrypted.bits == answer.bits
+        assert decrypted.query_id == answer.query_id
+        assert decrypted.epoch == epoch

@@ -1,0 +1,84 @@
+"""Tests for the query inversion mechanism (Section 3.3.2)."""
+
+import random
+
+import pytest
+
+from repro.core import InvertedEstimator, invert_answer_vector, should_invert
+from repro.core.randomized_response import RandomizedResponder, estimate_true_yes
+from repro.analytics import accuracy_loss
+
+
+class TestShouldInvert:
+    def test_invert_when_yes_fraction_far_below_q(self):
+        # q = 0.6, yes fraction 0.1: the "No" fraction (0.9) is closer to q? No —
+        # |0.9 - 0.6| = 0.3 < |0.1 - 0.6| = 0.5, so inversion helps.
+        assert should_invert(expected_yes_fraction=0.1, q=0.6)
+
+    def test_no_inversion_when_yes_fraction_matches_q(self):
+        assert not should_invert(expected_yes_fraction=0.6, q=0.6)
+
+    def test_symmetric_case_prefers_native(self):
+        assert not should_invert(expected_yes_fraction=0.5, q=0.5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            should_invert(1.5, 0.5)
+        with pytest.raises(ValueError):
+            should_invert(0.5, -0.1)
+
+
+class TestInvertAnswerVector:
+    def test_inversion(self):
+        assert invert_answer_vector([1, 0, 1, 1]) == [0, 1, 0, 0]
+
+    def test_involution(self):
+        bits = [0, 1, 1, 0, 1]
+        assert invert_answer_vector(invert_answer_vector(bits)) == bits
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            invert_answer_vector([0, 2])
+
+
+class TestInvertedEstimator:
+    def test_estimate_inverts_back(self):
+        """Feeding the expected inverted response count recovers the Yes count."""
+        p, q = 0.9, 0.6
+        total, true_yes = 10_000, 1_000
+        true_no = total - true_yes
+        expected_inverted_yes = true_no * (p + (1 - p) * q) + true_yes * (1 - p) * q
+        estimator = InvertedEstimator(p=p, q=q)
+        assert estimator.estimate_yes(expected_inverted_yes, total) == pytest.approx(true_yes)
+
+    def test_estimate_counts_per_bucket(self):
+        estimator = InvertedEstimator(p=0.9, q=0.6)
+        estimates = estimator.estimate_yes_counts([5_000.0, 9_000.0], total=10_000)
+        assert len(estimates) == 2
+
+    def test_inversion_improves_utility_for_rare_yes(self):
+        """Figure 5(a): with a 10% Yes fraction, the inverted query is far more accurate."""
+        rng = random.Random(41)
+        p, q = 0.9, 0.6
+        total, true_yes = 10_000, 1_000
+        trials = 20
+
+        def native_loss() -> float:
+            responder = RandomizedResponder(p=p, q=q, rng=rng)
+            observed = sum(responder.randomize_bit(1) for _ in range(true_yes)) + sum(
+                responder.randomize_bit(0) for _ in range(total - true_yes)
+            )
+            return accuracy_loss(true_yes, estimate_true_yes(observed, total, p, q))
+
+        def inverted_loss() -> float:
+            responder = RandomizedResponder(p=p, q=q, rng=rng)
+            # Clients answer the inverted question: truthful "Yes" becomes 0.
+            observed = sum(responder.randomize_bit(0) for _ in range(true_yes)) + sum(
+                responder.randomize_bit(1) for _ in range(total - true_yes)
+            )
+            estimator = InvertedEstimator(p=p, q=q)
+            return accuracy_loss(true_yes, estimator.estimate_yes(observed, total))
+
+        native = sum(native_loss() for _ in range(trials)) / trials
+        inverted = sum(inverted_loss() for _ in range(trials)) / trials
+        assert inverted < native

@@ -1,0 +1,60 @@
+"""Tests for the operational metrics collector."""
+
+import pytest
+
+from repro.core.metrics import SystemMetrics
+
+
+class TestSystemMetrics:
+    def test_snapshot_counts_participation_and_shares(self, small_system):
+        system, _, query_id = small_system
+        metrics = SystemMetrics(system)
+        for epoch in range(3):
+            metrics.run_and_record(query_id, epoch)
+        snapshot = metrics.snapshot(query_id)
+        assert snapshot.epochs_run == 3
+        assert 0.6 < snapshot.mean_participation_rate <= 1.0
+        assert snapshot.shares_relayed == snapshot.answers_processed * 2
+        assert snapshot.bytes_relayed > 0
+        assert snapshot.pending_joins == 0
+        assert snapshot.malformed_messages == 0
+        assert snapshot.invalid_answers == 0
+        assert snapshot.rejected_duplicates == 0
+
+    def test_snapshot_reflects_current_parameters(self, small_system):
+        system, _, query_id = small_system
+        metrics = SystemMetrics(system)
+        snapshot = metrics.snapshot(query_id)
+        params = system.parameters_for(query_id)
+        assert snapshot.current_sampling_fraction == params.sampling_fraction
+        assert snapshot.current_p == params.p
+        assert snapshot.epsilon_zk == pytest.approx(params.epsilon_zk)
+
+    def test_rejection_rate_zero_for_clean_run(self, small_system):
+        system, _, query_id = small_system
+        metrics = SystemMetrics(system)
+        metrics.run_and_record(query_id, 0)
+        assert metrics.snapshot(query_id).rejection_rate() == 0.0
+
+    def test_record_epoch_manual(self, small_system):
+        system, _, query_id = small_system
+        metrics = SystemMetrics(system)
+        report = system.run_epoch(query_id, 0)
+        metrics.record_epoch(report, query_id)
+        assert metrics.snapshot(query_id).epochs_run == 1
+
+    def test_format_snapshot_mentions_key_counters(self, small_system):
+        system, _, query_id = small_system
+        metrics = SystemMetrics(system)
+        metrics.run_and_record(query_id, 0)
+        text = metrics.format_snapshot(query_id)
+        assert "participation" in text
+        assert "epsilon_zk" in text
+        assert query_id in text
+
+    def test_snapshot_before_any_epoch(self, small_system):
+        system, _, query_id = small_system
+        metrics = SystemMetrics(system)
+        snapshot = metrics.snapshot(query_id)
+        assert snapshot.epochs_run == 0
+        assert snapshot.mean_participation_rate == 0.0

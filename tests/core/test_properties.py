@@ -1,0 +1,127 @@
+"""Property-based tests on the core invariants (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AnswerSpec,
+    RangeBuckets,
+    RandomizedResponder,
+    estimate_true_yes,
+    zero_knowledge_epsilon,
+    randomized_response_epsilon,
+)
+from repro.core.encryption import AnswerCodec
+from repro.core.query import QueryAnswer
+from repro.core.sampling import estimate_sum
+from repro.crypto.prng import KeystreamGenerator
+
+
+class TestEndToEndEncodingProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=200.0, allow_nan=False), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_answer_vectors_are_one_hot_for_in_range_values(self, values):
+        buckets = RangeBuckets.uniform(0.0, 200.0, 10, open_ended=True)
+        spec = AnswerSpec(buckets=buckets)
+        for value in values:
+            vector = spec.encode_value(value)
+            assert sum(vector) == 1
+            assert len(vector) == buckets.num_buckets
+
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64),
+        num_proxies=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pipeline_encoding_is_lossless(self, bits, num_proxies):
+        """Client-side encode+encrypt then aggregator-side decrypt+decode is identity."""
+        codec = AnswerCodec()
+        answer = QueryAnswer(query_id="analyst-00000000", bits=tuple(bits), epoch=1)
+        encrypted = codec.encrypt(
+            answer, num_proxies=num_proxies, keystream=KeystreamGenerator(seed=b"pp")
+        )
+        assert codec.decrypt(list(encrypted.shares)).bits == tuple(bits)
+
+
+class TestEstimatorProperties:
+    @given(
+        p=st.floats(min_value=0.1, max_value=1.0),
+        q=st.floats(min_value=0.0, max_value=1.0),
+        total=st.integers(min_value=1, max_value=10_000),
+        yes_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rr_estimator_is_exact_on_expectations(self, p, q, total, yes_fraction):
+        true_yes = round(total * yes_fraction)
+        expected_observed = true_yes * (p + (1 - p) * q) + (total - true_yes) * (1 - p) * q
+        assert abs(estimate_true_yes(expected_observed, total, p, q) - true_yes) < 1e-6
+
+    @given(
+        p=st.floats(min_value=0.05, max_value=0.99),
+        q=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rr_response_probabilities_are_valid(self, p, q):
+        responder = RandomizedResponder(p=p, q=q)
+        for bit in (0, 1):
+            probability = responder.response_probability(bit)
+            assert 0.0 <= probability <= 1.0
+        assert responder.response_probability(1) >= responder.response_probability(0)
+
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=200),
+        extra=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sampling_estimate_interval_is_symmetric(self, values, extra):
+        import math
+
+        estimate = estimate_sum(values, population_size=len(values) + extra)
+        if not math.isfinite(estimate.error_bound):
+            # A single-observation sample has an unbounded interval on both sides.
+            assert estimate.upper == float("inf") and estimate.lower == float("-inf")
+            return
+        assert (estimate.upper - estimate.estimate) - (
+            estimate.estimate - estimate.lower
+        ) < 1e-9 * max(1.0, abs(estimate.estimate))
+
+
+class TestPrivacyProperties:
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.99),
+        q=st.floats(min_value=0.01, max_value=0.99),
+        s=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_zero_knowledge_never_weaker_than_dp(self, p, q, s):
+        """The headline claim: sampling + RR is at least as private as RR alone."""
+        assert zero_knowledge_epsilon(p, q, s) <= randomized_response_epsilon(p, q) + 1e-12
+
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.99),
+        q=st.floats(min_value=0.01, max_value=0.99),
+        s_low=st.floats(min_value=0.0, max_value=1.0),
+        s_high=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_less_sampling_is_more_private(self, p, q, s_low, s_high):
+        low, high = sorted((s_low, s_high))
+        assert zero_knowledge_epsilon(p, q, low) <= zero_knowledge_epsilon(p, q, high) + 1e-12
+
+
+class TestRandomizedVectorProperties:
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=32),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_randomized_vector_is_binary_and_same_length(self, bits, seed):
+        responder = RandomizedResponder(p=0.5, q=0.5, rng=random.Random(seed))
+        randomized = responder.randomize_vector(bits)
+        assert len(randomized) == len(bits)
+        assert all(bit in (0, 1) for bit in randomized)

@@ -1,0 +1,187 @@
+"""Tests for stratified deployments (technical-report extension)."""
+
+import random
+
+import pytest
+
+from repro.analytics import histogram_accuracy_loss
+from repro.analytics.histogram import BucketEstimate, HistogramResult
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    QueryBudget,
+    RangeBuckets,
+    StratifiedDeployment,
+    StratumSpec,
+    combine_stratum_histograms,
+)
+
+
+def histogram(values, bounds, num_answers=10):
+    result = HistogramResult(num_answers=num_answers)
+    for index, (value, bound) in enumerate(zip(values, bounds)):
+        result.add_bucket(BucketEstimate(index, f"b{index}", value, bound))
+    return result
+
+
+class TestCombineStratumHistograms:
+    def test_estimates_add(self):
+        combined = combine_stratum_histograms(
+            [histogram([10, 20], [1, 2]), histogram([5, 5], [2, 2])]
+        )
+        assert combined.estimates() == [15.0, 25.0]
+
+    def test_error_bounds_combine_as_rss(self):
+        combined = combine_stratum_histograms(
+            [histogram([10, 20], [3, 4]), histogram([5, 5], [4, 3])]
+        )
+        assert combined.error_bounds()[0] == pytest.approx(5.0)
+        assert combined.error_bounds()[1] == pytest.approx(5.0)
+
+    def test_num_answers_add(self):
+        combined = combine_stratum_histograms(
+            [histogram([1], [1], num_answers=4), histogram([1], [1], num_answers=6)]
+        )
+        assert combined.num_answers == 10
+
+    def test_infinite_bound_propagates(self):
+        combined = combine_stratum_histograms(
+            [histogram([1], [float("inf")]), histogram([1], [1])]
+        )
+        assert combined.error_bounds()[0] == float("inf")
+
+    def test_mismatched_layout_rejected(self):
+        with pytest.raises(ValueError):
+            combine_stratum_histograms([histogram([1], [1]), histogram([1, 2], [1, 1])])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            combine_stratum_histograms([])
+
+
+class TestStratumSpec:
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            StratumSpec("s", 0, (("v", "REAL"),), lambda i: [])
+        with pytest.raises(ValueError):
+            StratumSpec("s", 5, (("v", "REAL"),), lambda i: [], sampling_fraction=0.0)
+
+
+def build_deployment(seed: int = 3) -> tuple[StratifiedDeployment, Analyst, str]:
+    """Two strata with very different value distributions."""
+    heavy_rng = random.Random(seed)
+    light_rng = random.Random(seed + 1)
+    deployment = StratifiedDeployment(
+        strata=[
+            StratumSpec(
+                name="heavy",
+                num_clients=120,
+                columns=(("value", "REAL"),),
+                data_for_client=lambda i: [{"value": heavy_rng.uniform(2.0, 3.0)}],
+            ),
+            StratumSpec(
+                name="light",
+                num_clients=400,
+                columns=(("value", "REAL"),),
+                data_for_client=lambda i: [{"value": light_rng.uniform(0.0, 1.0)}],
+            ),
+        ],
+        seed=seed,
+    )
+    analyst = Analyst("strata-analyst")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets(boundaries=(0.0, 1.0, 2.0, 3.0), open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    deployment.submit_query(
+        analyst,
+        query,
+        QueryBudget(),
+        parameters=ExecutionParameters(sampling_fraction=0.8, p=1.0, q=0.5),
+    )
+    return deployment, analyst, query.query_id
+
+
+class TestStratifiedDeployment:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            StratifiedDeployment(strata=[])
+        spec = StratumSpec("dup", 5, (("v", "REAL"),), lambda i: [])
+        with pytest.raises(ValueError):
+            StratifiedDeployment(strata=[spec, spec])
+
+    def test_run_before_submit_rejected(self):
+        spec = StratumSpec("only", 5, (("v", "REAL"),), lambda i: [{"v": 1.0}])
+        deployment = StratifiedDeployment(strata=[spec], seed=1)
+        with pytest.raises(RuntimeError):
+            deployment.run_epoch(0)
+
+    def test_combined_estimate_tracks_population_truth(self):
+        deployment, _, _ = build_deployment()
+        deployment.run_epoch(0)
+        results = deployment.flush()
+        assert len(results) == 1
+        combined = results[0].histogram
+        exact = deployment.exact_bucket_counts()
+        loss = histogram_accuracy_loss(exact, combined.estimates())
+        assert loss < 0.25
+        assert combined.num_answers <= deployment.total_clients()
+
+    def test_per_stratum_results_available(self):
+        deployment, _, _ = build_deployment()
+        deployment.run_epoch(0)
+        results = deployment.flush()
+        assert set(results[0].per_stratum) == {"heavy", "light"}
+
+    def test_per_stratum_sampling_override(self):
+        rng = random.Random(5)
+        deployment = StratifiedDeployment(
+            strata=[
+                StratumSpec(
+                    name="dense",
+                    num_clients=50,
+                    columns=(("value", "REAL"),),
+                    data_for_client=lambda i: [{"value": rng.uniform(0, 1)}],
+                    sampling_fraction=1.0,
+                ),
+                StratumSpec(
+                    name="sparse",
+                    num_clients=50,
+                    columns=(("value", "REAL"),),
+                    data_for_client=lambda i: [{"value": rng.uniform(0, 1)}],
+                    sampling_fraction=0.2,
+                ),
+            ],
+            seed=5,
+        )
+        analyst = Analyst("a")
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(buckets=RangeBuckets(boundaries=(0.0, 1.0), open_ended=True)),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        applied = deployment.submit_query(
+            analyst,
+            query,
+            QueryBudget(),
+            parameters=ExecutionParameters(sampling_fraction=0.8, p=0.9, q=0.5),
+        )
+        assert applied["dense"].sampling_fraction == 1.0
+        assert applied["sparse"].sampling_fraction == 0.2
+
+    def test_epochwise_results_accumulate(self):
+        deployment, analyst, query_id = build_deployment()
+        first = deployment.run_epoch(0)
+        second = deployment.run_epoch(1)
+        final = deployment.flush()
+        total_windows = len(first) + len(second) + len(final)
+        assert total_windows == 2

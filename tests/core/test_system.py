@@ -1,0 +1,187 @@
+"""Tests for the end-to-end system wiring."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+)
+
+
+class TestSystemConfig:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_clients=0)
+        with pytest.raises(ValueError):
+            SystemConfig(num_proxies=1)
+
+
+class TestProvisioning:
+    def test_clients_receive_their_own_data(self):
+        system = PrivApproxSystem(SystemConfig(num_clients=5, seed=1))
+        system.provision_clients(
+            [("value", "REAL")], lambda i: [{"value": float(i)}, {"value": float(i) + 0.1}]
+        )
+        assert all(client.local_row_count() == 2 for client in system.clients)
+
+    def test_clients_with_no_data(self):
+        system = PrivApproxSystem(SystemConfig(num_clients=3, seed=1))
+        system.provision_clients([("value", "REAL")], lambda i: [])
+        assert all(client.local_row_count() == 0 for client in system.clients)
+
+
+class TestQuerySubmission:
+    def test_submit_subscribes_all_clients(self, small_system):
+        system, _, query_id = small_system
+        assert all(query_id in c.subscribed_query_ids for c in system.clients)
+
+    def test_explicit_parameters_bypass_planner(self, small_system):
+        system, _, query_id = small_system
+        params = system.parameters_for(query_id)
+        assert params == ExecutionParameters(sampling_fraction=0.9, p=0.9, q=0.6)
+
+    def test_planner_derives_parameters_from_budget(self):
+        system = PrivApproxSystem(SystemConfig(num_clients=10, seed=2))
+        system.provision_clients([("value", "REAL")], lambda i: [{"value": 0.5}])
+        analyst = Analyst("a")
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(buckets=RangeBuckets(boundaries=(0.0, 1.0), open_ended=True)),
+        )
+        params = system.submit_query(analyst, query, QueryBudget(max_epsilon=1.0))
+        assert params.epsilon_zk <= 1.0 + 1e-6
+
+    def test_unknown_query_rejected(self, small_system):
+        system, _, _ = small_system
+        with pytest.raises(KeyError):
+            system.run_epoch("missing", 0)
+        with pytest.raises(KeyError):
+            system.parameters_for("missing")
+        with pytest.raises(KeyError):
+            system.aggregator_for("missing")
+
+
+class TestEpochExecution:
+    def test_participation_rate_close_to_sampling_fraction(self, small_system):
+        system, _, query_id = small_system
+        reports = system.run_epochs(query_id, 10)
+        mean_rate = sum(r.participation_rate for r in reports) / len(reports)
+        assert 0.75 < mean_rate <= 1.0  # s = 0.9
+
+    def test_results_delivered_to_analyst(self, small_system):
+        system, analyst, query_id = small_system
+        system.run_epochs(query_id, 3)
+        system.flush(query_id)
+        results = analyst.results_for(query_id)
+        assert len(results) >= 3
+
+    def test_estimates_track_ground_truth(self):
+        """A moderately sized noiseless-ish deployment recovers the exact histogram."""
+        config = SystemConfig(num_clients=400, num_proxies=2, seed=7)
+        system = PrivApproxSystem(config)
+        rng = random.Random(5)
+        system.provision_clients(
+            [("speed", "REAL"), ("location", "TEXT")],
+            lambda i: [{"speed": rng.uniform(0, 80), "location": "San Francisco"}],
+        )
+        analyst = Analyst("acme")
+        query = analyst.create_query(
+            "SELECT speed FROM private_data WHERE location = 'San Francisco'",
+            AnswerSpec(
+                buckets=RangeBuckets(boundaries=(0.0, 20.0, 40.0, 60.0), open_ended=True),
+                value_column="speed",
+            ),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        system.submit_query(
+            analyst,
+            query,
+            QueryBudget(),
+            parameters=ExecutionParameters(sampling_fraction=1.0, p=1.0, q=0.5),
+        )
+        system.run_epoch(query.query_id, 0)
+        results = system.flush(query.query_id)
+        exact = system.exact_bucket_counts(query.query_id)
+        assert results[0].histogram.estimates() == pytest.approx(exact, abs=1e-6)
+
+    def test_window_results_have_error_bounds(self, small_system):
+        system, _, query_id = small_system
+        system.run_epochs(query_id, 2)
+        results = system.flush(query_id)
+        assert results
+        for result in results:
+            assert all(b.error_bound >= 0 for b in result.histogram.buckets)
+
+    def test_responses_log_only_contains_participants(self, small_system):
+        system, _, query_id = small_system
+        report = system.run_epoch(query_id, 0)
+        log = system.responses_log(query_id)
+        assert len(log) == report.num_participants
+
+    def test_epoch_report_fields(self, small_system):
+        system, _, query_id = small_system
+        report = system.run_epoch(query_id, 0)
+        assert report.epoch == 0
+        assert report.num_clients == 40
+        assert 0 <= report.num_participants <= 40
+
+
+class TestFeedbackLoop:
+    def test_feedback_raises_sampling_when_error_exceeds_budget(self):
+        config = SystemConfig(num_clients=30, num_proxies=2, seed=3)
+        system = PrivApproxSystem(config)
+        rng = random.Random(11)
+        system.provision_clients(
+            [("value", "REAL")], lambda i: [{"value": rng.uniform(0, 3)}]
+        )
+        analyst = Analyst("a")
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(buckets=RangeBuckets(boundaries=(0.0, 1.0, 2.0), open_ended=True)),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        # Tight accuracy target with heavy randomization: the error bound will
+        # exceed the target and the feedback loop must raise the sampling rate.
+        initial = ExecutionParameters(sampling_fraction=0.4, p=0.3, q=0.6)
+        system.submit_query(
+            analyst, query, QueryBudget(target_accuracy_loss=0.01), parameters=initial
+        )
+        system.run_epochs(query.query_id, 4)
+        final = system.parameters_for(query.query_id)
+        assert final.sampling_fraction > initial.sampling_fraction
+
+
+class TestHistoricalIntegration:
+    def test_historical_store_receives_randomized_answers(self):
+        config = SystemConfig(num_clients=20, num_proxies=2, seed=13, keep_historical=True)
+        system = PrivApproxSystem(config)
+        rng = random.Random(17)
+        system.provision_clients([("value", "REAL")], lambda i: [{"value": rng.uniform(0, 2)}])
+        analyst = Analyst("a")
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(buckets=RangeBuckets(boundaries=(0.0, 1.0), open_ended=True)),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        system.submit_query(
+            analyst,
+            query,
+            QueryBudget(),
+            parameters=ExecutionParameters(sampling_fraction=1.0, p=0.9, q=0.5),
+        )
+        reports = system.run_epochs(query.query_id, 2)
+        stored = system.historical_store.stored_answer_count(query.query_id)
+        assert stored == sum(r.num_participants for r in reports)

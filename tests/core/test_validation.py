@@ -1,0 +1,97 @@
+"""Tests for aggregator-side answer validation."""
+
+import pytest
+
+from repro.core import AnswerSpec, AnswerValidator, RangeBuckets
+from repro.core.query import Query, QueryAnswer
+
+
+def make_query(num_buckets: int = 3) -> Query:
+    boundaries = tuple(float(i) for i in range(num_buckets))
+    return Query(
+        query_id="analyst-00000001",
+        sql="SELECT v FROM private_data",
+        answer_spec=AnswerSpec(
+            buckets=RangeBuckets(boundaries=boundaries, open_ended=True), value_column="v"
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+
+
+class TestAnswerValidator:
+    def test_valid_answer_accepted(self):
+        validator = AnswerValidator(make_query())
+        answer = QueryAnswer(query_id="analyst-00000001", bits=(0, 1, 0), epoch=3)
+        assert validator.validate(answer, arrival_epoch=3).valid
+        assert validator.accepted == 1
+
+    def test_wrong_query_id_rejected(self):
+        validator = AnswerValidator(make_query())
+        answer = QueryAnswer(query_id="other-query", bits=(0, 1, 0), epoch=0)
+        result = validator.validate(answer, arrival_epoch=0)
+        assert not result.valid
+        assert result.reason == "wrong query id"
+
+    def test_wrong_length_rejected(self):
+        validator = AnswerValidator(make_query(num_buckets=3))
+        answer = QueryAnswer(query_id="analyst-00000001", bits=(0, 1), epoch=0)
+        assert validator.validate(answer, arrival_epoch=0).reason == "wrong answer length"
+
+    def test_epoch_drift_rejected(self):
+        validator = AnswerValidator(make_query(), max_epoch_drift=1)
+        answer = QueryAnswer(query_id="analyst-00000001", bits=(0, 1, 0), epoch=0)
+        assert not validator.validate(answer, arrival_epoch=5).valid
+
+    def test_epoch_drift_within_bound_accepted(self):
+        validator = AnswerValidator(make_query(), max_epoch_drift=2)
+        answer = QueryAnswer(query_id="analyst-00000001", bits=(0, 1, 0), epoch=3)
+        assert validator.validate(answer, arrival_epoch=4).valid
+
+    def test_too_many_set_bits_rejected_when_configured(self):
+        validator = AnswerValidator(make_query(), max_set_bits=1)
+        answer = QueryAnswer(query_id="analyst-00000001", bits=(1, 1, 1), epoch=0)
+        assert validator.validate(answer, arrival_epoch=0).reason == "too many set bits"
+
+    def test_multiple_set_bits_allowed_by_default(self):
+        validator = AnswerValidator(make_query())
+        answer = QueryAnswer(query_id="analyst-00000001", bits=(1, 1, 0), epoch=0)
+        assert validator.validate(answer, arrival_epoch=0).valid
+
+    def test_rejection_counters(self):
+        validator = AnswerValidator(make_query())
+        validator.validate(QueryAnswer(query_id="x", bits=(0, 0, 0)), arrival_epoch=0)
+        validator.validate(QueryAnswer(query_id="y", bits=(0, 0, 0)), arrival_epoch=0)
+        validator.validate(
+            QueryAnswer(query_id="analyst-00000001", bits=(0, 0)), arrival_epoch=0
+        )
+        assert validator.total_rejected() == 3
+        assert validator.rejected_by_reason["wrong query id"] == 2
+        assert validator.rejected_by_reason["wrong answer length"] == 1
+
+
+class TestValidatorInsideAggregator:
+    def test_answers_for_other_query_are_filtered(self):
+        from repro.core import Aggregator, ExecutionParameters
+        from repro.core.encryption import AnswerCodec
+        from repro.crypto.prng import KeystreamGenerator
+
+        query = make_query()
+        aggregator = Aggregator(
+            query=query,
+            parameters=ExecutionParameters(sampling_fraction=1.0, p=1.0, q=0.5),
+            total_clients=2,
+            validator=AnswerValidator(query),
+        )
+        codec = AnswerCodec()
+        keystream = KeystreamGenerator(seed=b"val")
+        good = QueryAnswer(query_id=query.query_id, bits=(1, 0, 0), epoch=0)
+        stray = QueryAnswer(query_id="some-other-query", bits=(0, 0, 1), epoch=0)
+        shares = list(codec.encrypt(good, num_proxies=2, keystream=keystream).shares)
+        shares += list(codec.encrypt(stray, num_proxies=2, keystream=keystream).shares)
+        aggregator.ingest_shares(shares, epoch=0)
+        result = aggregator.flush()[0]
+        assert aggregator.invalid_answers == 1
+        assert result.num_answers == 1
+        assert result.histogram.estimates()[0] == pytest.approx(2.0)  # scaled 2/1

@@ -1,0 +1,59 @@
+"""Tests for the Goldwasser-Micali bit-encryption scheme (Table 2 comparator)."""
+
+import random
+
+import pytest
+
+from repro.crypto.goldwasser_micali import generate_gm_keypair
+
+KEY_BITS = 256
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_gm_keypair(key_size_bits=KEY_BITS, seed=11)
+
+
+class TestGoldwasserMicali:
+    def test_bit_roundtrip(self, keypair):
+        rng = random.Random(5)
+        for bit in (0, 1, 0, 1, 1, 0):
+            ciphertext = keypair.public.encrypt_bit(bit, rng)
+            assert keypair.private.decrypt_bit(ciphertext) == bit
+
+    def test_bit_vector_roundtrip(self, keypair):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1]
+        ciphertexts = keypair.public.encrypt_bits(bits, rng=random.Random(9))
+        assert keypair.private.decrypt_bits(ciphertexts) == bits
+
+    def test_encryption_is_probabilistic(self, keypair):
+        rng = random.Random(13)
+        c1 = keypair.public.encrypt_bit(1, rng)
+        c2 = keypair.public.encrypt_bit(1, rng)
+        assert c1 != c2
+        assert keypair.private.decrypt_bit(c1) == keypair.private.decrypt_bit(c2) == 1
+
+    def test_invalid_bit_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.public.encrypt_bit(2, random.Random(0))
+
+    def test_xor_homomorphism(self, keypair):
+        """GM is XOR-homomorphic: multiplying ciphertexts XORs plaintexts."""
+        rng = random.Random(17)
+        for a in (0, 1):
+            for b in (0, 1):
+                ca = keypair.public.encrypt_bit(a, rng)
+                cb = keypair.public.encrypt_bit(b, rng)
+                combined = (ca * cb) % keypair.public.n
+                assert keypair.private.decrypt_bit(combined) == a ^ b
+
+    def test_distinct_keypairs(self):
+        a = generate_gm_keypair(KEY_BITS, seed=1)
+        b = generate_gm_keypair(KEY_BITS, seed=2)
+        assert a.public.n != b.public.n
+
+    def test_long_vector(self, keypair):
+        rng = random.Random(23)
+        bits = [rng.randint(0, 1) for _ in range(100)]
+        ciphertexts = keypair.public.encrypt_bits(bits, rng=rng)
+        assert keypair.private.decrypt_bits(ciphertexts) == bits

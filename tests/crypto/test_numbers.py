@@ -1,0 +1,92 @@
+"""Tests for the number-theoretic helpers behind the public-key schemes."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.numbers import (
+    generate_prime,
+    is_probable_prime,
+    jacobi_symbol,
+    lcm,
+    modinv,
+    random_coprime,
+)
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("prime", [2, 3, 5, 7, 11, 13, 97, 101, 7919, 104729])
+    def test_known_primes(self, prime):
+        assert is_probable_prime(prime)
+
+    @pytest.mark.parametrize("composite", [0, 1, 4, 9, 15, 91, 561, 1105, 104730])
+    def test_known_composites(self, composite):
+        assert not is_probable_prime(composite)
+
+    def test_carmichael_numbers_detected(self):
+        # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(carmichael)
+
+    def test_generate_prime_bit_length(self):
+        rng = random.Random(1)
+        for bits in (16, 32, 64):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_generate_prime_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)
+
+
+class TestModularArithmetic:
+    def test_modinv_basic(self):
+        assert (3 * modinv(3, 7)) % 7 == 1
+
+    def test_modinv_large(self):
+        m = 10**9 + 7
+        a = 123456789
+        assert (a * modinv(a, m)) % m == 1
+
+    def test_modinv_nonexistent(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    @given(st.integers(min_value=1, max_value=10_000), st.integers(min_value=1, max_value=10_000))
+    def test_lcm_property(self, a, b):
+        value = lcm(a, b)
+        assert value % a == 0 and value % b == 0
+        assert value == abs(a * b) // math.gcd(a, b)
+
+    def test_random_coprime(self):
+        rng = random.Random(3)
+        n = 360
+        for _ in range(50):
+            c = random_coprime(n, rng)
+            assert 1 <= c < n
+            assert math.gcd(c, n) == 1
+
+
+class TestJacobiSymbol:
+    def test_quadratic_residues_mod_prime(self):
+        p = 23
+        residues = {pow(x, 2, p) for x in range(1, p)}
+        for a in range(1, p):
+            expected = 1 if a in residues else -1
+            assert jacobi_symbol(a, p) == expected
+
+    def test_zero_when_not_coprime(self):
+        assert jacobi_symbol(15, 45) == 0
+
+    def test_requires_odd_modulus(self):
+        with pytest.raises(ValueError):
+            jacobi_symbol(3, 10)
+
+    def test_multiplicative_in_numerator(self):
+        n = 77
+        for a in range(1, 20):
+            for b in range(1, 20):
+                assert jacobi_symbol(a * b, n) == jacobi_symbol(a, n) * jacobi_symbol(b, n)

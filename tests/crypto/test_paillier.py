@@ -1,0 +1,64 @@
+"""Tests for the Paillier additively homomorphic scheme (Table 2 comparator)."""
+
+import random
+
+import pytest
+
+from repro.crypto.paillier import generate_paillier_keypair
+
+KEY_BITS = 256
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_paillier_keypair(key_size_bits=KEY_BITS, seed=19)
+
+
+class TestPaillier:
+    def test_roundtrip(self, keypair):
+        rng = random.Random(3)
+        for message in (0, 1, 42, 999_983, 2**30):
+            ciphertext = keypair.public.encrypt(message, rng)
+            assert keypair.private.decrypt(ciphertext) == message
+
+    def test_encryption_is_probabilistic(self, keypair):
+        rng = random.Random(5)
+        c1 = keypair.public.encrypt(7, rng)
+        c2 = keypair.public.encrypt(7, rng)
+        assert c1 != c2
+        assert keypair.private.decrypt(c1) == keypair.private.decrypt(c2) == 7
+
+    def test_additive_homomorphism(self, keypair):
+        rng = random.Random(7)
+        a, b = 1234, 5678
+        ca = keypair.public.encrypt(a, rng)
+        cb = keypair.public.encrypt(b, rng)
+        assert keypair.private.decrypt(keypair.public.add(ca, cb)) == a + b
+
+    def test_add_plain(self, keypair):
+        rng = random.Random(9)
+        ciphertext = keypair.public.encrypt(100, rng)
+        assert keypair.private.decrypt(keypair.public.add_plain(ciphertext, 23)) == 123
+
+    def test_aggregation_use_case(self, keypair):
+        """Summing many client counts homomorphically, as prior systems do."""
+        rng = random.Random(11)
+        counts = [rng.randint(0, 5) for _ in range(50)]
+        ciphertexts = [keypair.public.encrypt(c, rng) for c in counts]
+        aggregate = ciphertexts[0]
+        for ciphertext in ciphertexts[1:]:
+            aggregate = keypair.public.add(aggregate, ciphertext)
+        assert keypair.private.decrypt(aggregate) == sum(counts)
+
+    def test_message_out_of_range_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.public.encrypt(keypair.public.n)
+
+    def test_ciphertext_out_of_range_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.private.decrypt(keypair.public.n_squared)
+
+    def test_distinct_keypairs(self):
+        a = generate_paillier_keypair(KEY_BITS, seed=1)
+        b = generate_paillier_keypair(KEY_BITS, seed=2)
+        assert a.public.n != b.public.n

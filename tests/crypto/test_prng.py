@@ -1,0 +1,98 @@
+"""Tests for the SHA-256 counter-mode keystream generator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.prng import KeystreamGenerator, secure_random_bytes
+
+
+class TestSecureRandomBytes:
+    def test_returns_requested_length(self):
+        assert len(secure_random_bytes(16)) == 16
+
+    def test_zero_length(self):
+        assert secure_random_bytes(0) == b""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            secure_random_bytes(-1)
+
+    def test_successive_calls_differ(self):
+        assert secure_random_bytes(32) != secure_random_bytes(32)
+
+
+class TestKeystreamGenerator:
+    def test_same_seed_same_stream(self):
+        a = KeystreamGenerator(seed=b"seed")
+        b = KeystreamGenerator(seed=b"seed")
+        assert a.next_bytes(100) == b.next_bytes(100)
+
+    def test_different_seed_different_stream(self):
+        a = KeystreamGenerator(seed=b"seed-a")
+        b = KeystreamGenerator(seed=b"seed-b")
+        assert a.next_bytes(64) != b.next_bytes(64)
+
+    def test_stream_is_stateful(self):
+        gen = KeystreamGenerator(seed=b"seed")
+        first = gen.next_bytes(32)
+        second = gen.next_bytes(32)
+        assert first != second
+
+    def test_chunked_reads_match_single_read(self):
+        a = KeystreamGenerator(seed=b"seed")
+        b = KeystreamGenerator(seed=b"seed")
+        chunked = a.next_bytes(10) + a.next_bytes(7) + a.next_bytes(23)
+        assert chunked == b.next_bytes(40)
+
+    def test_default_seed_is_random(self):
+        assert KeystreamGenerator().seed != KeystreamGenerator().seed
+
+    def test_non_bytes_seed_rejected(self):
+        with pytest.raises(TypeError):
+            KeystreamGenerator(seed="not-bytes")  # type: ignore[arg-type]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            KeystreamGenerator(seed=b"s").next_bytes(-5)
+
+    def test_next_bits_range(self):
+        gen = KeystreamGenerator(seed=b"bits")
+        for nbits in (1, 5, 8, 13, 64):
+            value = gen.next_bits(nbits)
+            assert 0 <= value < (1 << nbits)
+
+    def test_next_bits_zero(self):
+        assert KeystreamGenerator(seed=b"s").next_bits(0) == 0
+
+    def test_randint_below_range(self):
+        gen = KeystreamGenerator(seed=b"randint")
+        values = [gen.randint_below(10) for _ in range(200)]
+        assert all(0 <= v < 10 for v in values)
+        assert len(set(values)) > 5  # should hit most residues
+
+    def test_randint_below_one_is_zero(self):
+        assert KeystreamGenerator(seed=b"s").randint_below(1) == 0
+
+    def test_randint_below_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            KeystreamGenerator(seed=b"s").randint_below(0)
+
+    def test_random_fraction_in_unit_interval(self):
+        gen = KeystreamGenerator(seed=b"frac")
+        values = [gen.random_fraction() for _ in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=512))
+    def test_determinism_property(self, seed, length):
+        assert (
+            KeystreamGenerator(seed=seed).next_bytes(length)
+            == KeystreamGenerator(seed=seed).next_bytes(length)
+        )
+
+    def test_keystream_looks_balanced(self):
+        """A crude sanity check: roughly half the bits of a long stream are set."""
+        gen = KeystreamGenerator(seed=b"balance")
+        data = gen.next_bytes(4096)
+        ones = sum(bin(byte).count("1") for byte in data)
+        total_bits = len(data) * 8
+        assert 0.45 < ones / total_bits < 0.55

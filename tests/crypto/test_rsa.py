@@ -1,0 +1,58 @@
+"""Tests for the textbook RSA implementation (Table 2 comparator)."""
+
+import pytest
+
+from repro.crypto.rsa import generate_rsa_keypair
+
+# Small keys keep the tests fast; the benchmark uses 1024-bit keys.
+KEY_BITS = 256
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(key_size_bits=KEY_BITS, seed=7)
+
+
+class TestRsa:
+    def test_key_size(self, keypair):
+        assert abs(keypair.public.key_size_bits - KEY_BITS) <= 1
+
+    def test_encrypt_decrypt_roundtrip_int(self, keypair):
+        message = 123456789
+        ciphertext = keypair.public.encrypt_int(message)
+        assert keypair.private.decrypt_int(ciphertext) == message
+
+    def test_encrypt_decrypt_roundtrip_bytes(self, keypair):
+        message = b"answer vector"
+        ciphertext = keypair.public.encrypt_bytes(message)
+        assert keypair.private.decrypt_bytes(ciphertext, len(message)) == message
+
+    def test_ciphertext_differs_from_plaintext(self, keypair):
+        assert keypair.public.encrypt_int(42) != 42
+
+    def test_encryption_is_deterministic_textbook(self, keypair):
+        # Textbook RSA has no padding, so identical plaintexts encrypt identically.
+        assert keypair.public.encrypt_int(99) == keypair.public.encrypt_int(99)
+
+    def test_message_out_of_range_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.public.encrypt_int(keypair.public.n)
+        with pytest.raises(ValueError):
+            keypair.public.encrypt_int(-1)
+
+    def test_ciphertext_out_of_range_rejected(self, keypair):
+        with pytest.raises(ValueError):
+            keypair.private.decrypt_int(keypair.private.n)
+
+    def test_distinct_keypairs(self):
+        a = generate_rsa_keypair(KEY_BITS, seed=1)
+        b = generate_rsa_keypair(KEY_BITS, seed=2)
+        assert a.public.n != b.public.n
+
+    def test_roundtrip_many_messages(self, keypair):
+        for message in (0, 1, 2, 255, 65537, 10**20):
+            assert keypair.private.decrypt_int(keypair.public.encrypt_int(message)) == message
+
+    def test_small_key_rejected(self):
+        with pytest.raises(ValueError):
+            generate_rsa_keypair(key_size_bits=32)

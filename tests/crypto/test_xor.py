@@ -1,0 +1,127 @@
+"""Tests for the XOR one-time-pad share-splitting scheme."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.prng import KeystreamGenerator
+from repro.crypto.xor import (
+    MessageShare,
+    XorCipher,
+    join_shares,
+    split_message,
+    xor_bytes,
+    xor_many,
+)
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_self_inverse(self):
+        a, b = b"hello world", b"key key key"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+    def test_xor_many_single(self):
+        assert xor_many([b"abc"]) == b"abc"
+
+    def test_xor_many_empty_rejected(self):
+        with pytest.raises(ValueError):
+            xor_many([])
+
+
+class TestXorCipher:
+    def test_roundtrip_two_shares(self):
+        cipher = XorCipher(num_shares=2, keystream=KeystreamGenerator(seed=b"k"))
+        shares = cipher.encrypt(b"private answer")
+        assert len(shares) == 2
+        assert XorCipher.decrypt(shares) == b"private answer"
+
+    @pytest.mark.parametrize("num_shares", [2, 3, 4, 5])
+    def test_roundtrip_many_shares(self, num_shares):
+        cipher = XorCipher(num_shares=num_shares, keystream=KeystreamGenerator(seed=b"k"))
+        message = b"M" * 37
+        shares = cipher.encrypt(message)
+        assert len(shares) == num_shares
+        assert XorCipher.decrypt(shares) == message
+
+    def test_rejects_fewer_than_two_shares(self):
+        with pytest.raises(ValueError):
+            XorCipher(num_shares=1)
+
+    def test_shares_share_message_id(self):
+        shares = XorCipher(num_shares=3).encrypt(b"payload", message_id="mid-1")
+        assert {s.message_id for s in shares} == {"mid-1"}
+
+    def test_share_indices_are_sequential(self):
+        shares = XorCipher(num_shares=4).encrypt(b"payload")
+        assert [s.index for s in shares] == [0, 1, 2, 3]
+
+    def test_no_single_share_reveals_message(self):
+        """Every individual share must differ from the plaintext (overwhelmingly likely)."""
+        message = b"the secret answer vector!"
+        shares = XorCipher(num_shares=3, keystream=KeystreamGenerator(seed=b"x")).encrypt(message)
+        for share in shares:
+            assert share.payload != message
+
+    def test_missing_share_does_not_decrypt(self):
+        message = b"confidential"
+        shares = XorCipher(num_shares=3, keystream=KeystreamGenerator(seed=b"y")).encrypt(message)
+        assert join_shares(shares[:2]) != message
+
+    def test_shares_have_message_length(self):
+        message = b"0123456789"
+        shares = XorCipher(num_shares=2).encrypt(message)
+        assert all(len(s.payload) == len(message) for s in shares)
+
+    def test_empty_message_roundtrip(self):
+        shares = XorCipher(num_shares=2).encrypt(b"")
+        assert XorCipher.decrypt(shares) == b""
+
+
+class TestSplitJoinHelpers:
+    def test_split_message_roundtrip(self):
+        shares = split_message(b"hello", num_proxies=3, keystream=KeystreamGenerator(seed=b"s"))
+        assert join_shares(shares) == b"hello"
+
+    def test_join_requires_two_shares(self):
+        share = MessageShare(message_id="m", payload=b"abc", index=0)
+        with pytest.raises(ValueError):
+            join_shares([share])
+
+    def test_join_rejects_mixed_message_ids(self):
+        a = MessageShare(message_id="m1", payload=b"abc", index=0)
+        b = MessageShare(message_id="m2", payload=b"abc", index=1)
+        with pytest.raises(ValueError):
+            join_shares([a, b])
+
+    def test_join_rejects_mismatched_lengths(self):
+        a = MessageShare(message_id="m", payload=b"abc", index=0)
+        b = MessageShare(message_id="m", payload=b"abcd", index=1)
+        with pytest.raises(ValueError):
+            join_shares([a, b])
+
+    def test_join_is_order_independent(self):
+        shares = split_message(b"order free", num_proxies=4)
+        assert join_shares(list(reversed(shares))) == b"order free"
+
+    def test_share_size_includes_mid_overhead(self):
+        share = MessageShare(message_id="m", payload=b"12345678", index=0)
+        assert share.size_bytes() == 8 + 16
+
+    @given(
+        message=st.binary(min_size=0, max_size=256),
+        num_proxies=st.integers(min_value=2, max_value=6),
+        seed=st.binary(min_size=1, max_size=16),
+    )
+    def test_split_join_roundtrip_property(self, message, num_proxies, seed):
+        """Invariant: XOR of all shares always recovers the message."""
+        shares = split_message(
+            message, num_proxies=num_proxies, keystream=KeystreamGenerator(seed=seed)
+        )
+        assert len(shares) == num_proxies
+        assert join_shares(shares) == message

@@ -1,0 +1,59 @@
+"""Tests for the synthetic household electricity workload generator."""
+
+import pytest
+
+from repro.datasets import ELECTRICITY_BUCKETS, ElectricityGenerator
+
+
+class TestElectricityBuckets:
+    def test_bucket_layout(self):
+        """Six half-kWh buckets between 0 and 3 kWh, plus the catch-all tail."""
+        assert ELECTRICITY_BUCKETS.num_buckets == 7
+        assert ELECTRICITY_BUCKETS.bucket_of(0.2) == 0
+        assert ELECTRICITY_BUCKETS.bucket_of(1.4) == 2
+        assert ELECTRICITY_BUCKETS.bucket_of(2.9) == 5
+        assert ELECTRICITY_BUCKETS.bucket_of(4.0) == 6
+
+
+class TestElectricityGenerator:
+    def test_deterministic_with_seed(self):
+        assert ElectricityGenerator(seed=5).readings(50) == ElectricityGenerator(seed=5).readings(50)
+
+    def test_readings_are_non_negative_and_bounded(self):
+        readings = ElectricityGenerator(seed=1).readings(5_000)
+        assert all(0.0 <= r <= 5.0 for r in readings)
+
+    def test_distribution_is_skewed_toward_low_consumption(self):
+        """Most half-hour intervals draw little power."""
+        generator = ElectricityGenerator(seed=3)
+        indices = generator.bucket_indices(10_000)
+        low = sum(1 for i in indices if i <= 1) / len(indices)
+        assert low > 0.5
+
+    def test_reading_record_schema(self):
+        generator = ElectricityGenerator(seed=7)
+        reading = generator.reading(household_index=2, timestamp=1800.0)
+        expected_columns = {name for name, _ in ElectricityGenerator.table_columns()}
+        assert set(reading) == expected_columns
+        assert reading["region"] == "metro"
+
+    def test_readings_for_client_timestamps(self):
+        generator = ElectricityGenerator(seed=9)
+        readings = generator.readings_for_client(0, num_readings=3, start_time=0.0, interval=1800.0)
+        assert [r["reading_time"] for r in readings] == [0.0, 1800.0, 3600.0]
+
+    def test_readings_for_client_invalid_count(self):
+        with pytest.raises(ValueError):
+            ElectricityGenerator(seed=1).readings_for_client(0, num_readings=-1)
+
+    def test_case_study_sql_references_table_columns(self):
+        sql = ElectricityGenerator.case_study_sql()
+        assert "kwh" in sql
+        assert "private_data" in sql
+
+    def test_smaller_answer_vector_than_taxi(self):
+        """The electricity answers use fewer buckets than the taxi answers,
+        which is why its proxies see smaller messages (Section 7.2 #I)."""
+        from repro.datasets import TAXI_DISTANCE_BUCKETS
+
+        assert ELECTRICITY_BUCKETS.num_buckets < TAXI_DISTANCE_BUCKETS.num_buckets

@@ -1,0 +1,73 @@
+"""Tests for the synthetic NYC-taxi-like workload generator."""
+
+import pytest
+
+from repro.datasets import TAXI_DISTANCE_BUCKETS, TaxiRideGenerator
+
+
+class TestTaxiBuckets:
+    def test_eleven_buckets(self):
+        """The case study defines 11 distance buckets."""
+        assert TAXI_DISTANCE_BUCKETS.num_buckets == 11
+
+    def test_bucket_boundaries(self):
+        assert TAXI_DISTANCE_BUCKETS.bucket_of(0.5) == 0
+        assert TAXI_DISTANCE_BUCKETS.bucket_of(9.99) == 9
+        assert TAXI_DISTANCE_BUCKETS.bucket_of(25.0) == 10
+
+
+class TestTaxiRideGenerator:
+    def test_deterministic_with_seed(self):
+        a = TaxiRideGenerator(seed=5).distances(100)
+        b = TaxiRideGenerator(seed=5).distances(100)
+        assert a == b
+
+    def test_distances_are_positive(self):
+        assert all(d > 0 for d in TaxiRideGenerator(seed=1).distances(1_000))
+
+    def test_first_bucket_fraction_matches_paper(self):
+        """Paper: ~33.57% of rides fall into the first distance bucket."""
+        generator = TaxiRideGenerator(seed=11)
+        indices = generator.bucket_indices(20_000)
+        first_bucket = indices.count(0) / len(indices)
+        assert 0.28 < first_bucket < 0.40
+        # The generating distribution's analytical fraction is close to 1/3.
+        assert generator.expected_first_bucket_fraction() == pytest.approx(0.336, abs=0.03)
+
+    def test_distance_distribution_is_right_skewed(self):
+        distances = TaxiRideGenerator(seed=3).distances(10_000)
+        mean = sum(distances) / len(distances)
+        median = sorted(distances)[len(distances) // 2]
+        assert mean > median
+
+    def test_ride_record_schema(self):
+        generator = TaxiRideGenerator(seed=7)
+        ride = generator.ride(taxi_index=3, timestamp=100.0)
+        expected_columns = {name for name, _ in TaxiRideGenerator.table_columns()}
+        assert set(ride) == expected_columns
+        assert ride["city"] == "New York"
+        assert ride["pickup_time"] == 100.0
+
+    def test_rides_for_client(self):
+        generator = TaxiRideGenerator(seed=9)
+        rides = generator.rides_for_client(taxi_index=1, num_rides=5, start_time=0.0, interval=60.0)
+        assert len(rides) == 5
+        assert [r["pickup_time"] for r in rides] == [0.0, 60.0, 120.0, 180.0, 240.0]
+        assert all(r["taxi_id"] == "taxi-00001" for r in rides)
+
+    def test_rides_for_client_invalid_count(self):
+        with pytest.raises(ValueError):
+            TaxiRideGenerator(seed=1).rides_for_client(0, num_rides=-1)
+
+    def test_case_study_sql_references_table_columns(self):
+        sql = TaxiRideGenerator.case_study_sql()
+        assert "distance" in sql
+        assert "private_data" in sql
+
+    def test_fare_correlates_with_distance(self):
+        generator = TaxiRideGenerator(seed=13)
+        rides = [generator.ride(0, 0.0) for _ in range(500)]
+        short = [r["fare"] for r in rides if r["distance"] < 1.0]
+        long = [r["fare"] for r in rides if r["distance"] > 5.0]
+        assert long and short
+        assert sum(long) / len(long) > sum(short) / len(short)

@@ -1,0 +1,96 @@
+"""Integration tests for the two case studies (Section 7): taxi and electricity."""
+
+import pytest
+
+from repro.analytics import histogram_accuracy_loss
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    SystemConfig,
+)
+from repro.datasets import (
+    ELECTRICITY_BUCKETS,
+    ElectricityGenerator,
+    TAXI_DISTANCE_BUCKETS,
+    TaxiRideGenerator,
+)
+
+
+def run_taxi_case_study(num_clients: int, params: ExecutionParameters, seed: int = 5):
+    system = PrivApproxSystem(SystemConfig(num_clients=num_clients, seed=seed))
+    generator = TaxiRideGenerator(seed=seed)
+    system.provision_clients(
+        TaxiRideGenerator.table_columns(),
+        lambda i: generator.rides_for_client(i, num_rides=3),
+    )
+    analyst = Analyst("taxi-analyst")
+    query = analyst.create_query(
+        TaxiRideGenerator.case_study_sql(),
+        AnswerSpec(buckets=TAXI_DISTANCE_BUCKETS, value_column="distance"),
+        frequency_seconds=600.0,
+        window_seconds=600.0,
+        slide_seconds=600.0,
+    )
+    system.submit_query(analyst, query, QueryBudget(), parameters=params)
+    system.run_epoch(query.query_id, 0)
+    results = system.flush(query.query_id)
+    exact = system.exact_bucket_counts(query.query_id)
+    return system, results[0], exact
+
+
+class TestTaxiCaseStudy:
+    def test_distance_distribution_estimation(self):
+        params = ExecutionParameters(sampling_fraction=0.9, p=0.9, q=0.3)
+        _, result, exact = run_taxi_case_study(1_500, params)
+        loss = histogram_accuracy_loss(exact, result.histogram.estimates())
+        assert loss < 0.2
+
+    def test_first_bucket_dominates(self):
+        """The taxi trace has roughly a third of rides below one mile."""
+        params = ExecutionParameters(sampling_fraction=1.0, p=1.0, q=0.5)
+        _, result, exact = run_taxi_case_study(800, params)
+        fractions = [count / sum(exact) for count in exact]
+        assert fractions[0] == pytest.approx(0.336, abs=0.07)
+        assert result.histogram.estimates() == pytest.approx(exact, abs=1e-6)
+
+    def test_higher_p_gives_better_utility(self):
+        """Figure 7(a): utility improves as p grows."""
+        def loss(p: float) -> float:
+            params = ExecutionParameters(sampling_fraction=0.9, p=p, q=0.3)
+            _, result, exact = run_taxi_case_study(1_200, params, seed=9)
+            return histogram_accuracy_loss(exact, result.histogram.estimates())
+
+        assert loss(0.9) < loss(0.3)
+
+
+class TestElectricityCaseStudy:
+    def test_consumption_distribution_estimation(self):
+        system = PrivApproxSystem(SystemConfig(num_clients=1_200, seed=17))
+        generator = ElectricityGenerator(seed=17)
+        system.provision_clients(
+            ElectricityGenerator.table_columns(),
+            lambda i: generator.readings_for_client(i, num_readings=2),
+        )
+        analyst = Analyst("utility-analyst")
+        query = analyst.create_query(
+            ElectricityGenerator.case_study_sql(),
+            AnswerSpec(buckets=ELECTRICITY_BUCKETS, value_column="kwh"),
+            frequency_seconds=1800.0,
+            window_seconds=1800.0,
+            slide_seconds=1800.0,
+        )
+        params = ExecutionParameters(sampling_fraction=0.9, p=0.9, q=0.3)
+        system.submit_query(analyst, query, QueryBudget(), parameters=params)
+        system.run_epoch(query.query_id, 0)
+        results = system.flush(query.query_id)
+        exact = system.exact_bucket_counts(query.query_id)
+        loss = histogram_accuracy_loss(exact, results[0].histogram.estimates())
+        assert loss < 0.2
+
+    def test_low_consumption_buckets_dominate(self):
+        generator = ElectricityGenerator(seed=23)
+        indices = generator.bucket_indices(5_000)
+        assert sum(1 for i in indices if i <= 1) / len(indices) > 0.5

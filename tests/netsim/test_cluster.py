@@ -1,0 +1,99 @@
+"""Tests for the scale-up / scale-out tier throughput model (Figure 8 substrate)."""
+
+import pytest
+
+from repro.netsim import ClusterNode, ClusterTier
+
+
+class TestClusterNode:
+    def test_valid_node(self):
+        node = ClusterNode(cores=8, core_rate_msgs_per_sec=1000)
+        assert node.cores == 8
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterNode(cores=0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterNode(core_rate_msgs_per_sec=0)
+
+
+class TestClusterTier:
+    def test_scale_up_is_monotone(self):
+        tier = ClusterTier.proxy_tier()
+        results = tier.scale_up_series([2, 4, 6, 8])
+        throughputs = [r.throughput_msgs_per_sec for r in results]
+        assert throughputs == sorted(throughputs)
+        assert throughputs[-1] > throughputs[0]
+
+    def test_scale_out_is_monotone(self):
+        tier = ClusterTier.proxy_tier()
+        results = tier.scale_out_series([1, 2, 3, 4])
+        throughputs = [r.throughput_msgs_per_sec for r in results]
+        assert throughputs == sorted(throughputs)
+
+    def test_scaling_is_near_linear_but_sublinear(self):
+        tier = ClusterTier.proxy_tier()
+        one = tier.throughput(num_nodes=1, cores_per_node=8).throughput_msgs_per_sec
+        four = tier.throughput(num_nodes=4, cores_per_node=8).throughput_msgs_per_sec
+        assert 2.5 * one < four < 4.0 * one
+
+    def test_throughput_falls_with_message_size(self):
+        """Figure 5(b): throughput is inversely proportional to the bit-vector size."""
+        tier = ClusterTier.proxy_tier()
+        small = tier.throughput(message_size_bytes=16).throughput_msgs_per_sec
+        medium = tier.throughput(message_size_bytes=1_024).throughput_msgs_per_sec
+        large = tier.throughput(message_size_bytes=16_384).throughput_msgs_per_sec
+        assert small >= medium > large
+        # Roughly inverse proportionality once past the reference size.
+        assert medium / large == pytest.approx(
+            (16_384 + 32) / (1_024 + 32), rel=0.05
+        )
+
+    def test_aggregator_slower_than_proxy(self):
+        """Section 7.2: the aggregator's join/analytics makes it the slower tier."""
+        proxy = ClusterTier.proxy_tier(num_nodes=1)
+        aggregator = ClusterTier.aggregator_tier(num_nodes=1)
+        assert (
+            aggregator.throughput(message_size_bytes=128).throughput_msgs_per_sec
+            < proxy.throughput(message_size_bytes=128).throughput_msgs_per_sec
+        )
+
+    def test_aggregator_less_sensitive_to_message_size(self):
+        """Section 7.2 #I: message size matters less for the aggregator tier."""
+        proxy = ClusterTier.proxy_tier(num_nodes=1)
+        aggregator = ClusterTier.aggregator_tier(num_nodes=1)
+        proxy_ratio = (
+            proxy.throughput(message_size_bytes=64).throughput_msgs_per_sec
+            / proxy.throughput(message_size_bytes=1024).throughput_msgs_per_sec
+        )
+        aggregator_ratio = (
+            aggregator.throughput(message_size_bytes=64).throughput_msgs_per_sec
+            / aggregator.throughput(message_size_bytes=1024).throughput_msgs_per_sec
+        )
+        assert proxy_ratio > aggregator_ratio
+
+    def test_processing_latency_linear_in_messages(self):
+        tier = ClusterTier.proxy_tier()
+        one = tier.processing_latency(10_000)
+        ten = tier.processing_latency(100_000)
+        assert ten == pytest.approx(10 * one)
+
+    def test_processing_latency_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ClusterTier.proxy_tier().processing_latency(-1)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterTier(name="bad", num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterTier(name="bad", scale_up_efficiency=0.0)
+        with pytest.raises(ValueError):
+            ClusterTier(name="bad", scale_out_efficiency=1.5)
+
+    def test_scaling_result_units(self):
+        result = ClusterTier.proxy_tier().throughput()
+        assert result.throughput_k_per_sec == pytest.approx(
+            result.throughput_msgs_per_sec / 1000.0
+        )

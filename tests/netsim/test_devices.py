@@ -1,0 +1,91 @@
+"""Tests for the device cost models (Tables 2 and 3 substrate)."""
+
+import pytest
+
+from repro.netsim import DeviceKind, DeviceProfile, OperationKind
+
+
+class TestDeviceProfiles:
+    def test_three_devices(self):
+        devices = DeviceProfile.all_devices()
+        assert [d.kind for d in devices] == [
+            DeviceKind.PHONE,
+            DeviceKind.LAPTOP,
+            DeviceKind.SERVER,
+        ]
+
+    def test_server_is_fastest_for_every_operation(self):
+        phone, laptop, server = DeviceProfile.all_devices()
+        for operation in OperationKind:
+            assert server.ops_per_second(operation) >= laptop.ops_per_second(operation)
+            assert laptop.ops_per_second(operation) >= phone.ops_per_second(operation)
+
+    def test_xor_is_faster_than_public_key_schemes(self):
+        """The headline of Table 2: XOR dwarfs RSA / GM / Paillier."""
+        for device in DeviceProfile.all_devices():
+            xor = device.ops_per_second(OperationKind.XOR_ENCRYPTION)
+            assert xor > device.ops_per_second(OperationKind.RSA_ENCRYPT)
+            assert xor > device.ops_per_second(OperationKind.GM_ENCRYPT)
+            assert xor > device.ops_per_second(OperationKind.PAILLIER_ENCRYPT)
+
+    def test_xor_decrypt_faster_than_encrypt(self):
+        for device in DeviceProfile.all_devices():
+            assert device.xor_decrypt_ops_per_second() > device.ops_per_second(
+                OperationKind.XOR_ENCRYPTION
+            )
+
+    def test_paillier_is_slowest_encryption(self):
+        for device in DeviceProfile.all_devices():
+            paillier = device.ops_per_second(OperationKind.PAILLIER_ENCRYPT)
+            assert paillier < device.ops_per_second(OperationKind.RSA_ENCRYPT)
+            assert paillier < device.ops_per_second(OperationKind.GM_ENCRYPT)
+
+    def test_seconds_per_op_is_inverse(self):
+        server = DeviceProfile.server()
+        rate = server.ops_per_second(OperationKind.SQLITE_READ)
+        assert server.seconds_per_op(OperationKind.SQLITE_READ) == pytest.approx(1.0 / rate)
+
+    def test_pipeline_throughput_bounded_by_slowest_stage(self):
+        """Table 3: the client pipeline total is dominated by the DB read."""
+        pipeline = [
+            OperationKind.SQLITE_READ,
+            OperationKind.RANDOMIZED_RESPONSE,
+            OperationKind.XOR_ENCRYPTION,
+        ]
+        for device in DeviceProfile.all_devices():
+            total = device.pipeline_ops_per_second(pipeline)
+            slowest = min(device.ops_per_second(op) for op in pipeline)
+            assert total < slowest
+            assert total > 0.5 * slowest  # but the same order of magnitude
+
+    def test_phone_pipeline_matches_paper_magnitude(self):
+        """Paper reports ~1,116 ops/s total on the phone."""
+        phone = DeviceProfile.phone()
+        total = phone.pipeline_ops_per_second(
+            [
+                OperationKind.SQLITE_READ,
+                OperationKind.RANDOMIZED_RESPONSE,
+                OperationKind.XOR_ENCRYPTION,
+            ]
+        )
+        assert 900 < total < 1_162
+
+    def test_time_for_counts(self):
+        laptop = DeviceProfile.laptop()
+        one = laptop.time_for(OperationKind.XOR_ENCRYPTION, 1)
+        thousand = laptop.time_for(OperationKind.XOR_ENCRYPTION, 1_000)
+        assert thousand == pytest.approx(1_000 * one)
+
+    def test_time_for_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DeviceProfile.laptop().time_for(OperationKind.XOR_ENCRYPTION, -1)
+
+    def test_pipeline_requires_operations(self):
+        with pytest.raises(ValueError):
+            DeviceProfile.server().pipeline_ops_per_second([])
+
+    def test_speedup_versus(self):
+        server = DeviceProfile.server()
+        phone = DeviceProfile.phone()
+        speedup = server.speedup_versus(phone, OperationKind.XOR_ENCRYPTION)
+        assert speedup > 10  # the server is dramatically faster than the phone

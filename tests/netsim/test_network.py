@@ -1,0 +1,94 @@
+"""Tests for the traffic/latency model (Figure 9 substrate)."""
+
+import pytest
+
+from repro.netsim import NetworkModel
+
+
+class TestTrafficModel:
+    def test_traffic_scales_with_sampling_fraction(self):
+        model = NetworkModel()
+        low = model.traffic(num_answers_total=1_000_000, sampling_fraction=0.2, answer_bits=88)
+        high = model.traffic(num_answers_total=1_000_000, sampling_fraction=1.0, answer_bits=88)
+        assert high.total_bytes == pytest.approx(5 * low.total_bytes, rel=0.01)
+
+    def test_sampling_at_60_percent_reduces_traffic_about_1_6x(self):
+        """Paper: s=0.6 reduces network traffic by ~1.6x."""
+        model = NetworkModel()
+        sampled = model.traffic(10_000_000, 0.6, answer_bits=88)
+        full = model.traffic(10_000_000, 1.0, answer_bits=88)
+        assert sampled.reduction_versus(full) == pytest.approx(1.0 / 0.6, rel=0.02)
+
+    def test_traffic_counts_all_shares(self):
+        model = NetworkModel(num_proxies=3)
+        report = model.traffic(1_000, 1.0, answer_bits=8)
+        assert report.num_shares_per_answer == 3
+        assert report.total_bytes == 1_000 * 3 * report.share_size_bytes
+
+    def test_share_size_includes_overhead(self):
+        model = NetworkModel(share_overhead_bytes=48)
+        assert model.share_size_bytes(answer_bits=88) == 11 + 48
+
+    def test_invalid_inputs_rejected(self):
+        model = NetworkModel()
+        with pytest.raises(ValueError):
+            model.traffic(100, 1.5, 8)
+        with pytest.raises(ValueError):
+            model.traffic(-1, 0.5, 8)
+        with pytest.raises(ValueError):
+            model.share_size_bytes(0)
+        with pytest.raises(ValueError):
+            NetworkModel(num_proxies=1)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_sec=0)
+
+    def test_traffic_sweep_is_monotone(self):
+        model = NetworkModel()
+        reports = model.traffic_sweep(1_000_000, [0.1, 0.2, 0.4, 0.6, 0.8, 1.0], 88)
+        totals = [r.total_bytes for r in reports]
+        assert totals == sorted(totals)
+
+
+class TestLatencyModel:
+    def test_latency_scales_with_sampling_fraction(self):
+        model = NetworkModel()
+        low = model.latency(1_000_000, 0.2, 88)
+        high = model.latency(1_000_000, 1.0, 88)
+        assert high.total_seconds > low.total_seconds
+
+    def test_sampling_at_60_percent_speeds_up_about_1_6x(self):
+        """Paper: s=0.6 gives ~1.66-1.68x lower latency than no sampling."""
+        model = NetworkModel()
+        sampled = model.latency(10_000_000, 0.6, 88)
+        full = model.latency(10_000_000, 1.0, 88)
+        assert sampled.speedup_versus(full) == pytest.approx(1.0 / 0.6, rel=0.05)
+
+    def test_latency_components_positive(self):
+        report = NetworkModel().latency(100_000, 0.5, 88)
+        assert report.transfer_seconds > 0
+        assert report.proxy_seconds > 0
+        assert report.aggregator_seconds > 0
+        assert report.total_seconds == pytest.approx(
+            report.transfer_seconds + report.proxy_seconds + report.aggregator_seconds
+        )
+
+    def test_aggregator_tier_throughput_below_proxy_tier(self):
+        """Section 7.2 #I: the aggregator's per-message throughput is much lower."""
+        model = NetworkModel()
+        share_size = model.share_size_bytes(88)
+        proxy_rate = model.proxy_tier.throughput(share_size).throughput_msgs_per_sec
+        aggregator_rate = model.aggregator_tier.throughput(share_size).throughput_msgs_per_sec
+        assert aggregator_rate < proxy_rate
+
+    def test_latency_sweep_is_monotone(self):
+        model = NetworkModel()
+        reports = model.latency_sweep(1_000_000, [0.1, 0.4, 0.8, 1.0], 88)
+        totals = [r.total_seconds for r in reports]
+        assert totals == sorted(totals)
+
+    def test_smaller_answers_mean_lower_latency(self):
+        """The electricity case study (smaller messages) is faster at the proxies."""
+        model = NetworkModel()
+        taxi = model.latency(1_000_000, 0.6, answer_bits=88)
+        electricity = model.latency(1_000_000, 0.6, answer_bits=56)
+        assert electricity.total_seconds <= taxi.total_seconds

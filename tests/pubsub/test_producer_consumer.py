@@ -1,0 +1,128 @@
+"""Tests for the producer and consumer APIs."""
+
+import pytest
+
+from repro.pubsub import BrokerCluster, Consumer, ConsumerGroup, Producer
+from repro.pubsub.errors import PubSubError
+
+
+@pytest.fixture
+def cluster() -> BrokerCluster:
+    cluster = BrokerCluster(num_brokers=2)
+    cluster.create_topic("answers", num_partitions=3)
+    cluster.create_topic("keys", num_partitions=3)
+    return cluster
+
+
+class TestProducer:
+    def test_send_tracks_metrics(self, cluster):
+        producer = Producer(cluster)
+        producer.send("answers", value=b"payload", key="m1")
+        assert producer.records_sent == 1
+        assert producer.bytes_sent > 0
+
+    def test_send_batch_preserves_order_per_key(self, cluster):
+        producer = Producer(cluster)
+        producer.send_batch("answers", [b"a", b"b", b"c"], key="same")
+        consumer = Consumer(cluster)
+        consumer.subscribe(["answers"])
+        values = [r.value for r in consumer.poll()]
+        assert values == [b"a", b"b", b"c"]
+
+    def test_timestamps_increase_when_not_provided(self, cluster):
+        producer = Producer(cluster)
+        first = producer.send("answers", b"a")
+        second = producer.send("answers", b"b")
+        assert second.timestamp > first.timestamp
+
+    def test_explicit_timestamp_used(self, cluster):
+        producer = Producer(cluster)
+        record = producer.send("answers", b"a", timestamp=123.5)
+        assert record.timestamp == 123.5
+
+
+class TestConsumer:
+    def test_poll_before_subscribe_rejected(self, cluster):
+        with pytest.raises(PubSubError):
+            Consumer(cluster).poll()
+
+    def test_poll_returns_only_new_records(self, cluster):
+        producer = Producer(cluster)
+        consumer = Consumer(cluster)
+        consumer.subscribe(["answers"])
+        producer.send("answers", b"first")
+        assert [r.value for r in consumer.poll()] == [b"first"]
+        assert consumer.poll() == []
+        producer.send("answers", b"second")
+        assert [r.value for r in consumer.poll()] == [b"second"]
+
+    def test_poll_across_topics(self, cluster):
+        producer = Producer(cluster)
+        consumer = Consumer(cluster)
+        consumer.subscribe(["answers", "keys"])
+        producer.send("answers", b"a")
+        producer.send("keys", b"k")
+        values = {r.value for r in consumer.poll()}
+        assert values == {b"a", b"k"}
+
+    def test_seek_to_beginning(self, cluster):
+        producer = Producer(cluster)
+        consumer = Consumer(cluster)
+        consumer.subscribe(["answers"])
+        producer.send("answers", b"a")
+        consumer.poll()
+        consumer.seek_to_beginning()
+        assert [r.value for r in consumer.poll()] == [b"a"]
+
+    def test_lag(self, cluster):
+        producer = Producer(cluster)
+        consumer = Consumer(cluster)
+        consumer.subscribe(["answers"])
+        for i in range(5):
+            producer.send("answers", bytes([i]))
+        assert consumer.lag() == 5
+        consumer.poll()
+        assert consumer.lag() == 0
+
+    def test_max_records_limits_poll(self, cluster):
+        producer = Producer(cluster)
+        consumer = Consumer(cluster)
+        consumer.subscribe(["answers"])
+        for i in range(10):
+            producer.send("answers", bytes([i]))
+        assert len(consumer.poll(max_records=4)) == 4
+        assert len(consumer.poll()) == 6
+
+    def test_subscribe_unknown_topic_rejected(self, cluster):
+        consumer = Consumer(cluster)
+        with pytest.raises(Exception):
+            consumer.subscribe(["missing"])
+
+
+class TestConsumerGroup:
+    def test_members_split_partitions(self, cluster):
+        producer = Producer(cluster)
+        for i in range(30):
+            producer.send("answers", value=i, key=f"key-{i}")
+        group = ConsumerGroup(cluster, group_id="g", num_members=3)
+        group.subscribe(["answers"])
+        records = group.poll_all()
+        assert len(records) == 30
+
+    def test_poll_all_does_not_duplicate(self, cluster):
+        producer = Producer(cluster)
+        for i in range(10):
+            producer.send("answers", value=i)
+        group = ConsumerGroup(cluster, group_id="g", num_members=2)
+        group.subscribe(["answers"])
+        assert len(group.poll_all()) == 10
+        assert group.poll_all() == []
+
+    def test_requires_members(self, cluster):
+        with pytest.raises(PubSubError):
+            ConsumerGroup(cluster, group_id="g", num_members=0)
+
+    def test_poll_before_subscribe_rejected(self, cluster):
+        group = ConsumerGroup(cluster, group_id="g", num_members=1)
+        with pytest.raises(PubSubError):
+            group.poll_all()

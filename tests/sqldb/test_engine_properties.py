@@ -1,0 +1,75 @@
+"""Property-based tests for the SQL engine (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqldb import Database
+
+
+def _fresh_db(values):
+    db = Database()
+    db.create_table("t", [("x", "REAL"), ("tag", "TEXT")])
+    db.insert_rows("t", [{"x": v, "tag": "even" if i % 2 == 0 else "odd"} for i, v in enumerate(values)])
+    return db
+
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestEngineProperties:
+    @given(values=values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_python(self, values):
+        db = _fresh_db(values)
+        assert db.query("SELECT COUNT(*) FROM t").scalar() == len(values)
+
+    @given(values=values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_python(self, values):
+        db = _fresh_db(values)
+        result = db.query("SELECT SUM(x) FROM t").scalar()
+        if not values:
+            assert result is None
+        else:
+            assert abs(result - sum(values)) <= 1e-6 * max(1.0, abs(sum(values)))
+
+    @given(values=values_strategy, threshold=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_where_filter_matches_python(self, values, threshold):
+        db = _fresh_db(values)
+        result = db.query(f"SELECT x FROM t WHERE x >= {threshold!r}")
+        expected = [v for v in values if v >= threshold]
+        assert sorted(result.column("x")) == sorted(expected)
+
+    @given(values=values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_where_partition_is_complete(self, values):
+        """Rows matching a predicate plus rows matching its negation = all rows."""
+        db = _fresh_db(values)
+        positive = len(db.query("SELECT x FROM t WHERE x >= 0"))
+        negative = len(db.query("SELECT x FROM t WHERE NOT x >= 0"))
+        assert positive + negative == len(values)
+
+    @given(values=values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_sorts(self, values):
+        db = _fresh_db(values)
+        ordered = db.query("SELECT x FROM t ORDER BY x").column("x")
+        assert ordered == sorted(values)
+
+    @given(values=values_strategy, limit=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_limit_bounds_result(self, values, limit):
+        db = _fresh_db(values)
+        result = db.query(f"SELECT x FROM t LIMIT {limit}")
+        assert len(result) == min(limit, len(values))
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_group_by_counts_sum_to_total(self, values):
+        db = _fresh_db(values)
+        result = db.query("SELECT tag, COUNT(*) FROM t GROUP BY tag")
+        assert sum(row[1] for row in result.rows) == len(values)

@@ -1,0 +1,74 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqldb.errors import ParseError
+from repro.sqldb.lexer import TokenType, tokenize
+
+
+class TestTokenize:
+    def test_simple_select(self):
+        tokens = tokenize("SELECT speed FROM vehicle")
+        values = [(t.type, t.value) for t in tokens]
+        assert values[0] == (TokenType.KEYWORD, "SELECT")
+        assert values[1] == (TokenType.IDENTIFIER, "speed")
+        assert values[2] == (TokenType.KEYWORD, "FROM")
+        assert values[3] == (TokenType.IDENTIFIER, "vehicle")
+        assert values[4][0] is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("select Speed from Vehicle where x = 1")
+        keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert keywords == ["SELECT", "FROM", "WHERE"]
+
+    def test_string_literals(self):
+        tokens = tokenize("SELECT a FROM t WHERE city = 'San Francisco'")
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert len(strings) == 1
+        assert strings[0].value == "San Francisco"
+
+    def test_double_quoted_string(self):
+        tokens = tokenize('SELECT a FROM t WHERE name = "bob"')
+        assert any(t.type is TokenType.STRING and t.value == "bob" for t in tokens)
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT a FROM t WHERE city = 'San")
+
+    def test_numbers(self):
+        tokens = tokenize("SELECT a FROM t WHERE x = 3.5 AND y = 42")
+        numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers == ["3.5", "42"]
+
+    def test_negative_number_after_operator(self):
+        tokens = tokenize("SELECT a FROM t WHERE x > -5")
+        numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers == ["-5"]
+
+    def test_operators(self):
+        tokens = tokenize("SELECT a FROM t WHERE x >= 1 AND y <= 2 AND z <> 3 AND w != 4")
+        operators = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert operators == [">=", "<=", "<>", "!="]
+
+    def test_star(self):
+        tokens = tokenize("SELECT * FROM t")
+        assert any(t.type is TokenType.STAR for t in tokens)
+
+    def test_punctuation(self):
+        tokens = tokenize("INSERT INTO t (a, b) VALUES (1, 2);")
+        puncts = [t.value for t in tokens if t.type is TokenType.PUNCT]
+        assert puncts == ["(", ",", ")", "(", ",", ")", ";"]
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT a FROM t WHERE x = @")
+
+    def test_identifiers_with_underscores(self):
+        tokens = tokenize("SELECT pickup_time FROM private_data")
+        identifiers = [t.value for t in tokens if t.type is TokenType.IDENTIFIER]
+        assert identifiers == ["pickup_time", "private_data"]
+
+    def test_aggregate_keywords(self):
+        tokens = tokenize("SELECT COUNT(*), AVG(x) FROM t")
+        keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert "COUNT" in keywords and "AVG" in keywords

@@ -1,0 +1,83 @@
+"""Tests for table and column definitions."""
+
+import pytest
+
+from repro.sqldb.errors import SchemaError
+from repro.sqldb.table import Column, Table
+
+
+class TestColumn:
+    def test_integer_conversion(self):
+        assert Column("x", "INTEGER").convert("5") == 5
+
+    def test_real_conversion(self):
+        assert Column("x", "REAL").convert("2.5") == 2.5
+
+    def test_text_conversion(self):
+        assert Column("x", "TEXT").convert(10) == "10"
+
+    def test_none_passes_through(self):
+        assert Column("x", "INTEGER").convert(None) is None
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "BLOB")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "INTEGER").convert("not-a-number")
+
+    def test_case_insensitive_type(self):
+        assert Column("x", "integer").convert("7") == 7
+
+
+class TestTable:
+    def _table(self) -> Table:
+        return Table(name="t", columns=[Column("a", "INTEGER"), Column("b", "TEXT")])
+
+    def test_insert_positional(self):
+        table = self._table()
+        table.insert([1, "x"])
+        assert table.rows == [(1, "x")]
+
+    def test_insert_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            self._table().insert([1])
+
+    def test_insert_with_columns_fills_missing_with_none(self):
+        table = self._table()
+        table.insert(["hello"], column_names=["b"])
+        assert table.rows == [(None, "hello")]
+
+    def test_insert_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            self._table().insert([1], column_names=["zzz"])
+
+    def test_insert_dict(self):
+        table = self._table()
+        table.insert_dict({"a": "3", "b": 9})
+        assert table.rows == [(3, "9")]
+
+    def test_scan_yields_dicts(self):
+        table = self._table()
+        table.insert([1, "x"])
+        table.insert([2, "y"])
+        assert list(table.scan()) == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_column_index_case_insensitive(self):
+        table = self._table()
+        assert table.column_index("A") == 0
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            self._table().column_index("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=[Column("a"), Column("a")])
+
+    def test_len(self):
+        table = self._table()
+        assert len(table) == 0
+        table.insert([1, "x"])
+        assert len(table) == 1

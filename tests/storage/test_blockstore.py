@@ -1,0 +1,118 @@
+"""Tests for the replicated block store (HDFS substitute)."""
+
+import pytest
+
+from repro.storage import BlockStore, StorageError
+
+
+class TestBlockStoreBasics:
+    def test_create_and_exists(self):
+        store = BlockStore()
+        store.create("f")
+        assert store.exists("f")
+        assert not store.exists("g")
+
+    def test_duplicate_create_rejected(self):
+        store = BlockStore()
+        store.create("f")
+        with pytest.raises(StorageError):
+            store.create("f")
+
+    def test_append_then_read_roundtrip(self):
+        store = BlockStore()
+        store.append("f", b"hello ")
+        store.append("f", b"world")
+        assert store.read("f") == b"hello world"
+
+    def test_append_creates_missing_file(self):
+        store = BlockStore()
+        store.append("auto", b"data")
+        assert store.exists("auto")
+
+    def test_large_append_spans_blocks(self):
+        store = BlockStore(block_size=10)
+        payload = bytes(range(256)) * 4
+        store.append("big", payload)
+        assert store.read("big") == payload
+        assert store.file_length("big") == len(payload)
+
+    def test_empty_append_is_noop(self):
+        store = BlockStore()
+        store.append("f", b"")
+        assert store.read("f") == b""
+
+    def test_read_missing_file_rejected(self):
+        with pytest.raises(StorageError):
+            BlockStore().read("missing")
+
+    def test_list_files(self):
+        store = BlockStore()
+        store.append("b", b"1")
+        store.append("a", b"2")
+        assert store.list_files() == ["a", "b"]
+
+    def test_delete(self):
+        store = BlockStore()
+        store.append("f", b"data")
+        store.delete("f")
+        assert not store.exists("f")
+        with pytest.raises(StorageError):
+            store.read("f")
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(StorageError):
+            BlockStore().delete("nope")
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(StorageError):
+            BlockStore(num_nodes=0)
+        with pytest.raises(StorageError):
+            BlockStore(num_nodes=2, replication=3)
+        with pytest.raises(StorageError):
+            BlockStore(block_size=0)
+
+
+class TestReplicationAndFailures:
+    def test_replicas_are_placed_on_distinct_nodes(self):
+        store = BlockStore(num_nodes=3, replication=2)
+        store.append("f", b"x" * 100)
+        used = [node.used_bytes() for node in store.nodes]
+        assert sum(1 for u in used if u > 0) == 2
+
+    def test_total_used_accounts_replication(self):
+        store = BlockStore(num_nodes=3, replication=3, block_size=1024)
+        store.append("f", b"x" * 100)
+        assert store.total_used_bytes() == 300
+
+    def test_read_survives_single_node_failure(self):
+        store = BlockStore(num_nodes=3, replication=2, block_size=8)
+        payload = b"the randomized answers survive failures"
+        store.append("f", payload)
+        store.fail_node(0)
+        assert store.read("f") == payload
+
+    def test_read_fails_when_all_replicas_down(self):
+        store = BlockStore(num_nodes=2, replication=2, block_size=8)
+        store.append("f", b"data")
+        store.fail_node(0)
+        store.fail_node(1)
+        with pytest.raises(StorageError):
+            store.read("f")
+
+    def test_recovered_node_serves_reads_again(self):
+        store = BlockStore(num_nodes=2, replication=2, block_size=8)
+        store.append("f", b"data")
+        store.fail_node(0)
+        store.fail_node(1)
+        store.recover_node(1)
+        assert store.read("f") == b"data"
+
+    def test_write_fails_without_enough_live_nodes(self):
+        store = BlockStore(num_nodes=2, replication=2)
+        store.fail_node(0)
+        with pytest.raises(StorageError):
+            store.append("f", b"data")
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(StorageError):
+            BlockStore(num_nodes=2).fail_node(9)

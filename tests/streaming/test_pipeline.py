@@ -1,0 +1,69 @@
+"""Tests for pipeline assembly and epoch-by-epoch execution."""
+
+from repro.streaming import SlidingWindowAssigner, StreamPipeline, StreamSource
+
+
+class TestStreamSource:
+    def test_default_timestamps_are_sequential(self):
+        records = StreamSource().to_records(["a", "b", "c"])
+        assert [r.timestamp for r in records] == [0.0, 1.0, 2.0]
+
+    def test_timestamp_extractor(self):
+        source = StreamSource(timestamp_fn=lambda v: v["ts"])
+        records = source.to_records([{"ts": 5.0}, {"ts": 9.0}])
+        assert [r.timestamp for r in records] == [5.0, 9.0]
+
+
+class TestStreamPipeline:
+    def test_map_filter_chain(self):
+        pipeline = StreamPipeline().map(lambda x: x * 10).filter(lambda x: x >= 20)
+        out = pipeline.run_epoch([1, 2, 3])
+        assert [r.value for r in out] == [20, 30]
+
+    def test_flat_map(self):
+        pipeline = StreamPipeline().flat_map(lambda x: list(range(x)))
+        out = pipeline.run_epoch([3])
+        assert [r.value for r in out] == [0, 1, 2]
+
+    def test_windowed_word_count_style(self):
+        source = StreamSource(timestamp_fn=lambda v: v[0])
+        pipeline = StreamPipeline(source=source)
+        pipeline.map(lambda v: v[1])
+        pipeline.window_aggregate(
+            SlidingWindowAssigner(window_length=10.0, slide_interval=10.0), aggregate_fn=sum
+        )
+        out = pipeline.run([(0.0, 1), (5.0, 2), (12.0, 5), (13.0, 7)])
+        aggregates = {r.value[0].start: r.value[1] for r in out}
+        assert aggregates == {0.0: 3, 10.0: 12}
+
+    def test_run_epoch_keeps_window_state(self):
+        source = StreamSource(timestamp_fn=lambda v: v[0])
+        pipeline = StreamPipeline(source=source).map(lambda v: v[1])
+        pipeline.window_aggregate(
+            SlidingWindowAssigner(window_length=10.0, slide_interval=10.0), aggregate_fn=sum
+        )
+        first = pipeline.run_epoch([(0.0, 1), (5.0, 2)])
+        assert first == []  # window [0,10) not complete yet
+        second = pipeline.run_epoch([(11.0, 4)])
+        assert len(second) == 1
+        assert second[0].value[1] == 3
+
+    def test_flush_cascades_through_downstream_operators(self):
+        source = StreamSource(timestamp_fn=lambda v: v[0])
+        pipeline = StreamPipeline(source=source).map(lambda v: v[1])
+        pipeline.window_aggregate(
+            SlidingWindowAssigner(window_length=10.0, slide_interval=10.0), aggregate_fn=sum
+        )
+        pipeline.map(lambda pair: pair[1] * 100)
+        out = pipeline.run([(0.0, 1), (2.0, 2)])
+        assert [r.value for r in out] == [300]
+
+    def test_iter_epochs(self):
+        pipeline = StreamPipeline().map(lambda x: x + 1)
+        outputs = list(pipeline.iter_epochs([[1], [2, 3]]))
+        assert [[r.value for r in batch] for batch in outputs] == [[2], [3, 4]]
+
+    def test_key_by_sets_keys(self):
+        pipeline = StreamPipeline().key_by(lambda v: v % 2)
+        out = pipeline.run_epoch([1, 2, 3])
+        assert [r.key for r in out] == [1, 0, 1]

@@ -1,0 +1,95 @@
+"""Tests for event-time window assignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.streaming import SlidingWindowAssigner, TumblingWindowAssigner, Window
+
+
+class TestWindow:
+    def test_contains_is_half_open(self):
+        window = Window(start=0.0, end=10.0)
+        assert window.contains(0.0)
+        assert window.contains(9.999)
+        assert not window.contains(10.0)
+        assert not window.contains(-0.1)
+
+    def test_length(self):
+        assert Window(start=5.0, end=15.0).length == 10.0
+
+    def test_ordering(self):
+        assert Window(0.0, 10.0) < Window(5.0, 15.0)
+
+
+class TestSlidingWindowAssigner:
+    def test_tumbling_case_assigns_single_window(self):
+        assigner = SlidingWindowAssigner(window_length=60.0, slide_interval=60.0)
+        windows = assigner.assign(75.0)
+        assert windows == [Window(start=60.0, end=120.0)]
+
+    def test_overlapping_windows(self):
+        # 10-minute window sliding every minute: each timestamp is in 10 windows.
+        assigner = SlidingWindowAssigner(window_length=600.0, slide_interval=60.0)
+        windows = assigner.assign(1234.0)
+        assert len(windows) == 10
+        assert all(w.contains(1234.0) for w in windows)
+        # Windows are consecutive slides.
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+        assert starts[1] - starts[0] == 60.0
+
+    def test_timestamp_zero(self):
+        assigner = SlidingWindowAssigner(window_length=120.0, slide_interval=60.0)
+        windows = assigner.assign(0.0)
+        assert Window(start=0.0, end=120.0) in windows
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAssigner(window_length=0, slide_interval=1)
+        with pytest.raises(ValueError):
+            SlidingWindowAssigner(window_length=10, slide_interval=0)
+        with pytest.raises(ValueError):
+            SlidingWindowAssigner(window_length=10, slide_interval=20)
+
+    def test_windows_between(self):
+        assigner = SlidingWindowAssigner(window_length=100.0, slide_interval=50.0)
+        windows = assigner.windows_between(0.0, 200.0)
+        assert [w.start for w in windows] == [0.0, 50.0, 100.0, 150.0]
+
+    def test_windows_between_rejects_reversed_range(self):
+        assigner = SlidingWindowAssigner(window_length=100.0, slide_interval=50.0)
+        with pytest.raises(ValueError):
+            assigner.windows_between(100.0, 0.0)
+
+    @given(
+        timestamp=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        window_length=st.integers(min_value=1, max_value=1000),
+        slide_divisor=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_assigned_window_contains_the_timestamp(
+        self, timestamp, window_length, slide_divisor
+    ):
+        slide = max(1, window_length // slide_divisor)
+        assigner = SlidingWindowAssigner(window_length=float(window_length), slide_interval=float(slide))
+        windows = assigner.assign(timestamp)
+        assert windows, "every timestamp belongs to at least one window"
+        assert all(w.contains(timestamp) for w in windows)
+        # The number of covering windows is ceil(length / slide) or one fewer at edges.
+        assert len(windows) <= -(-window_length // slide)
+
+
+class TestTumblingWindowAssigner:
+    def test_assigns_exactly_one_window(self):
+        assigner = TumblingWindowAssigner(window_length=30.0)
+        assert assigner.assign(65.0) == [Window(start=60.0, end=90.0)]
+
+    def test_as_sliding_equivalent(self):
+        tumbling = TumblingWindowAssigner(window_length=30.0)
+        sliding = tumbling.as_sliding()
+        for timestamp in (0.0, 29.9, 30.0, 61.0, 1234.5):
+            assert tumbling.assign(timestamp) == sliding.assign(timestamp)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            TumblingWindowAssigner(window_length=0)
