@@ -17,6 +17,21 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_collection_modifyitems(items):
+    """Tag everything under benchmarks/ with the ``bench`` marker.
+
+    Tier-1 runs never collect this directory (``testpaths`` points at
+    ``tests/``); the marker lets explicit benchmark invocations still select
+    subsets with ``-m bench`` or ``-m 'not bench'``.  The hook sees the whole
+    session's items (even from this subdirectory conftest), so only items
+    that actually live under benchmarks/ are marked.
+    """
+    here = os.path.dirname(__file__)
+    for item in items:
+        if os.path.commonpath([here, str(item.path)]) == here:
+            item.add_marker(pytest.mark.bench)
+
+
 class ReportWriter:
     """Formats benchmark output as fixed-width tables and persists it."""
 

@@ -39,6 +39,35 @@ from repro.datasets import (
     TaxiRideGenerator,
 )
 from repro.netsim import DeviceProfile, OperationKind
+from repro.runtime import EXECUTOR_KINDS
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    """Epoch-runtime selection flags shared by the end-to-end commands."""
+    parser.add_argument(
+        "--executor", choices=EXECUTOR_KINDS, default="serial",
+        help="epoch runtime: 'serial' reference loop or 'sharded' worker pool",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker pool size for --executor sharded (default: 4)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for --executor sharded (default: one per worker)",
+    )
+
+
+def _system_config(args: argparse.Namespace, **overrides) -> SystemConfig:
+    """Build a SystemConfig from the common CLI arguments."""
+    return SystemConfig(
+        num_clients=args.clients,
+        seed=args.seed,
+        executor=args.executor,
+        executor_workers=args.workers,
+        executor_shards=args.shards,
+        **overrides,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("-p", type=float, default=0.9)
     simulate.add_argument("-q", type=float, default=0.6)
     simulate.add_argument("--seed", type=int, default=7)
+    _add_executor_arguments(simulate)
 
     taxi = subparsers.add_parser("taxi", help="run the NYC-taxi case study")
     taxi.add_argument("--clients", type=int, default=800)
@@ -77,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     taxi.add_argument("-p", type=float, default=0.9)
     taxi.add_argument("-q", type=float, default=0.3)
     taxi.add_argument("--seed", type=int, default=11)
+    _add_executor_arguments(taxi)
 
     electricity = subparsers.add_parser("electricity", help="run the electricity case study")
     electricity.add_argument("--clients", type=int, default=800)
@@ -84,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     electricity.add_argument("-p", type=float, default=0.9)
     electricity.add_argument("-q", type=float, default=0.3)
     electricity.add_argument("--seed", type=int, default=17)
+    _add_executor_arguments(electricity)
 
     subparsers.add_parser("crypto-table", help="print the Table 2 crypto comparison")
     return parser
@@ -122,7 +154,7 @@ def _print_histogram(labels, estimates, bounds, exact) -> None:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    system = PrivApproxSystem(SystemConfig(num_clients=args.clients, seed=args.seed))
+    system = PrivApproxSystem(_system_config(args))
     rng = random.Random(args.seed)
     system.provision_clients(
         [("value", "REAL")], lambda i: [{"value": rng.gammavariate(2.0, 1.0)}]
@@ -145,6 +177,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     for epoch in range(args.epochs):
         system.run_epoch(query.query_id, epoch)
     system.flush(query.query_id)
+    system.close()
     results = analyst.results_for(query.query_id)
     exact = system.exact_bucket_counts(query.query_id)
     last = results[-1]
@@ -157,7 +190,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _run_case_study(args: argparse.Namespace, generator, buckets, sql, value_column) -> int:
-    system = PrivApproxSystem(SystemConfig(num_clients=args.clients, seed=args.seed))
+    system = PrivApproxSystem(_system_config(args))
     system.provision_clients(
         generator.table_columns(),
         lambda i: (
@@ -180,6 +213,7 @@ def _run_case_study(args: argparse.Namespace, generator, buckets, sql, value_col
     system.submit_query(analyst, query, QueryBudget(), parameters=params)
     system.run_epoch(query.query_id, 0)
     result = system.flush(query.query_id)[0]
+    system.close()
     exact = system.exact_bucket_counts(query.query_id)
     _print_histogram(result.histogram.labels(), result.histogram.estimates(),
                      result.histogram.error_bounds(), exact)

@@ -110,20 +110,30 @@ class Aggregator:
     # -- ingestion ----------------------------------------------------------
 
     def ingest_shares(
-        self, shares: list[MessageShare], epoch: int
+        self, shares: list[MessageShare], epoch: int, *, batched: bool = False
     ) -> list[WindowResult]:
         """Ingest a batch of shares belonging to one epoch.
 
         Returns the results of any windows that became complete (their end
         time passed the watermark) as a consequence of this batch.
+
+        With ``batched=True`` the join runs in grouped mode: shares are
+        bucketed by ``MID`` in one dictionary pass and complete groups skip
+        the per-record join operator entirely (incomplete or cross-epoch
+        groups still go through its keyed buffer).  The decoded answers and
+        all counters are identical to the per-record reference path; only the
+        constant factor changes.  The sharded epoch runtime uses this mode.
         """
         timestamp = self._epoch_timestamp(epoch)
-        records = [
-            StreamRecord(value=share, timestamp=timestamp, key=share.message_id)
-            for share in shares
-        ]
-        self.shares_received += len(records)
-        joined = self._join.process(records)
+        self.shares_received += len(shares)
+        if batched:
+            joined = self._join_grouped(shares, timestamp)
+        else:
+            records = [
+                StreamRecord(value=share, timestamp=timestamp, key=share.message_id)
+                for share in shares
+            ]
+            joined = self._join.process(records)
         decoded = []
         for record in joined:
             try:
@@ -141,12 +151,14 @@ class Aggregator:
         emitted = self._window_op.process(decoded)
         return [self._to_window_result(record) for record in emitted]
 
-    def consume_from_proxies(self, consumers: list[Consumer], epoch: int) -> list[WindowResult]:
+    def consume_from_proxies(
+        self, consumers: list[Consumer], epoch: int, *, batched: bool = False
+    ) -> list[WindowResult]:
         """Poll the proxy streams and ingest every new share."""
         shares: list[MessageShare] = []
         for consumer in consumers:
             shares.extend(record.value for record in consumer.poll())
-        return self.ingest_shares(shares, epoch)
+        return self.ingest_shares(shares, epoch, batched=batched)
 
     def flush(self) -> list[WindowResult]:
         """Emit every pending window (end of stream / end of experiment)."""
@@ -163,6 +175,37 @@ class Aggregator:
         return self._window_op.late_records_dropped
 
     # -- internals -------------------------------------------------------------
+
+    def _join_grouped(
+        self, shares: list[MessageShare], timestamp: float
+    ) -> list[StreamRecord]:
+        """Group-by-``MID`` join over one ingest batch.
+
+        A group that holds exactly the expected number of shares and has no
+        shares buffered from earlier batches joins immediately without
+        touching the keyed operator; everything else falls back to the
+        operator so cross-epoch stragglers and malformed surpluses behave
+        exactly as in the reference path.
+        """
+        groups: dict[str, list[MessageShare]] = {}
+        for share in shares:
+            groups.setdefault(share.message_id, []).append(share)
+        expected = self._expected_shares()
+        joined: list[StreamRecord] = []
+        leftovers: list[StreamRecord] = []
+        for message_id, group in groups.items():
+            if len(group) == expected and not self._join.has_pending(message_id):
+                joined.append(
+                    StreamRecord(value=group, timestamp=timestamp, key=message_id)
+                )
+            else:
+                leftovers.extend(
+                    StreamRecord(value=share, timestamp=timestamp, key=message_id)
+                    for share in group
+                )
+        if leftovers:
+            joined.extend(self._join.process(leftovers))
+        return joined
 
     def _epoch_timestamp(self, epoch: int) -> float:
         return epoch * self.query.frequency_seconds

@@ -73,6 +73,13 @@ class Client:
         )
         self._codec = AnswerCodec()
         self._subscriptions: dict[str, tuple[Query, ExecutionParameters]] = {}
+        # Sampler/responder pairs cached per parameter set: both only hold the
+        # (p, q, s) constants plus a reference to this client's RNG, so reuse
+        # across epochs draws exactly the same random sequence as fresh
+        # instances while avoiding two allocations per answer.
+        self._mechanisms: dict[
+            ExecutionParameters, tuple[SimpleRandomSampler, RandomizedResponder]
+        ] = {}
         # Local secret behind the anonymous per-epoch participation tokens;
         # it never leaves the device.
         if config.seed is None:
@@ -118,12 +125,11 @@ class Client:
             return None
         query, parameters = self._subscriptions[query_id]
 
-        sampler = SimpleRandomSampler(parameters.sampling_fraction, rng=self._rng)
+        sampler, responder = self._mechanisms_for(parameters)
         if not sampler.should_participate():
             return None
 
         truthful_bits = self._execute_query_locally(query)
-        responder = RandomizedResponder(p=parameters.p, q=parameters.q, rng=self._rng)
         randomized_bits = responder.randomize_vector(truthful_bits)
 
         answer = QueryAnswer(
@@ -143,6 +149,18 @@ class Client:
             truthful_bits=tuple(truthful_bits),
             randomized_bits=tuple(randomized_bits),
         )
+
+    def _mechanisms_for(
+        self, parameters: ExecutionParameters
+    ) -> tuple[SimpleRandomSampler, RandomizedResponder]:
+        cached = self._mechanisms.get(parameters)
+        if cached is None:
+            cached = (
+                SimpleRandomSampler(parameters.sampling_fraction, rng=self._rng),
+                RandomizedResponder(p=parameters.p, q=parameters.q, rng=self._rng),
+            )
+            self._mechanisms[parameters] = cached
+        return cached
 
     def truthful_answer(self, query_id: str) -> list[int]:
         """The truthful (pre-randomization) answer vector.

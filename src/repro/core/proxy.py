@@ -44,6 +44,20 @@ class Proxy:
         self.shares_relayed += 1
         self.bytes_relayed += share.size_bytes()
 
+    def receive_batch(self, shares: list[MessageShare]) -> None:
+        """Accept one share from each of many clients in a single publish.
+
+        Same relay semantics and accounting as per-share :meth:`receive_share`
+        but amortized over the batch — used by the sharded epoch runtime.
+        """
+        if not shares:
+            return
+        self._producer.send_many(
+            self.topic_name, shares, keys=[share.message_id for share in shares]
+        )
+        self.shares_relayed += len(shares)
+        self.bytes_relayed += sum(share.size_bytes() for share in shares)
+
     def make_consumer(self, group_id: str = "aggregator") -> Consumer:
         """Create a consumer the aggregator uses to pull this proxy's stream."""
         consumer = Consumer(self.cluster, group_id=group_id, consumer_id=f"{group_id}-{self.proxy_id}")
@@ -85,6 +99,25 @@ class ProxyNetwork:
             )
         for proxy, share in zip(self.proxies, shares):
             proxy.receive_share(share)
+
+    def transmit_batch(self, share_rows: list[list[MessageShare]]) -> None:
+        """Send the shares of many encrypted answers, batched per proxy.
+
+        ``share_rows`` holds one row per answer (``num_proxies`` shares each);
+        the rows are transposed into one column per proxy so every proxy
+        receives its whole shard's worth of shares in a single publish.  The
+        relayed stream is record-for-record identical to calling
+        :meth:`transmit` once per row.
+        """
+        if not share_rows:
+            return
+        for row in share_rows:
+            if len(row) != self.num_proxies:
+                raise ValueError(
+                    f"expected {self.num_proxies} shares (one per proxy), got {len(row)}"
+                )
+        for index, proxy in enumerate(self.proxies):
+            proxy.receive_batch([row[index] for row in share_rows])
 
     def total_shares_relayed(self) -> int:
         return sum(proxy.shares_relayed for proxy in self.proxies)

@@ -20,6 +20,7 @@ historical store so batch analytics can run over longer periods.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -29,10 +30,12 @@ from repro.core.analyst import Analyst
 from repro.core.budget import BudgetPlanner, ExecutionParameters, QueryBudget
 from repro.core.client import Client, ClientConfig, ClientResponse
 from repro.core.distribution import QueryDistributor
+from repro.core.estimation import ErrorEstimator
 from repro.core.historical import HistoricalStore
 from repro.core.proxy import ProxyNetwork
 from repro.core.query import Query
 from repro.core.validation import AnswerValidator
+from repro.runtime import EXECUTOR_KINDS, EpochContext, make_executor
 
 
 @dataclass(frozen=True)
@@ -44,6 +47,13 @@ class SystemConfig:
     unsigned queries fall back to direct subscription.
     ``enable_validation`` and ``enable_admission_control`` turn on the
     aggregator-side structural checks and the duplicate-answer defense.
+
+    ``executor`` selects the epoch runtime (:mod:`repro.runtime`):
+    ``"serial"`` answers clients one-by-one (the reference implementation),
+    ``"sharded"`` partitions them into ``executor_shards`` shards answered by
+    ``executor_workers`` pooled workers (``executor_pool`` of ``"thread"`` or
+    ``"process"``) with per-shard batched broker traffic.  Both executors
+    produce identical results for identical seeds.
     """
 
     num_clients: int = 100
@@ -54,12 +64,24 @@ class SystemConfig:
     distribute_queries_via_proxies: bool = True
     enable_validation: bool = True
     enable_admission_control: bool = True
+    executor: str = "serial"
+    executor_workers: int = 4
+    executor_shards: int | None = None
+    executor_pool: str = "thread"
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
             raise ValueError("need at least one client")
         if self.num_proxies < 2:
             raise ValueError("PrivApprox requires at least two proxies")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.executor_workers < 1:
+            raise ValueError("executor_workers must be positive")
+        if self.executor_shards is not None and self.executor_shards < 1:
+            raise ValueError("executor_shards must be positive when given")
 
 
 @dataclass(frozen=True)
@@ -100,6 +122,12 @@ class PrivApproxSystem:
                     )
                 )
             )
+        self.executor = make_executor(
+            config.executor,
+            workers=config.executor_workers,
+            shards=config.executor_shards,
+            pool=config.executor_pool,
+        )
         self.analyst: Analyst | None = None
         self.historical_store = HistoricalStore() if config.keep_historical else None
         self.query_distributor = QueryDistributor(
@@ -159,6 +187,7 @@ class PrivApproxSystem:
             parameters=params,
             total_clients=self.config.num_clients,
             num_proxies=self.config.num_proxies,
+            error_estimator=self._make_error_estimator(query, params),
             validator=AnswerValidator(query) if self.config.enable_validation else None,
             admission=(
                 AnswerAdmissionController() if self.config.enable_admission_control else None
@@ -171,6 +200,22 @@ class PrivApproxSystem:
         self._responses_log[query.query_id] = []
         self._distribute_query(query, budget, params)
         return params
+
+    def _make_error_estimator(
+        self, query: Query, params: ExecutionParameters
+    ) -> ErrorEstimator | None:
+        """A calibration estimator seeded from the system seed (when set).
+
+        Seeding makes the empirical randomization-error calibration — and so
+        the full window results, error bounds included — reproducible for a
+        given system seed, which is what lets the executor-equivalence tests
+        demand byte-identical results.  Unseeded systems keep the default
+        fresh-entropy estimator.
+        """
+        if self.config.seed is None:
+            return None
+        derived = self.config.seed * 1_000_003 + zlib.crc32(query.query_id.encode("utf-8"))
+        return ErrorEstimator(p=params.p, q=params.q, rng=random.Random(derived))
 
     def _distribute_query(
         self, query: Query, budget: QueryBudget, params: ExecutionParameters
@@ -198,29 +243,37 @@ class PrivApproxSystem:
     # -- epoch execution ------------------------------------------------------------
 
     def run_epoch(self, query_id: str, epoch: int) -> EpochReport:
-        """Run one answering epoch end-to-end for a query."""
+        """Run one answering epoch end-to-end for a query.
+
+        The answering/transmission/ingestion dataflow is delegated to the
+        configured :class:`~repro.runtime.EpochExecutor`; everything after
+        (historical recording, result delivery, feedback re-tuning) is
+        executor-agnostic.
+        """
         if query_id not in self._queries:
             raise KeyError(f"unknown query {query_id}")
         query = self._queries[query_id]
-        params = self._parameters[query_id]
         aggregator = self._aggregators[query_id]
         consumers = self._consumers[query_id]
 
-        participants = 0
-        for client in self.clients:
-            response = client.answer_query(query_id, epoch=epoch)
-            if response is None:
-                continue
-            participants += 1
-            self._responses_log[query_id].append(response)
-            self.proxies.transmit(list(response.encrypted.shares))
+        outcome = self.executor.run_epoch(
+            EpochContext(
+                clients=self.clients,
+                proxies=self.proxies,
+                aggregator=aggregator,
+                consumers=consumers,
+                query_id=query_id,
+            ),
+            epoch,
+        )
+        self._responses_log[query_id].extend(outcome.responses)
 
-        window_results = aggregator.consume_from_proxies(consumers, epoch=epoch)
+        window_results = list(outcome.window_results)
         self._record_historical(query, aggregator, epoch)
         self._deliver_and_retune(query_id, window_results)
         return EpochReport(
             epoch=epoch,
-            num_participants=participants,
+            num_participants=outcome.num_participants,
             num_clients=self.config.num_clients,
             window_results=tuple(window_results),
             parameters=self._parameters[query_id],
@@ -229,6 +282,10 @@ class PrivApproxSystem:
     def run_epochs(self, query_id: str, num_epochs: int) -> list[EpochReport]:
         """Run several consecutive epochs."""
         return [self.run_epoch(query_id, epoch) for epoch in range(num_epochs)]
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); safe to call twice."""
+        self.executor.close()
 
     def flush(self, query_id: str) -> list[WindowResult]:
         """Flush pending windows at the end of an experiment."""

@@ -59,17 +59,31 @@ class KeystreamGenerator:
         """The seed this generator was created with."""
         return self._seed
 
-    def _refill(self) -> None:
-        block = hashlib.sha256(self._seed + struct.pack(">Q", self._counter)).digest()
-        self._counter += 1
-        self._buffer.extend(block)
+    def _refill(self, min_bytes: int = 1) -> None:
+        """Extend the buffer with however many counter-mode blocks are needed.
+
+        Generating all the blocks for a bulk request in one pass (and joining
+        them once) keeps large ``next_bytes`` calls cheap; the byte stream is
+        identical to refilling one block at a time.
+        """
+        num_blocks = max(1, -(-min_bytes // _DIGEST_SIZE))
+        seed = self._seed
+        counter = self._counter
+        self._buffer.extend(
+            b"".join(
+                hashlib.sha256(seed + struct.pack(">Q", counter + i)).digest()
+                for i in range(num_blocks)
+            )
+        )
+        self._counter = counter + num_blocks
 
     def next_bytes(self, length: int) -> bytes:
         """Return the next ``length`` bytes of the keystream."""
         if length < 0:
             raise ValueError(f"length must be non-negative, got {length}")
-        while len(self._buffer) < length:
-            self._refill()
+        missing = length - len(self._buffer)
+        if missing > 0:
+            self._refill(missing)
         out = bytes(self._buffer[:length])
         del self._buffer[:length]
         return out

@@ -1,0 +1,34 @@
+"""Parallel sharded epoch runtime for the PrivApprox deployment.
+
+The paper's architecture is horizontally scalable by construction — clients
+answer independently, proxies only relay, the aggregator joins per-``MID`` —
+and this package gives the in-process simulation the same shape: an
+:class:`EpochExecutor` abstraction with a serial reference implementation and
+a sharded implementation that answers client shards in a worker pool and
+batches all broker traffic per shard.  See ``README.md`` ("Runtime
+architecture") for how to pick an executor and worker count.
+"""
+
+from repro.runtime.executor import (
+    EXECUTOR_KINDS,
+    EpochContext,
+    EpochExecutor,
+    EpochOutcome,
+    make_executor,
+)
+from repro.runtime.serial import SerialExecutor
+from repro.runtime.sharded import ShardedExecutor, answer_shard
+from repro.runtime.sharding import Shard, plan_shards
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "EpochContext",
+    "EpochExecutor",
+    "EpochOutcome",
+    "SerialExecutor",
+    "Shard",
+    "ShardedExecutor",
+    "answer_shard",
+    "make_executor",
+    "plan_shards",
+]

@@ -1,0 +1,106 @@
+"""The epoch-executor abstraction of the parallel runtime.
+
+An :class:`EpochExecutor` owns the "answering epoch" dataflow of
+:class:`~repro.core.system.PrivApproxSystem`: have every subscribed client
+answer (sample -> SQL -> randomize -> encrypt), move the resulting shares
+into the proxy brokers, and drain the proxy streams into the aggregator.
+The system delegates :meth:`run_epoch` to whichever executor its
+:class:`~repro.core.system.SystemConfig` selected and keeps everything else
+(historical recording, result delivery, feedback re-tuning) executor-agnostic.
+
+Two implementations ship with the runtime:
+
+* :class:`~repro.runtime.serial.SerialExecutor` — the reference
+  implementation: one in-order loop over clients, one transmit per client,
+  per-record ingestion.  This is exactly the pre-runtime behavior.
+* :class:`~repro.runtime.sharded.ShardedExecutor` — partitions clients into
+  contiguous shards, answers each shard in a ``concurrent.futures`` worker
+  pool, batches share transmission into the brokers per shard, and ingests
+  with the aggregator's grouped join.
+
+Because every client draws from its own seeded RNG and keystream, the work is
+embarrassingly parallel and the merged outcome is independent of shard count
+and worker scheduling; the equivalence test suite pins this property down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # imported lazily to keep repro.core <-> repro.runtime acyclic
+    from repro.core.aggregator import Aggregator, WindowResult
+    from repro.core.client import Client, ClientResponse
+    from repro.core.proxy import ProxyNetwork
+    from repro.pubsub import Consumer
+
+
+@dataclass
+class EpochContext:
+    """Everything an executor needs to run one epoch for one query.
+
+    ``clients`` is the system's *live* client list: executors that move
+    client state to other processes must write the advanced state back into
+    it so later epochs continue the same RNG streams.
+    """
+
+    clients: list["Client"]
+    proxies: "ProxyNetwork"
+    aggregator: "Aggregator"
+    consumers: Sequence["Consumer"]
+    query_id: str
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """What one executed epoch produced.
+
+    ``responses`` holds the participating clients' responses in client order
+    (the deterministic merge of per-shard logs); ``window_results`` holds the
+    window results the aggregator emitted while ingesting this epoch.
+    """
+
+    responses: tuple
+    window_results: tuple
+
+    @property
+    def num_participants(self) -> int:
+        return len(self.responses)
+
+
+# The canonical registry of executor kinds make_executor understands;
+# SystemConfig validation and the CLI choices import this single source.
+EXECUTOR_KINDS = ("serial", "sharded")
+
+
+class EpochExecutor:
+    """Base class for epoch execution strategies."""
+
+    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
+        """Answer, transmit and ingest one epoch; return the merged outcome."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker pools or other resources (idempotent no-op here)."""
+
+
+def make_executor(
+    name: str,
+    workers: int = 4,
+    shards: int | None = None,
+    pool: str = "thread",
+) -> EpochExecutor:
+    """Build an executor from configuration values.
+
+    ``name`` is ``"serial"`` or ``"sharded"``; ``workers``/``shards``/``pool``
+    only apply to the sharded executor (``shards=None`` means one shard per
+    worker).
+    """
+    from repro.runtime.serial import SerialExecutor
+    from repro.runtime.sharded import ShardedExecutor
+
+    if name == "serial":
+        return SerialExecutor()
+    if name == "sharded":
+        return ShardedExecutor(num_workers=workers, num_shards=shards, pool=pool)
+    raise ValueError(f"unknown executor {name!r} (expected one of {EXECUTOR_KINDS})")

@@ -1,0 +1,30 @@
+"""The serial reference executor: the pre-runtime epoch loop, verbatim.
+
+Kept deliberately simple — one pass over the clients, one proxy transmission
+per participating client, per-record ingestion at the aggregator — so it can
+serve as the executable specification that :class:`ShardedExecutor` must
+match result-for-result.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.executor import EpochContext, EpochExecutor, EpochOutcome
+
+
+class SerialExecutor(EpochExecutor):
+    """Answers every client one-by-one in a single in-process loop."""
+
+    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
+        responses = []
+        for client in context.clients:
+            response = client.answer_query(context.query_id, epoch=epoch)
+            if response is None:
+                continue
+            responses.append(response)
+            context.proxies.transmit(list(response.encrypted.shares))
+        window_results = context.aggregator.consume_from_proxies(
+            list(context.consumers), epoch=epoch
+        )
+        return EpochOutcome(
+            responses=tuple(responses), window_results=tuple(window_results)
+        )

@@ -111,6 +111,10 @@ class KeyedJoinOperator(Operator):
         """Number of keys still waiting for their remaining shares."""
         return len(self._buffer)
 
+    def has_pending(self, key: Any) -> bool:
+        """Whether earlier records for ``key`` are buffered awaiting a join."""
+        return key in self._buffer
+
 
 @dataclass
 class WindowAggregateOperator(Operator):

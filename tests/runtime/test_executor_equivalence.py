@@ -1,0 +1,183 @@
+"""Equivalence of the sharded runtime with the serial reference executor.
+
+The property the runtime guarantees: for the same system seed, the sharded
+executor produces *identical* results to the serial executor — same
+participants, same response logs, byte-identical window histograms (estimates
+AND error bounds, since the calibration RNG is seeded from the system seed) —
+regardless of shard count, worker count or pool kind.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+)
+
+SEED = 20260727
+
+
+def run_deployment(
+    num_clients: int,
+    *,
+    executor: str = "serial",
+    workers: int = 4,
+    shards: int | None = None,
+    pool: str = "thread",
+    sampling_fraction: float = 0.8,
+    num_epochs: int = 2,
+    seed: int = SEED,
+):
+    """Run a small deployment end-to-end and return its observable outputs."""
+    config = SystemConfig(
+        num_clients=num_clients,
+        num_proxies=2,
+        seed=seed,
+        executor=executor,
+        executor_workers=workers,
+        executor_shards=shards,
+        executor_pool=pool,
+    )
+    system = PrivApproxSystem(config)
+    rng = random.Random(seed)
+    system.provision_clients(
+        [("value", "REAL")], lambda i: [{"value": rng.uniform(0.0, 8.0)}]
+    )
+    analyst = Analyst("equivalence")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    system.submit_query(
+        analyst,
+        query,
+        QueryBudget(),
+        parameters=ExecutionParameters(
+            sampling_fraction=sampling_fraction, p=0.9, q=0.5
+        ),
+    )
+    reports = system.run_epochs(query.query_id, num_epochs)
+    system.flush(query.query_id)
+    system.close()
+    results = analyst.results_for(query.query_id)
+    responses = system.responses_log(query.query_id)
+    return reports, results, responses
+
+
+def serialize_results(results) -> bytes:
+    """Canonical byte serialization of the analyst-facing window results."""
+    out = bytearray()
+    for result in results:
+        out += struct.pack(">ddqq", result.window.start, result.window.end,
+                           result.num_answers, result.population)
+        for bucket in result.histogram.buckets:
+            out += struct.pack(
+                ">qdd", bucket.bucket_index, bucket.estimate, bucket.error_bound
+            )
+    return bytes(out)
+
+
+def serialize_responses(responses) -> list[tuple]:
+    return [
+        (r.client_id, r.epoch, r.truthful_bits, r.randomized_bits)
+        for r in responses
+    ]
+
+
+class TestShardedMatchesSerial:
+    @pytest.mark.parametrize("num_clients", [1, 50, 100])
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    def test_identical_outputs_across_shard_counts(self, num_clients, num_shards):
+        serial_reports, serial_results, serial_responses = run_deployment(num_clients)
+        sharded_reports, sharded_results, sharded_responses = run_deployment(
+            num_clients, executor="sharded", workers=4, shards=num_shards
+        )
+        assert [r.num_participants for r in serial_reports] == [
+            r.num_participants for r in sharded_reports
+        ]
+        assert serialize_responses(serial_responses) == serialize_responses(
+            sharded_responses
+        )
+        assert serialize_results(serial_results) == serialize_results(sharded_results)
+
+    def test_fewer_clients_than_workers(self):
+        _, serial_results, serial_responses = run_deployment(3)
+        _, sharded_results, sharded_responses = run_deployment(
+            3, executor="sharded", workers=8, shards=8
+        )
+        assert serialize_responses(serial_responses) == serialize_responses(
+            sharded_responses
+        )
+        assert serialize_results(serial_results) == serialize_results(sharded_results)
+
+    def test_zero_participant_shards(self):
+        """A tiny sampling fraction leaves whole shards without participants."""
+        _, serial_results, serial_responses = run_deployment(
+            20, sampling_fraction=0.05, num_epochs=3
+        )
+        _, sharded_results, sharded_responses = run_deployment(
+            20,
+            executor="sharded",
+            workers=4,
+            shards=10,
+            sampling_fraction=0.05,
+            num_epochs=3,
+        )
+        # With s=0.05 over 20 clients most of the 10 shards are empty of
+        # participants every epoch; results must still line up exactly.
+        assert len(serial_responses) < 20 * 3
+        assert serialize_responses(serial_responses) == serialize_responses(
+            sharded_responses
+        )
+        assert serialize_results(serial_results) == serialize_results(sharded_results)
+
+    def test_more_shards_than_clients(self):
+        _, serial_results, serial_responses = run_deployment(5)
+        _, sharded_results, sharded_responses = run_deployment(
+            5, executor="sharded", workers=2, shards=7
+        )
+        assert serialize_responses(serial_responses) == serialize_responses(
+            sharded_responses
+        )
+        assert serialize_results(serial_results) == serialize_results(sharded_results)
+
+    def test_seeded_runs_are_reproducible(self):
+        """Two identical sharded runs agree byte-for-byte with each other."""
+        first = run_deployment(40, executor="sharded", workers=4, shards=4)
+        second = run_deployment(40, executor="sharded", workers=4, shards=4)
+        assert serialize_results(first[1]) == serialize_results(second[1])
+        assert serialize_responses(first[2]) == serialize_responses(second[2])
+
+
+@pytest.mark.slow
+class TestProcessPool:
+    def test_process_pool_matches_serial(self):
+        """The picklable shard tasks also run (and agree) in a process pool.
+
+        Client state advanced in the workers is shipped back between epochs,
+        so a multi-epoch run must still match the serial reference exactly.
+        """
+        _, serial_results, serial_responses = run_deployment(12, num_epochs=2)
+        _, sharded_results, sharded_responses = run_deployment(
+            12, executor="sharded", workers=2, shards=2, pool="process", num_epochs=2
+        )
+        assert serialize_responses(serial_responses) == serialize_responses(
+            sharded_responses
+        )
+        assert serialize_results(serial_results) == serialize_results(sharded_results)
