@@ -46,15 +46,17 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     """Epoch-runtime selection flags shared by the end-to-end commands."""
     parser.add_argument(
         "--executor", choices=EXECUTOR_KINDS, default="serial",
-        help="epoch runtime: 'serial' reference loop or 'sharded' worker pool",
+        help="epoch runtime: 'serial' reference loop, 'sharded' worker pool, "
+             "or 'pipelined' overlapped answer/transmit/ingest",
     )
     parser.add_argument(
         "--workers", type=int, default=4,
-        help="worker pool size for --executor sharded (default: 4)",
+        help="worker pool size for the sharded/pipelined executors (default: 4)",
     )
     parser.add_argument(
         "--shards", type=int, default=None,
-        help="shard count for --executor sharded (default: one per worker)",
+        help="shard count for the sharded/pipelined executors "
+             "(default: one per worker)",
     )
 
 

@@ -87,6 +87,46 @@ class AnswerAdmissionController:
         self._admitted_counts[key] = count + 1
         return AdmissionDecision(admitted=True)
 
+    def admit_batch(
+        self, query_id: str, items: list[tuple[int, str]]
+    ) -> list[bool]:
+        """Admit many ``(epoch, token)`` answers in arrival order.
+
+        Decision-for-decision and counter-for-counter identical to calling
+        :meth:`admit` once per item, but the per-epoch seen-set and admitted
+        count are resolved once per distinct epoch instead of once per answer
+        and no :class:`AdmissionDecision` is allocated — the batched admission
+        loop of the aggregator's grouped ingest path.
+        """
+        max_answers = self.max_answers_per_epoch
+        seen_cache: dict[tuple[str, int], set[str]] = {}
+        count_cache: dict[tuple[str, int], int] = {}
+        verdicts = []
+        append = verdicts.append
+        for epoch, token in items:
+            if not token:
+                append(False)
+                continue
+            key = (query_id, epoch)
+            seen = seen_cache.get(key)
+            if seen is None:
+                seen = seen_cache[key] = self._seen.setdefault(key, set())
+                count_cache[key] = self._admitted_counts.get(key, 0)
+            if token in seen:
+                self.duplicates_rejected += 1
+                append(False)
+                continue
+            if max_answers is not None and count_cache[key] >= max_answers:
+                self.rate_limited += 1
+                append(False)
+                continue
+            seen.add(token)
+            count_cache[key] += 1
+            append(True)
+        for key, count in count_cache.items():
+            self._admitted_counts[key] = count
+        return verdicts
+
     def admitted_count(self, query_id: str, epoch: int) -> int:
         return self._admitted_counts.get((query_id, epoch), 0)
 

@@ -120,9 +120,12 @@ class Aggregator:
         With ``batched=True`` the join runs in grouped mode: shares are
         bucketed by ``MID`` in one dictionary pass and complete groups skip
         the per-record join operator entirely (incomplete or cross-epoch
-        groups still go through its keyed buffer).  The decoded answers and
-        all counters are identical to the per-record reference path; only the
-        constant factor changes.  The sharded epoch runtime uses this mode.
+        groups still go through its keyed buffer), and validation/admission
+        run through the batched loops (:meth:`AnswerValidator.validate_batch`,
+        :meth:`AnswerAdmissionController.admit_batch`).  The decoded answers
+        and all counters are identical to the per-record reference path; only
+        the constant factor changes.  The sharded and pipelined epoch runtimes
+        use this mode.
         """
         timestamp = self._epoch_timestamp(epoch)
         self.shares_received += len(shares)
@@ -134,7 +137,7 @@ class Aggregator:
                 for share in shares
             ]
             joined = self._join.process(records)
-        decoded = []
+        candidates = []
         for record in joined:
             try:
                 answer = self._decrypt(record.value)
@@ -144,9 +147,20 @@ class Aggregator:
                 # window (Section 2.2 threat model — malicious clients).
                 self.malformed_messages += 1
                 continue
-            if not self._accept(answer, epoch):
-                continue
-            decoded.append(record.with_value(answer))
+            candidates.append((record, answer))
+        if batched:
+            verdicts = self._accept_batch([answer for _, answer in candidates], epoch)
+            decoded = [
+                record.with_value(answer)
+                for (record, answer), ok in zip(candidates, verdicts)
+                if ok
+            ]
+        else:
+            decoded = [
+                record.with_value(answer)
+                for record, answer in candidates
+                if self._accept(answer, epoch)
+            ]
         self.answers_processed += len(decoded)
         emitted = self._window_op.process(decoded)
         return [self._to_window_result(record) for record in emitted]
@@ -225,6 +239,39 @@ class Aggregator:
                 self.rejected_duplicates += 1
                 return False
         return True
+
+    def _accept_batch(self, answers: list[QueryAnswer], arrival_epoch: int) -> list[bool]:
+        """Batched validation + admission with per-answer decisions.
+
+        Identical decisions and counters to calling :meth:`_accept` once per
+        answer: every answer is validated first, and only the validation
+        survivors reach the admission controller, in arrival order.
+        """
+        if not answers:
+            return []
+        if self.validator is not None:
+            valid = self.validator.validate_batch(answers, arrival_epoch)
+            self.invalid_answers += valid.count(False)
+        else:
+            valid = [True] * len(answers)
+        if self.admission is None:
+            return valid
+        admitted = iter(
+            self.admission.admit_batch(
+                self.query.query_id,
+                [(a.epoch, a.token) for a, ok in zip(answers, valid) if ok],
+            )
+        )
+        verdicts = []
+        for ok in valid:
+            if not ok:
+                verdicts.append(False)
+                continue
+            decision = next(admitted)
+            if not decision:
+                self.rejected_duplicates += 1
+            verdicts.append(decision)
+        return verdicts
 
     def _aggregate_window(self, answers: list[QueryAnswer]) -> dict:
         """Window aggregation function handed to the streaming operator."""

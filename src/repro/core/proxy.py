@@ -10,6 +10,16 @@ proxy latency is an order of magnitude below SplitX's.
 Each :class:`Proxy` is backed by a topic on the in-memory pub/sub broker
 (:mod:`repro.pubsub`), mirroring the Kafka deployment of the paper: one topic
 for the encrypted answer stream and one per key stream.
+
+Two relay granularities coexist:
+
+* the classic per-proxy topic (``proxy-<i>``), written per share or per
+  batched publish — used by the serial and sharded epoch runtimes;
+* *shard-aware* topics (``proxy-<i>-shard-<s>``), one per client shard, each
+  carrying one *batch record* per transmission (the record's value is the
+  whole shard's share column) — used by the pipelined epoch runtime so a
+  completed shard can be relayed and ingested while other shards are still
+  answering, without per-share partition routing or record framing.
 """
 
 from __future__ import annotations
@@ -57,6 +67,54 @@ class Proxy:
         )
         self.shares_relayed += len(shares)
         self.bytes_relayed += sum(share.size_bytes() for share in shares)
+
+    # -- shard-aware relay (pipelined runtime) ------------------------------
+
+    def shard_topic_name(self, slot: int) -> str:
+        """Name of the shard-aware relay topic for one shard slot."""
+        return f"{self.topic_name}-shard-{slot}"
+
+    def ensure_shard_topics(self, num_slots: int) -> list[str]:
+        """Create the shard-aware relay topics (one single-partition topic each).
+
+        Idempotent: existing topics are kept, so executors can call this every
+        epoch (or per query) without disturbing consumer offsets.
+        """
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        names = []
+        for slot in range(num_slots):
+            name = self.shard_topic_name(slot)
+            self.cluster.ensure_topic(name, num_partitions=1)
+            names.append(name)
+        return names
+
+    def receive_shard_batch(self, slot: int, shares: list[MessageShare]) -> None:
+        """Relay one shard's worth of shares as a single batch record.
+
+        The record's value is the tuple of shares, so the broker handles one
+        append per shard instead of one per client; the relay accounting still
+        counts every individual share so proxy throughput numbers stay
+        comparable with the per-share paths.
+        """
+        if not shares:
+            return
+        self._producer.send(self.shard_topic_name(slot), value=tuple(shares))
+        self.shares_relayed += len(shares)
+        self.bytes_relayed += sum(share.size_bytes() for share in shares)
+
+    def make_shard_consumer(self, slot: int, group_id: str = "aggregator") -> Consumer:
+        """Create a consumer over one shard slot's relay topic.
+
+        The topic must exist (see :meth:`ensure_shard_topics`).
+        """
+        consumer = Consumer(
+            self.cluster,
+            group_id=group_id,
+            consumer_id=f"{group_id}-{self.proxy_id}-shard-{slot}",
+        )
+        consumer.subscribe([self.shard_topic_name(slot)])
+        return consumer
 
     def make_consumer(self, group_id: str = "aggregator") -> Consumer:
         """Create a consumer the aggregator uses to pull this proxy's stream."""
@@ -118,6 +176,46 @@ class ProxyNetwork:
                 )
         for index, proxy in enumerate(self.proxies):
             proxy.receive_batch([row[index] for row in share_rows])
+
+    # -- shard-aware relay (pipelined runtime) ------------------------------
+
+    def ensure_shard_topics(self, num_slots: int) -> None:
+        """Create the shard-aware relay topics on every proxy (idempotent)."""
+        for proxy in self.proxies:
+            proxy.ensure_shard_topics(num_slots)
+
+    def transmit_shard(self, slot: int, share_rows: list[list[MessageShare]]) -> None:
+        """Send many answers' shares as one batch record per proxy.
+
+        Like :meth:`transmit_batch` the rows (one per answer) are transposed
+        into one column per proxy, but each column lands on the proxy's
+        shard-aware topic for ``slot`` as a *single* record whose value is the
+        whole column — the pipelined runtime's relay granularity.  The share
+        multiset reaching the aggregator is identical to per-share
+        :meth:`transmit` calls.
+        """
+        if not share_rows:
+            return
+        for row in share_rows:
+            if len(row) != self.num_proxies:
+                raise ValueError(
+                    f"expected {self.num_proxies} shares (one per proxy), got {len(row)}"
+                )
+        for index, proxy in enumerate(self.proxies):
+            proxy.receive_shard_batch(slot, [row[index] for row in share_rows])
+
+    def make_shard_consumers(
+        self, group_id: str, num_slots: int
+    ) -> list[list[Consumer]]:
+        """Consumers over the shard-aware topics: ``result[slot][proxy]``.
+
+        Creates the topics first so consumers can subscribe immediately.
+        """
+        self.ensure_shard_topics(num_slots)
+        return [
+            [proxy.make_shard_consumer(slot, group_id) for proxy in self.proxies]
+            for slot in range(num_slots)
+        ]
 
     def total_shares_relayed(self) -> int:
         return sum(proxy.shares_relayed for proxy in self.proxies)

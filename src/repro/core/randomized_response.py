@@ -72,11 +72,38 @@ class RandomizedResponder:
         return 1 if self.rng.random() < self.q else 0
 
     def randomize_vector(self, truthful_bits: Sequence[int]) -> list[int]:
-        """Randomize every bit of an answer vector independently.
+        """Randomize every bit of an answer vector independently (batched).
 
         Independent per-bucket randomization is what lets the aggregator apply
         the Eq. 5 estimator bucket by bucket.
+
+        This is the batched fast path of the per-bit loop: the RNG method and
+        the ``(p, q)`` constants are bound once for the whole vector instead
+        of being re-resolved per bit.  It is *draw-compatible* with
+        :meth:`randomize_bit` — it consumes exactly the same ``rng.random()``
+        sequence in the same order (one draw per bit, plus a second draw only
+        when the first coin lands tails) — so a seeded client produces
+        byte-identical answers whichever path runs;
+        :meth:`randomize_vector_scalar` keeps the per-bit reference and the
+        regression test in ``tests/core/test_randomized_response.py`` pins the
+        two together.
         """
+        rand = self.rng.random
+        p = self.p
+        q = self.q
+        out = []
+        append = out.append
+        for bit in truthful_bits:
+            if bit != 0 and bit != 1:
+                raise ValueError(f"truthful bit must be 0 or 1, got {bit}")
+            if rand() < p:
+                append(bit)
+            else:
+                append(1 if rand() < q else 0)
+        return out
+
+    def randomize_vector_scalar(self, truthful_bits: Sequence[int]) -> list[int]:
+        """Per-bit reference implementation of :meth:`randomize_vector`."""
         return [self.randomize_bit(bit) for bit in truthful_bits]
 
     def response_probability(self, truthful_bit: int) -> float:

@@ -52,8 +52,10 @@ class SystemConfig:
     ``"serial"`` answers clients one-by-one (the reference implementation),
     ``"sharded"`` partitions them into ``executor_shards`` shards answered by
     ``executor_workers`` pooled workers (``executor_pool`` of ``"thread"`` or
-    ``"process"``) with per-shard batched broker traffic.  Both executors
-    produce identical results for identical seeds.
+    ``"process"``) with per-shard batched broker traffic, and ``"pipelined"``
+    additionally overlaps answering, transmission and ingestion through
+    shard-aware proxy topics (thread pool only).  All executors produce
+    identical results for identical seeds; see ``docs/ARCHITECTURE.md``.
     """
 
     num_clients: int = 100
@@ -82,6 +84,10 @@ class SystemConfig:
             raise ValueError("executor_workers must be positive")
         if self.executor_shards is not None and self.executor_shards < 1:
             raise ValueError("executor_shards must be positive when given")
+        if self.executor == "pipelined" and self.executor_pool != "thread":
+            raise ValueError(
+                "the pipelined executor only supports executor_pool='thread'"
+            )
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 from repro.core.query import Query, QueryAnswer
 
+_BINARY_BITS = frozenset((0, 1))
+
 
 @dataclass(frozen=True)
 class ValidationResult:
@@ -60,6 +62,44 @@ class AnswerValidator:
                 self.rejected_by_reason.get(result.reason, 0) + 1
             )
         return result
+
+    def validate_batch(self, answers: list[QueryAnswer], arrival_epoch: int) -> list[bool]:
+        """Check many answers in one pass; returns one verdict per answer.
+
+        Decision-for-decision and counter-for-counter identical to calling
+        :meth:`validate` once per answer, but with the query constants bound
+        once and without a :class:`ValidationResult` allocation per answer —
+        the batched admission loop of the aggregator's grouped ingest path.
+        """
+        query_id = self.query.query_id
+        num_buckets = self.query.num_buckets
+        max_drift = self.max_epoch_drift
+        max_set = self.max_set_bits
+        rejected = self.rejected_by_reason
+        verdicts = []
+        append = verdicts.append
+        accepted = 0
+        for answer in answers:
+            if answer.query_id != query_id:
+                reason = "wrong query id"
+            elif answer.num_buckets != num_buckets:
+                reason = "wrong answer length"
+            elif not _BINARY_BITS.issuperset(answer.bits):
+                reason = "non-binary answer"
+            elif answer.epoch < 0:
+                reason = "negative epoch"
+            elif abs(answer.epoch - arrival_epoch) > max_drift:
+                reason = "epoch drift"
+            elif max_set is not None and sum(answer.bits) > max_set:
+                reason = "too many set bits"
+            else:
+                accepted += 1
+                append(True)
+                continue
+            rejected[reason] = rejected.get(reason, 0) + 1
+            append(False)
+        self.accepted += accepted
+        return verdicts
 
     def _check(self, answer: QueryAnswer, arrival_epoch: int) -> ValidationResult:
         if answer.query_id != self.query.query_id:

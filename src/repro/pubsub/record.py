@@ -6,6 +6,25 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
+def _payload_size(value: Any) -> int:
+    """Approximate wire size of a record payload.
+
+    Understands sized objects (anything with ``size_bytes()``), raw bytes and
+    strings, and — for the shard-batch records the pipelined runtime publishes
+    — lists/tuples of payloads, which are sized as the sum of their elements
+    (batch framing is charged once, at the record level).
+    """
+    if hasattr(value, "size_bytes"):
+        return value.size_bytes()
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        return sum(_payload_size(item) for item in value)
+    return len(repr(value).encode("utf-8"))
+
+
 @dataclass(frozen=True)
 class Record:
     """A single published record.
@@ -14,7 +33,7 @@ class Record:
     ----------
     value:
         Arbitrary payload (PrivApprox publishes :class:`~repro.crypto.xor.MessageShare`
-        objects or serialized bytes).
+        objects, batches of them, or serialized bytes).
     key:
         Optional partitioning key; records with the same key land in the same
         partition, preserving per-key order.
@@ -48,14 +67,5 @@ class Record:
 
     def size_bytes(self) -> int:
         """Approximate wire size of the record, used by the network model."""
-        value = self.value
-        if hasattr(value, "size_bytes"):
-            payload = value.size_bytes()
-        elif isinstance(value, (bytes, bytearray)):
-            payload = len(value)
-        elif isinstance(value, str):
-            payload = len(value.encode("utf-8"))
-        else:
-            payload = len(repr(value).encode("utf-8"))
         key_size = len(self.key.encode("utf-8")) if self.key else 0
-        return payload + key_size + 16  # 16 bytes of framing/timestamp overhead
+        return _payload_size(self.value) + key_size + 16  # 16 bytes framing/timestamp

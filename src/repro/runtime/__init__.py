@@ -1,12 +1,21 @@
-"""Parallel sharded epoch runtime for the PrivApprox deployment.
+"""Parallel epoch runtimes for the PrivApprox deployment.
 
 The paper's architecture is horizontally scalable by construction — clients
 answer independently, proxies only relay, the aggregator joins per-``MID`` —
 and this package gives the in-process simulation the same shape: an
-:class:`EpochExecutor` abstraction with a serial reference implementation and
-a sharded implementation that answers client shards in a worker pool and
-batches all broker traffic per shard.  See ``README.md`` ("Runtime
-architecture") for how to pick an executor and worker count.
+:class:`EpochExecutor` abstraction with three implementations:
+
+* :class:`SerialExecutor` — the in-order reference loop (the executable
+  specification every other executor must match byte-for-byte);
+* :class:`ShardedExecutor` — client shards answered in a worker pool with
+  per-shard batched broker traffic and a grouped ``MID`` join;
+* :class:`PipelinedExecutor` — no barriers between answering, transmission
+  and ingestion: completed shards stream through shard-aware proxy topics
+  into the aggregator while other shards are still answering.
+
+See ``docs/ARCHITECTURE.md`` for the executors side by side, when to use
+which, and the seeded-equivalence contract; ``README.md`` ("Runtime
+architecture") covers executor and worker-count selection from the CLI.
 """
 
 from repro.runtime.executor import (
@@ -16,6 +25,7 @@ from repro.runtime.executor import (
     EpochOutcome,
     make_executor,
 )
+from repro.runtime.pipelined import PipelinedExecutor
 from repro.runtime.serial import SerialExecutor
 from repro.runtime.sharded import ShardedExecutor, answer_shard
 from repro.runtime.sharding import Shard, plan_shards
@@ -25,6 +35,7 @@ __all__ = [
     "EpochContext",
     "EpochExecutor",
     "EpochOutcome",
+    "PipelinedExecutor",
     "SerialExecutor",
     "Shard",
     "ShardedExecutor",

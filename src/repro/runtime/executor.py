@@ -8,7 +8,7 @@ The system delegates :meth:`run_epoch` to whichever executor its
 :class:`~repro.core.system.SystemConfig` selected and keeps everything else
 (historical recording, result delivery, feedback re-tuning) executor-agnostic.
 
-Two implementations ship with the runtime:
+Three implementations ship with the runtime:
 
 * :class:`~repro.runtime.serial.SerialExecutor` — the reference
   implementation: one in-order loop over clients, one transmit per client,
@@ -16,11 +16,19 @@ Two implementations ship with the runtime:
 * :class:`~repro.runtime.sharded.ShardedExecutor` — partitions clients into
   contiguous shards, answers each shard in a ``concurrent.futures`` worker
   pool, batches share transmission into the brokers per shard, and ingests
-  with the aggregator's grouped join.
+  with the aggregator's grouped join.  The three stages still run as
+  barriers: transmit starts per shard only as answering results are
+  collected, and ingestion runs after every shard has transmitted.
+* :class:`~repro.runtime.pipelined.PipelinedExecutor` — removes the barriers:
+  shards answer in a worker pool while a transmitter thread publishes each
+  *completed* shard to shard-aware proxy topics and the caller's thread
+  ingests relayed shards into the aggregator, all concurrently.
 
 Because every client draws from its own seeded RNG and keystream, the work is
 embarrassingly parallel and the merged outcome is independent of shard count
 and worker scheduling; the equivalence test suite pins this property down.
+See ``docs/ARCHITECTURE.md`` for the executors side by side and the
+seeded-equivalence contract each must satisfy.
 """
 
 from __future__ import annotations
@@ -70,11 +78,18 @@ class EpochOutcome:
 
 # The canonical registry of executor kinds make_executor understands;
 # SystemConfig validation and the CLI choices import this single source.
-EXECUTOR_KINDS = ("serial", "sharded")
+EXECUTOR_KINDS = ("serial", "sharded", "pipelined")
 
 
 class EpochExecutor:
-    """Base class for epoch execution strategies."""
+    """Base class for epoch execution strategies.
+
+    An executor must satisfy the *seeded-equivalence contract* (documented in
+    ``docs/ARCHITECTURE.md``): for a seeded system, :meth:`run_epoch` must
+    produce the same participating responses in client order and byte-identical
+    window results as :class:`~repro.runtime.serial.SerialExecutor`, for any
+    internal parallelism or batching configuration.
+    """
 
     def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
         """Answer, transmit and ingest one epoch; return the merged outcome."""
@@ -92,10 +107,22 @@ def make_executor(
 ) -> EpochExecutor:
     """Build an executor from configuration values.
 
-    ``name`` is ``"serial"`` or ``"sharded"``; ``workers``/``shards``/``pool``
-    only apply to the sharded executor (``shards=None`` means one shard per
-    worker).
+    Parameters
+    ----------
+    name:
+        ``"serial"``, ``"sharded"`` or ``"pipelined"`` (see
+        :data:`EXECUTOR_KINDS`).
+    workers:
+        Worker pool size for the sharded and pipelined executors.
+    shards:
+        Shard count for the sharded and pipelined executors; ``None`` means
+        one shard per worker.
+    pool:
+        ``"thread"`` or ``"process"``, sharded executor only — the pipelined
+        executor shares live client/broker state across its stages and
+        therefore only runs on threads.
     """
+    from repro.runtime.pipelined import PipelinedExecutor
     from repro.runtime.serial import SerialExecutor
     from repro.runtime.sharded import ShardedExecutor
 
@@ -103,4 +130,11 @@ def make_executor(
         return SerialExecutor()
     if name == "sharded":
         return ShardedExecutor(num_workers=workers, num_shards=shards, pool=pool)
+    if name == "pipelined":
+        if pool != "thread":
+            raise ValueError(
+                "the pipelined executor only supports pool='thread' "
+                "(use the sharded executor for process pools)"
+            )
+        return PipelinedExecutor(num_workers=workers, num_shards=shards)
     raise ValueError(f"unknown executor {name!r} (expected one of {EXECUTOR_KINDS})")

@@ -1,0 +1,268 @@
+"""The pipelined epoch executor: overlapped answering, transmission, ingestion.
+
+The serial and sharded executors run the three stages of an answering epoch as
+a barrier pipeline — *every* client answers, then *all* shares are
+transmitted, then the aggregator ingests the lot.  The pipelined executor
+removes the barriers, the way a streaming engine pipelines operators instead
+of materializing between them:
+
+1. **Answer** — client shards are answered by a thread worker pool (the same
+   :func:`~repro.runtime.sharded.answer_shard` task the sharded executor
+   uses); each finished shard is pushed onto a *bounded* hand-off queue, so a
+   slow downstream applies backpressure instead of unbounded buffering.
+2. **Transmit** — a dedicated transmitter thread drains the hand-off queue in
+   completion order and publishes every finished shard's shares to the
+   proxies' *shard-aware topics* (:meth:`~repro.core.proxy.ProxyNetwork.transmit_shard`):
+   one single-partition topic per (proxy, shard slot), carrying one batch
+   record per shard per epoch.  Compared with the sharded executor's
+   per-share records this removes the per-share partition routing, record
+   construction and poll bookkeeping entirely.
+3. **Ingest** — the caller's thread consumes transmit notifications and, for
+   each relayed shard, polls that shard's consumers and feeds the shares to
+   the aggregator's grouped ``MID`` join and batched validation/admission
+   loop — while other shards are still being answered by the pool.
+
+Determinism: per-client seeded RNGs make shard answering order-independent;
+shard responses are merged into the epoch log in shard-index (= client) order;
+and every aggregation step downstream of transmission is insensitive to the
+order shards arrive in — joins are keyed by ``MID``, window aggregation is a
+commutative sum, and windows only fire on epoch boundaries, after every shard
+of the previous epoch has been ingested.  The equivalence suite
+(``tests/runtime/test_executor_equivalence.py``) pins the executor to the
+serial reference byte-for-byte.
+
+Failure handling: a worker, transmitter or ingest exception is *surfaced* from
+:meth:`PipelinedExecutor.run_epoch` instead of hanging the pipeline — every
+stage keeps draining its input queue after a failure so no producer ever
+blocks on a full queue, and the first error is re-raised once the epoch's
+in-flight work has unwound.  The epoch is then partially ingested; a real
+deployment would retry the epoch, the simulation treats it as fatal.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.runtime.executor import EpochContext, EpochExecutor, EpochOutcome
+from repro.runtime.sharded import answer_shard
+from repro.runtime.sharding import plan_shards
+
+if TYPE_CHECKING:
+    from repro.core.client import ClientResponse
+    from repro.pubsub import Consumer
+
+
+class PipelinedExecutor(EpochExecutor):
+    """Barrier-free epoch execution: answer, transmit and ingest concurrently.
+
+    Parameters
+    ----------
+    num_workers:
+        Threads in the answering pool.
+    num_shards:
+        Shard count (and shard-aware topic count per proxy); defaults to
+        ``num_workers``.  More shards than workers gives finer pipelining —
+        the first shard reaches the aggregator sooner.
+    queue_depth:
+        Capacity of the bounded answered-shard hand-off queue.  Small values
+        apply backpressure to the answering pool when transmission or
+        ingestion falls behind; the default keeps roughly one shard per
+        worker in flight.
+
+    Only the thread pool is supported: the pipeline shares live client and
+    broker state between its stages, which is exactly the in-process shape.
+    (Use ``ShardedExecutor(pool="process")`` to demonstrate cross-process
+    sharding.)
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        num_shards: int | None = None,
+        queue_depth: int | None = None,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if num_shards is not None and num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        self.num_workers = num_workers
+        self.num_shards = num_shards if num_shards is not None else num_workers
+        self.queue_depth = queue_depth if queue_depth is not None else max(2, num_workers)
+        self._pool: Executor | None = None
+        # Shard-topic consumers per query id; offsets persist across epochs.
+        self._consumers: dict[str, list[list["Consumer"]]] = {}
+
+    # -- pool / consumer lifecycle ------------------------------------------
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="privapprox-pipeline",
+            )
+        return self._pool
+
+    def _consumers_for(self, context: EpochContext) -> list[list["Consumer"]]:
+        """The per-(shard, proxy) consumers for this query, created on first use."""
+        cached = self._consumers.get(context.query_id)
+        if cached is None:
+            cached = context.proxies.make_shard_consumers(
+                group_id=f"pipelined-{context.query_id}", num_slots=self.num_shards
+            )
+            self._consumers[context.query_id] = cached
+        return cached
+
+    def close(self) -> None:
+        """Shut the worker pool down and drop cached consumers (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._consumers.clear()
+
+    # -- epoch execution ----------------------------------------------------
+
+    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
+        pool = self._ensure_pool()
+        shards = plan_shards(len(context.clients), self.num_shards)
+        occupied = [shard for shard in shards if shard.num_items > 0]
+        consumers = self._consumers_for(context)
+
+        # Per-shard response logs, written by the answering workers (distinct
+        # slots, so no locking) and merged in shard order at the end.
+        responses_by_shard: list[list["ClientResponse"] | None] = [None] * len(shards)
+        answered: queue.Queue = queue.Queue(maxsize=self.queue_depth)
+        transmitted: queue.Queue = queue.Queue()
+
+        for shard in occupied:
+            pool.submit(
+                _answer_stage,
+                context,
+                shard,
+                epoch,
+                responses_by_shard,
+                answered,
+            )
+        transmitter = threading.Thread(
+            target=_transmit_stage,
+            args=(context, len(occupied), responses_by_shard, answered, transmitted),
+            name="privapprox-pipeline-transmit",
+            daemon=True,
+        )
+        transmitter.start()
+        window_results, error = _ingest_stage(context, consumers, epoch, transmitted)
+        transmitter.join()
+        if error is not None:
+            raise error
+
+        responses: list["ClientResponse"] = []
+        for shard in shards:
+            shard_responses = responses_by_shard[shard.index]
+            if shard_responses:
+                responses.extend(shard_responses)
+        return EpochOutcome(
+            responses=tuple(responses), window_results=tuple(window_results)
+        )
+
+
+def _answer_stage(
+    context: EpochContext,
+    shard,
+    epoch: int,
+    responses_by_shard: list,
+    answered: queue.Queue,
+) -> None:
+    """Answer one shard in a pool worker and hand it to the transmitter.
+
+    Always enqueues exactly one ``(shard_index, error)`` item — on success and
+    on failure alike — so the transmitter's expected-item count never hangs.
+    """
+    try:
+        responses, _ = answer_shard(
+            context.clients[shard.as_slice()], context.query_id, epoch
+        )
+    except Exception as exc:  # surfaced from run_epoch, never swallowed
+        responses_by_shard[shard.index] = []
+        answered.put((shard.index, exc))
+    else:
+        responses_by_shard[shard.index] = responses
+        answered.put((shard.index, None))
+
+
+def _transmit_stage(
+    context: EpochContext,
+    expected: int,
+    responses_by_shard: list,
+    answered: queue.Queue,
+    transmitted: queue.Queue,
+) -> None:
+    """Publish finished shards to their shard-aware topics as they arrive.
+
+    Consumes exactly ``expected`` items from the answered queue even after a
+    failure (so no answering worker ever blocks on a full hand-off queue),
+    stops publishing once an error is seen, and always terminates the ingest
+    stage with a ``("done", error)`` sentinel.
+    """
+    error: Exception | None = None
+    for _ in range(expected):
+        shard_index, exc = answered.get()
+        if exc is not None:
+            if error is None:
+                error = exc
+            continue
+        if error is not None:
+            continue  # drain without publishing; the epoch already failed
+        try:
+            context.proxies.transmit_shard(
+                shard_index,
+                [
+                    list(response.encrypted.shares)
+                    for response in responses_by_shard[shard_index]
+                ],
+            )
+        except Exception as exc:
+            error = exc
+            continue
+        transmitted.put(("shard", shard_index))
+    transmitted.put(("done", error))
+
+
+def _ingest_stage(
+    context: EpochContext,
+    consumers: list[list["Consumer"]],
+    epoch: int,
+    transmitted: queue.Queue,
+) -> tuple[list, Exception | None]:
+    """Ingest each relayed shard as soon as its transmission lands.
+
+    Polls the shard's consumers across all proxies together, so every batch
+    carries complete ``MID`` groups and takes the aggregator's grouped-join
+    fast path.  Runs until the transmitter's ``done`` sentinel and never
+    raises — the first error is returned for ``run_epoch`` to re-raise after
+    the pipeline has fully unwound.
+    """
+    window_results: list = []
+    error: Exception | None = None
+    while True:
+        kind, payload = transmitted.get()
+        if kind == "done":
+            if error is None:
+                error = payload
+            return window_results, error
+        if error is not None:
+            continue  # skip further shards but keep waiting for the sentinel
+        try:
+            shares = []
+            for consumer in consumers[payload]:
+                for record in consumer.poll():
+                    shares.extend(record.value)
+            if shares:
+                window_results.extend(
+                    context.aggregator.ingest_shares(shares, epoch, batched=True)
+                )
+        except Exception as exc:
+            error = exc

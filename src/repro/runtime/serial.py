@@ -2,8 +2,10 @@
 
 Kept deliberately simple — one pass over the clients, one proxy transmission
 per participating client, per-record ingestion at the aggregator — so it can
-serve as the executable specification that :class:`ShardedExecutor` must
-match result-for-result.
+serve as the executable specification that the parallel executors
+(:class:`~repro.runtime.sharded.ShardedExecutor`,
+:class:`~repro.runtime.pipelined.PipelinedExecutor`) must match
+result-for-result; ``docs/ARCHITECTURE.md`` spells the contract out.
 """
 
 from __future__ import annotations

@@ -14,6 +14,11 @@ Determinism: every client owns a seeded RNG and keystream that only its own
 shard task touches, so results do not depend on shard count or worker
 interleaving.  Shard outputs are merged in shard-index order, which equals
 serial client order because shards are contiguous.
+
+The three stages still barrier on each other: transmission happens as shard
+results are collected (in shard order) and ingestion runs only after every
+shard has transmitted.  :class:`~repro.runtime.pipelined.PipelinedExecutor`
+removes those barriers; see ``docs/ARCHITECTURE.md`` for the comparison.
 """
 
 from __future__ import annotations

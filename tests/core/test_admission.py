@@ -147,3 +147,47 @@ class TestAdmissionInsideAggregator:
         assert result.num_answers == 10
         assert result.histogram.estimates()[0] == pytest.approx(9.0)
         assert result.histogram.estimates()[2] == pytest.approx(1.0)
+
+
+class TestAdmitBatch:
+    """admit_batch must mirror per-answer admit() decisions and counters."""
+
+    def _items(self):
+        return (
+            [(0, f"token-{i}") for i in range(5)]
+            + [(0, "token-2"), (0, "token-2")]          # in-batch duplicates
+            + [(1, "token-2"), (0, ""), (1, "fresh")]   # new epoch, missing token
+        )
+
+    def test_batch_matches_per_answer_reference(self):
+        batched = AnswerAdmissionController()
+        reference = AnswerAdmissionController()
+        items = self._items()
+        verdicts = batched.admit_batch("q", items)
+        expected = [reference.admit("q", epoch, token).admitted for epoch, token in items]
+        assert verdicts == expected
+        assert batched.duplicates_rejected == reference.duplicates_rejected
+        assert batched.admitted_count("q", 0) == reference.admitted_count("q", 0)
+        assert batched.admitted_count("q", 1) == reference.admitted_count("q", 1)
+
+    def test_batch_sees_duplicates_from_earlier_calls(self):
+        controller = AnswerAdmissionController()
+        assert controller.admit("q", 0, "token-0").admitted
+        assert controller.admit_batch("q", [(0, "token-0"), (0, "token-1")]) == [
+            False,
+            True,
+        ]
+        assert controller.duplicates_rejected == 1
+
+    def test_batch_rate_limit_in_order(self):
+        batched = AnswerAdmissionController(max_answers_per_epoch=3)
+        reference = AnswerAdmissionController(max_answers_per_epoch=3)
+        items = [(0, f"token-{i}") for i in range(6)]
+        assert batched.admit_batch("q", items) == [
+            reference.admit("q", e, t).admitted for e, t in items
+        ]
+        assert batched.rate_limited == reference.rate_limited == 3
+
+    def test_empty_batch(self):
+        controller = AnswerAdmissionController()
+        assert controller.admit_batch("q", []) == []

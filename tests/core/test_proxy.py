@@ -95,3 +95,51 @@ class TestProxyPerformanceModel:
         assert network.modelled_latency(2_000_000, 64) == pytest.approx(
             2 * network.modelled_latency(1_000_000, 64)
         )
+
+
+class TestShardAwareTopics:
+    """The pipelined runtime's per-shard relay topics and batch records."""
+
+    def test_transmit_shard_relays_every_share(self):
+        network = ProxyNetwork(num_proxies=2)
+        rows = [list(encrypted_answer(num_proxies=2).shares) for _ in range(5)]
+        consumers = network.make_shard_consumers(group_id="t", num_slots=3)
+        network.transmit_shard(1, rows)
+        # One batch record per proxy on slot 1, nothing on other slots.
+        for slot in (0, 2):
+            assert all(not consumer.poll() for consumer in consumers[slot])
+        relayed = []
+        for proxy_index, consumer in enumerate(consumers[1]):
+            records = consumer.poll()
+            assert len(records) == 1  # one batch record per shard transmission
+            relayed.append(list(records[0].value))
+            assert relayed[-1] == [row[proxy_index] for row in rows]
+        assert network.total_shares_relayed() == 10
+
+    def test_transmit_shard_empty_rows_is_noop(self):
+        network = ProxyNetwork(num_proxies=2)
+        network.ensure_shard_topics(2)
+        network.transmit_shard(0, [])
+        assert network.total_shares_relayed() == 0
+
+    def test_transmit_shard_rejects_wrong_share_count(self):
+        network = ProxyNetwork(num_proxies=2)
+        network.ensure_shard_topics(1)
+        rows = [list(encrypted_answer(num_proxies=3).shares)]
+        with pytest.raises(ValueError):
+            network.transmit_shard(0, rows)
+
+    def test_ensure_shard_topics_is_idempotent(self):
+        network = ProxyNetwork(num_proxies=2)
+        network.ensure_shard_topics(2)
+        network.ensure_shard_topics(4)  # growing the slot count is fine
+        names = network.proxies[0].ensure_shard_topics(4)
+        assert names == [f"proxy-0-shard-{slot}" for slot in range(4)]
+
+    def test_byte_accounting_counts_each_share(self):
+        network = ProxyNetwork(num_proxies=2)
+        network.ensure_shard_topics(1)
+        rows = [list(encrypted_answer(num_proxies=2).shares) for _ in range(3)]
+        network.transmit_shard(0, rows)
+        expected = sum(share.size_bytes() for row in rows for share in row)
+        assert network.total_bytes_relayed() == expected

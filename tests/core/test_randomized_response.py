@@ -160,3 +160,33 @@ class TestPaperMicrobenchmarkShape:
             return sum(losses) / len(losses)
 
         assert mean_loss(0.9) < mean_loss(0.1)
+
+
+class TestBatchedRandomizeVector:
+    """The batched vector path must be draw-compatible with the per-bit loop."""
+
+    def test_batched_matches_scalar_reference(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0] * 8
+        batched = RandomizedResponder(p=0.7, q=0.4, rng=random.Random(42))
+        scalar = RandomizedResponder(p=0.7, q=0.4, rng=random.Random(42))
+        assert batched.randomize_vector(bits) == scalar.randomize_vector_scalar(bits)
+
+    def test_batched_consumes_identical_draw_sequence(self):
+        """After randomizing, both RNGs sit at exactly the same stream position."""
+        bits = [1, 0, 0, 1, 1, 0, 1, 1, 0, 0]
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        RandomizedResponder(p=0.6, q=0.3, rng=rng_a).randomize_vector(bits)
+        RandomizedResponder(p=0.6, q=0.3, rng=rng_b).randomize_vector_scalar(bits)
+        assert rng_a.getstate() == rng_b.getstate()
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=64), st.integers())
+    @settings(max_examples=50, deadline=None)
+    def test_property_equivalence(self, bits, seed):
+        batched = RandomizedResponder(p=0.5, q=0.5, rng=random.Random(seed))
+        scalar = RandomizedResponder(p=0.5, q=0.5, rng=random.Random(seed))
+        assert batched.randomize_vector(bits) == scalar.randomize_vector_scalar(bits)
+
+    def test_batched_rejects_non_binary_bits(self):
+        responder = RandomizedResponder(p=0.9, q=0.5, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            responder.randomize_vector([0, 1, 2])

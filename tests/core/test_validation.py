@@ -95,3 +95,40 @@ class TestValidatorInsideAggregator:
         assert aggregator.invalid_answers == 1
         assert result.num_answers == 1
         assert result.histogram.estimates()[0] == pytest.approx(2.0)  # scaled 2/1
+
+
+class TestValidateBatch:
+    """validate_batch must mirror per-answer validate() decisions and counters."""
+
+    def _answers(self):
+        return [
+            QueryAnswer(query_id="analyst-00000001", bits=(0, 1, 0), epoch=3),
+            QueryAnswer(query_id="wrong-query", bits=(0, 1, 0), epoch=3),
+            QueryAnswer(query_id="analyst-00000001", bits=(0, 1), epoch=3),
+            QueryAnswer(query_id="analyst-00000001", bits=(1, 1, 1), epoch=3),
+            QueryAnswer(query_id="analyst-00000001", bits=(1, 0, 0), epoch=9),
+        ]
+
+    def test_batch_matches_per_answer_reference(self):
+        batched = AnswerValidator(make_query())
+        reference = AnswerValidator(make_query())
+        answers = self._answers()
+        verdicts = batched.validate_batch(answers, arrival_epoch=3)
+        expected = [reference.validate(a, arrival_epoch=3).valid for a in answers]
+        assert verdicts == expected
+        assert batched.accepted == reference.accepted
+        assert batched.rejected_by_reason == reference.rejected_by_reason
+
+    def test_batch_respects_max_set_bits(self):
+        batched = AnswerValidator(make_query(), max_set_bits=1)
+        reference = AnswerValidator(make_query(), max_set_bits=1)
+        answers = self._answers()
+        assert batched.validate_batch(answers, arrival_epoch=3) == [
+            reference.validate(a, arrival_epoch=3).valid for a in answers
+        ]
+        assert batched.rejected_by_reason == reference.rejected_by_reason
+
+    def test_empty_batch(self):
+        validator = AnswerValidator(make_query())
+        assert validator.validate_batch([], arrival_epoch=0) == []
+        assert validator.accepted == 0

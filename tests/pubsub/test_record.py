@@ -1,0 +1,33 @@
+"""Tests for record payload sizing, including the shard-batch records."""
+
+from repro.pubsub.record import Record
+
+
+class _Sized:
+    def __init__(self, n: int):
+        self.n = n
+
+    def size_bytes(self) -> int:
+        return self.n
+
+
+class TestRecordSizing:
+    def test_bytes_payload(self):
+        assert Record(value=b"12345").size_bytes() == 5 + 16
+
+    def test_string_payload(self):
+        assert Record(value="abc").size_bytes() == 3 + 16
+
+    def test_sized_object_payload(self):
+        assert Record(value=_Sized(100)).size_bytes() == 100 + 16
+
+    def test_key_adds_its_length(self):
+        assert Record(value=b"1234", key="k1").size_bytes() == 4 + 2 + 16
+
+    def test_batch_payload_sums_elements(self):
+        """A batch record is charged the sum of its elements plus one framing."""
+        batch = (_Sized(10), _Sized(20), b"123")
+        assert Record(value=batch).size_bytes() == 10 + 20 + 3 + 16
+
+    def test_nested_batch_payload(self):
+        assert Record(value=[(b"12", b"34"), b"5"]).size_bytes() == 5 + 16

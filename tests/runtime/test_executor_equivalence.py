@@ -1,7 +1,8 @@
-"""Equivalence of the sharded runtime with the serial reference executor.
+"""Equivalence of the parallel runtimes with the serial reference executor.
 
-The property the runtime guarantees: for the same system seed, the sharded
-executor produces *identical* results to the serial executor — same
+The property the runtime guarantees (the seeded-equivalence contract of
+``docs/ARCHITECTURE.md``): for the same system seed, the sharded and
+pipelined executors produce *identical* results to the serial executor — same
 participants, same response logs, byte-identical window histograms (estimates
 AND error bounds, since the calibration RNG is seeded from the system seed) —
 regardless of shard count, worker count or pool kind.
@@ -100,40 +101,43 @@ def serialize_responses(responses) -> list[tuple]:
     ]
 
 
-class TestShardedMatchesSerial:
+@pytest.mark.parametrize("executor", ["sharded", "pipelined"])
+class TestParallelExecutorsMatchSerial:
     @pytest.mark.parametrize("num_clients", [1, 50, 100])
     @pytest.mark.parametrize("num_shards", [1, 2, 7])
-    def test_identical_outputs_across_shard_counts(self, num_clients, num_shards):
+    def test_identical_outputs_across_shard_counts(
+        self, executor, num_clients, num_shards
+    ):
         serial_reports, serial_results, serial_responses = run_deployment(num_clients)
-        sharded_reports, sharded_results, sharded_responses = run_deployment(
-            num_clients, executor="sharded", workers=4, shards=num_shards
+        parallel_reports, parallel_results, parallel_responses = run_deployment(
+            num_clients, executor=executor, workers=4, shards=num_shards
         )
         assert [r.num_participants for r in serial_reports] == [
-            r.num_participants for r in sharded_reports
+            r.num_participants for r in parallel_reports
         ]
         assert serialize_responses(serial_responses) == serialize_responses(
-            sharded_responses
+            parallel_responses
         )
-        assert serialize_results(serial_results) == serialize_results(sharded_results)
+        assert serialize_results(serial_results) == serialize_results(parallel_results)
 
-    def test_fewer_clients_than_workers(self):
+    def test_fewer_clients_than_workers(self, executor):
         _, serial_results, serial_responses = run_deployment(3)
-        _, sharded_results, sharded_responses = run_deployment(
-            3, executor="sharded", workers=8, shards=8
+        _, parallel_results, parallel_responses = run_deployment(
+            3, executor=executor, workers=8, shards=8
         )
         assert serialize_responses(serial_responses) == serialize_responses(
-            sharded_responses
+            parallel_responses
         )
-        assert serialize_results(serial_results) == serialize_results(sharded_results)
+        assert serialize_results(serial_results) == serialize_results(parallel_results)
 
-    def test_zero_participant_shards(self):
+    def test_zero_participant_shards(self, executor):
         """A tiny sampling fraction leaves whole shards without participants."""
         _, serial_results, serial_responses = run_deployment(
             20, sampling_fraction=0.05, num_epochs=3
         )
-        _, sharded_results, sharded_responses = run_deployment(
+        _, parallel_results, parallel_responses = run_deployment(
             20,
-            executor="sharded",
+            executor=executor,
             workers=4,
             shards=10,
             sampling_fraction=0.05,
@@ -143,26 +147,43 @@ class TestShardedMatchesSerial:
         # participants every epoch; results must still line up exactly.
         assert len(serial_responses) < 20 * 3
         assert serialize_responses(serial_responses) == serialize_responses(
-            sharded_responses
+            parallel_responses
         )
-        assert serialize_results(serial_results) == serialize_results(sharded_results)
+        assert serialize_results(serial_results) == serialize_results(parallel_results)
 
-    def test_more_shards_than_clients(self):
+    def test_more_shards_than_clients(self, executor):
         _, serial_results, serial_responses = run_deployment(5)
-        _, sharded_results, sharded_responses = run_deployment(
-            5, executor="sharded", workers=2, shards=7
+        _, parallel_results, parallel_responses = run_deployment(
+            5, executor=executor, workers=2, shards=7
         )
         assert serialize_responses(serial_responses) == serialize_responses(
-            sharded_responses
+            parallel_responses
         )
-        assert serialize_results(serial_results) == serialize_results(sharded_results)
+        assert serialize_results(serial_results) == serialize_results(parallel_results)
 
-    def test_seeded_runs_are_reproducible(self):
-        """Two identical sharded runs agree byte-for-byte with each other."""
-        first = run_deployment(40, executor="sharded", workers=4, shards=4)
-        second = run_deployment(40, executor="sharded", workers=4, shards=4)
+    def test_seeded_runs_are_reproducible(self, executor):
+        """Two identical parallel runs agree byte-for-byte with each other."""
+        first = run_deployment(40, executor=executor, workers=4, shards=4)
+        second = run_deployment(40, executor=executor, workers=4, shards=4)
         assert serialize_results(first[1]) == serialize_results(second[1])
         assert serialize_responses(first[2]) == serialize_responses(second[2])
+
+
+class TestPipelinedMatchesSharded:
+    def test_pipelined_and_sharded_agree_directly(self):
+        """Transitivity check without the serial baseline in the middle."""
+        _, sharded_results, sharded_responses = run_deployment(
+            60, executor="sharded", workers=4, shards=6
+        )
+        _, pipelined_results, pipelined_responses = run_deployment(
+            60, executor="pipelined", workers=3, shards=5
+        )
+        assert serialize_responses(sharded_responses) == serialize_responses(
+            pipelined_responses
+        )
+        assert serialize_results(sharded_results) == serialize_results(
+            pipelined_results
+        )
 
 
 @pytest.mark.slow

@@ -1,0 +1,226 @@
+"""Edge cases and failure handling of the pipelined epoch executor.
+
+The equivalence suite (`test_executor_equivalence.py`) pins the pipelined
+executor to the serial reference on ordinary populations; this module covers
+the boundaries — an empty client population, fewer clients than shards, one
+shard — and the failure contract: an exception in any pipeline stage must
+surface from ``run_epoch`` instead of deadlocking the queues.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+)
+from repro.core.aggregator import Aggregator
+from repro.core.client import Client, ClientConfig
+from repro.core.proxy import ProxyNetwork
+from repro.runtime import (
+    EpochContext,
+    PipelinedExecutor,
+    SerialExecutor,
+    make_executor,
+)
+
+PARAMS = ExecutionParameters(sampling_fraction=1.0, p=0.9, q=0.5)
+
+
+def make_context(num_clients: int) -> EpochContext:
+    """A minimal epoch context wired by hand (no PrivApproxSystem).
+
+    Lets the tests exercise populations PrivApproxSystem refuses (0 clients).
+    """
+    proxies = ProxyNetwork(num_proxies=2)
+    analyst = Analyst("pipeline-edge")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    clients = []
+    for index in range(num_clients):
+        client = Client(
+            ClientConfig(client_id=f"edge-{index:03d}", num_proxies=2, seed=1000 + index)
+        )
+        client.create_table([("value", "REAL")])
+        client.ingest([{"value": float(index % 8)}])
+        client.subscribe(query, PARAMS)
+        clients.append(client)
+    aggregator = Aggregator(
+        query=query,
+        parameters=PARAMS,
+        total_clients=max(1, num_clients),
+        num_proxies=2,
+    )
+    return EpochContext(
+        clients=clients,
+        proxies=proxies,
+        aggregator=aggregator,
+        consumers=proxies.make_consumers(group_id="pipeline-edge"),
+        query_id=query.query_id,
+    )
+
+
+def make_system(num_clients: int = 24, shards: int | None = None) -> tuple:
+    config = SystemConfig(
+        num_clients=num_clients,
+        seed=99,
+        executor="pipelined",
+        executor_workers=2,
+        executor_shards=shards,
+    )
+    system = PrivApproxSystem(config)
+    system.provision_clients([("value", "REAL")], lambda i: [{"value": float(i % 8)}])
+    analyst = Analyst("pipeline-edge")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    system.submit_query(analyst, query, QueryBudget(), parameters=PARAMS)
+    return system, query.query_id
+
+
+class TestPopulationEdges:
+    def test_zero_clients(self):
+        """An empty population completes the epoch and produces nothing."""
+        executor = PipelinedExecutor(num_workers=2, num_shards=4)
+        try:
+            outcome = executor.run_epoch(make_context(0), epoch=0)
+        finally:
+            executor.close()
+        assert outcome.num_participants == 0
+        assert outcome.window_results == ()
+
+    def test_zero_clients_matches_serial(self):
+        serial = SerialExecutor()
+        pipelined = PipelinedExecutor(num_workers=2, num_shards=3)
+        try:
+            serial_outcome = serial.run_epoch(make_context(0), epoch=0)
+            pipelined_outcome = pipelined.run_epoch(make_context(0), epoch=0)
+        finally:
+            serial.close()
+            pipelined.close()
+        assert serial_outcome.responses == pipelined_outcome.responses == ()
+        assert serial_outcome.window_results == pipelined_outcome.window_results == ()
+
+    def test_fewer_clients_than_shards(self):
+        """Trailing empty shards are simply skipped."""
+        executor = PipelinedExecutor(num_workers=2, num_shards=8)
+        try:
+            outcome = executor.run_epoch(make_context(3), epoch=0)
+        finally:
+            executor.close()
+        assert outcome.num_participants == 3  # s = 1.0: everyone participates
+        assert [r.client_id for r in outcome.responses] == [
+            "edge-000",
+            "edge-001",
+            "edge-002",
+        ]
+
+    def test_single_shard(self):
+        """One shard degenerates to serial answering but still pipelines."""
+        executor = PipelinedExecutor(num_workers=2, num_shards=1)
+        try:
+            outcome = executor.run_epoch(make_context(5), epoch=0)
+        finally:
+            executor.close()
+        assert outcome.num_participants == 5
+        assert [r.client_id for r in outcome.responses] == [
+            f"edge-{i:03d}" for i in range(5)
+        ]
+
+
+class TestFailureSurfacing:
+    def test_worker_exception_surfaces(self):
+        """A client that blows up mid-answer fails the epoch, promptly."""
+        system, query_id = make_system(num_clients=24, shards=4)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("client device on fire")
+
+        system.clients[13].answer_query = explode
+        with pytest.raises(RuntimeError, match="client device on fire"):
+            system.run_epoch(query_id, 0)
+        system.close()
+
+    def test_transmit_exception_surfaces(self):
+        system, query_id = make_system(num_clients=12, shards=3)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("proxy link down")
+
+        system.proxies.transmit_shard = explode
+        with pytest.raises(RuntimeError, match="proxy link down"):
+            system.run_epoch(query_id, 0)
+        system.close()
+
+    def test_ingest_exception_surfaces(self):
+        system, query_id = make_system(num_clients=12, shards=3)
+        aggregator = system.aggregator_for(query_id)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("aggregator out of memory")
+
+        aggregator.ingest_shares = explode
+        with pytest.raises(RuntimeError, match="aggregator out of memory"):
+            system.run_epoch(query_id, 0)
+        system.close()
+
+    def test_executor_survives_for_the_next_epoch(self):
+        """After a failed epoch the pool is intact and can run again."""
+        system, query_id = make_system(num_clients=12, shards=3)
+        original = system.clients[5].answer_query
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("transient fault")
+
+        system.clients[5].answer_query = explode
+        with pytest.raises(RuntimeError, match="transient fault"):
+            system.run_epoch(query_id, 0)
+        system.clients[5].answer_query = original
+        report = system.run_epoch(query_id, 1)
+        assert report.num_participants == 12
+        system.close()
+
+
+class TestConfiguration:
+    def test_process_pool_rejected_by_factory(self):
+        with pytest.raises(ValueError, match="thread"):
+            make_executor("pipelined", pool="process")
+
+    def test_process_pool_rejected_by_system_config(self):
+        with pytest.raises(ValueError, match="thread"):
+            SystemConfig(num_clients=4, executor="pipelined", executor_pool="process")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PipelinedExecutor(num_workers=0)
+        with pytest.raises(ValueError):
+            PipelinedExecutor(num_workers=2, num_shards=0)
+        with pytest.raises(ValueError):
+            PipelinedExecutor(num_workers=2, queue_depth=0)
+
+    def test_close_is_idempotent(self):
+        executor = PipelinedExecutor(num_workers=2)
+        executor.run_epoch(make_context(4), epoch=0)
+        executor.close()
+        executor.close()

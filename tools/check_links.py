@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Check intra-repo links in the repository's Markdown files.
+
+Scans every ``*.md`` file (skipping dot-directories and caches) for inline
+links and validates the ones that point inside the repository: the linked
+file or directory must exist, relative to the Markdown file containing the
+link.  External links (``http://``, ``https://``, ``mailto:``) and pure
+in-page anchors (``#section``) are not fetched or resolved.
+
+Exit status is non-zero when any intra-repo link is broken, listing each as
+``file:line: target``.  Run from anywhere inside the repository:
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline Markdown links: [text](target).  Images ![alt](target) match too via
+# the bracket contents; reference-style definitions are rare here and skipped.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIR_NAMES = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+
+
+def repo_root() -> Path:
+    """The repository root: nearest ancestor of this file containing .git."""
+    here = Path(__file__).resolve().parent
+    for candidate in (here, *here.parents):
+        if (candidate / ".git").exists():
+            return candidate
+    return here.parent
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIR_NAMES or part.startswith(".") for part in path.parts[len(root.parts):-1]):
+            continue
+        files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Return ``line_number: target`` entries for every broken link in a file."""
+    broken = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            # Drop any #fragment; resolving anchors inside files is out of scope.
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{line_number}: {target}")
+    return broken
+
+
+def main() -> int:
+    root = repo_root()
+    files = markdown_files(root)
+    failures = 0
+    for path in files:
+        for entry in check_file(path):
+            print(f"{path.relative_to(root)}:{entry}", file=sys.stderr)
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"FAIL: {failures} broken intra-repo link(s) across {checked} Markdown files", file=sys.stderr)
+        return 1
+    print(f"OK: intra-repo links valid across {checked} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
