@@ -47,7 +47,9 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor", choices=EXECUTOR_KINDS, default="serial",
         help="epoch runtime: 'serial' reference loop, 'sharded' worker pool, "
-             "or 'pipelined' overlapped answer/transmit/ingest",
+             "'pipelined' overlapped answer/transmit/ingest (threads), or "
+             "'process' pipelined answering in worker processes (escapes "
+             "the GIL; serialized shard tasks, adaptive shard sizing)",
     )
     parser.add_argument(
         "--workers", type=int, default=4,

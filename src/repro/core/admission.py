@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 def participation_token(client_secret: bytes, query_id: str, epoch: int) -> str:

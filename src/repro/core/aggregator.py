@@ -15,7 +15,7 @@ decrypted answers into the query's sliding windows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analytics.histogram import BucketEstimate, HistogramResult
 from repro.core.admission import AnswerAdmissionController

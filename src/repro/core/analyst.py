@@ -9,7 +9,7 @@ results delivered by the system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.budget import QueryBudget
 from repro.core.query import AnswerSpec, Query, make_query_id

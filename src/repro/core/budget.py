@@ -12,7 +12,6 @@ re-tunes the parameters when the observed error exceeds the budget
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.core.privacy import PrivacyAccountant, zero_knowledge_epsilon

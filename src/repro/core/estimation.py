@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.randomized_response import (
-    estimate_true_yes,
     rr_accuracy_loss,
     simulate_randomized_survey,
 )

@@ -11,7 +11,7 @@ already visible to the respective component.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.system import EpochReport, PrivApproxSystem
 

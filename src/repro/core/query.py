@@ -18,8 +18,8 @@ import hashlib
 import hmac
 import math
 import re
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 
 class BucketSpec:

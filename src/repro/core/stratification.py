@@ -21,8 +21,8 @@ This module provides the deployment-level counterpart of
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.analytics.histogram import BucketEstimate, HistogramResult
 from repro.core.aggregator import WindowResult

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.admission import AnswerAdmissionController
@@ -52,9 +52,13 @@ class SystemConfig:
     ``"serial"`` answers clients one-by-one (the reference implementation),
     ``"sharded"`` partitions them into ``executor_shards`` shards answered by
     ``executor_workers`` pooled workers (``executor_pool`` of ``"thread"`` or
-    ``"process"``) with per-shard batched broker traffic, and ``"pipelined"``
+    ``"process"``) with per-shard batched broker traffic, ``"pipelined"``
     additionally overlaps answering, transmission and ingestion through
-    shard-aware proxy topics (thread pool only).  All executors produce
+    shard-aware proxy topics (thread pool only), and ``"process"`` keeps the
+    pipelined shape but answers each shard in a worker *process* from a
+    serialized self-contained shard task, with shard boundaries adapting to
+    per-shard wall-clock across epochs (``executor_pool`` is ignored — the
+    executor is a process pool by construction).  All executors produce
     identical results for identical seeds; see ``docs/ARCHITECTURE.md``.
     """
 

@@ -11,7 +11,7 @@ observe the rejection rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.query import Query, QueryAnswer
 

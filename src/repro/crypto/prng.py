@@ -59,6 +59,29 @@ class KeystreamGenerator:
         """The seed this generator was created with."""
         return self._seed
 
+    def getstate(self) -> tuple[bytes, int, bytes]:
+        """Snapshot the full generator state as ``(seed, counter, buffer)``.
+
+        Together with :meth:`setstate` this lets a client's keystream travel
+        to another process (the process-pool epoch runtime serializes it into
+        a shard task) and resume mid-stream: a restored generator produces
+        exactly the bytes the original would have produced next.
+        """
+        return (self._seed, self._counter, bytes(self._buffer))
+
+    def setstate(self, state: tuple[bytes, int, bytes]) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        seed, counter, buffer = state
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError("state seed must be bytes")
+        if not isinstance(counter, int) or counter < 0:
+            raise ValueError(f"state counter must be a non-negative int, got {counter!r}")
+        if not isinstance(buffer, (bytes, bytearray)):
+            raise TypeError("state buffer must be bytes")
+        self._seed = bytes(seed)
+        self._counter = counter
+        self._buffer = bytearray(buffer)
+
     def _refill(self, min_bytes: int = 1) -> None:
         """Extend the buffer with however many counter-mode blocks are needed.
 

@@ -18,7 +18,7 @@ experiments, while this package supplies the real routing semantics the
 PrivApprox pipeline is built on.
 """
 
-from repro.pubsub.record import Record
+from repro.pubsub.record import Record, payload_size
 from repro.pubsub.topic import Topic, Partition
 from repro.pubsub.broker import Broker, BrokerCluster
 from repro.pubsub.producer import Producer
@@ -27,6 +27,7 @@ from repro.pubsub.errors import PubSubError, UnknownTopicError
 
 __all__ = [
     "Record",
+    "payload_size",
     "Topic",
     "Partition",
     "Broker",

@@ -6,13 +6,15 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
-def _payload_size(value: Any) -> int:
+def payload_size(value: Any) -> int:
     """Approximate wire size of a record payload.
 
     Understands sized objects (anything with ``size_bytes()``), raw bytes and
     strings, and — for the shard-batch records the pipelined runtime publishes
     — lists/tuples of payloads, which are sized as the sum of their elements
-    (batch framing is charged once, at the record level).
+    (batch framing is charged once, at the record level).  The runtime's wire
+    format (``repro.runtime.wire``) reuses this sizing for its shard batches,
+    so a decoded batch and the records it came from agree on byte accounting.
     """
     if hasattr(value, "size_bytes"):
         return value.size_bytes()
@@ -21,7 +23,7 @@ def _payload_size(value: Any) -> int:
     if isinstance(value, str):
         return len(value.encode("utf-8"))
     if isinstance(value, (list, tuple)):
-        return sum(_payload_size(item) for item in value)
+        return sum(payload_size(item) for item in value)
     return len(repr(value).encode("utf-8"))
 
 
@@ -68,4 +70,4 @@ class Record:
     def size_bytes(self) -> int:
         """Approximate wire size of the record, used by the network model."""
         key_size = len(self.key.encode("utf-8")) if self.key else 0
-        return _payload_size(self.value) + key_size + 16  # 16 bytes framing/timestamp
+        return payload_size(self.value) + key_size + 16  # 16 bytes framing/timestamp

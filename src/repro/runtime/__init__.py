@@ -3,7 +3,7 @@
 The paper's architecture is horizontally scalable by construction — clients
 answer independently, proxies only relay, the aggregator joins per-``MID`` —
 and this package gives the in-process simulation the same shape: an
-:class:`EpochExecutor` abstraction with three implementations:
+:class:`EpochExecutor` abstraction with four implementations:
 
 * :class:`SerialExecutor` — the in-order reference loop (the executable
   specification every other executor must match byte-for-byte);
@@ -11,7 +11,11 @@ and this package gives the in-process simulation the same shape: an
   per-shard batched broker traffic and a grouped ``MID`` join;
 * :class:`PipelinedExecutor` — no barriers between answering, transmission
   and ingestion: completed shards stream through shard-aware proxy topics
-  into the aggregator while other shards are still answering.
+  into the aggregator while other shards are still answering;
+* :class:`ProcessPoolEpochExecutor` — the pipelined shape with answering in
+  worker *processes*, fed by the serialized shard tasks of
+  :mod:`repro.runtime.wire` and balanced by adaptive shard sizing — the
+  executor whose answer stage escapes the GIL.
 
 See ``docs/ARCHITECTURE.md`` for the executors side by side, when to use
 which, and the seeded-equivalence contract; ``README.md`` ("Runtime
@@ -26,20 +30,45 @@ from repro.runtime.executor import (
     make_executor,
 )
 from repro.runtime.pipelined import PipelinedExecutor
+from repro.runtime.process_pool import (
+    AdaptiveShardSizer,
+    ProcessPoolEpochExecutor,
+    answer_shard_task,
+)
 from repro.runtime.serial import SerialExecutor
 from repro.runtime.sharded import ShardedExecutor, answer_shard
-from repro.runtime.sharding import Shard, plan_shards
+from repro.runtime.sharding import Shard, plan_shards, plan_weighted_shards
+from repro.runtime.wire import (
+    ShardBatch,
+    ShardTask,
+    WireError,
+    decode_shard_batch,
+    decode_shard_task,
+    encode_shard_batch,
+    encode_shard_task,
+)
 
 __all__ = [
     "EXECUTOR_KINDS",
+    "AdaptiveShardSizer",
     "EpochContext",
     "EpochExecutor",
     "EpochOutcome",
     "PipelinedExecutor",
+    "ProcessPoolEpochExecutor",
     "SerialExecutor",
     "Shard",
+    "ShardBatch",
+    "ShardTask",
     "ShardedExecutor",
+    "WireError",
     "answer_shard",
+    "answer_shard_task",
+    "decode_shard_batch",
+    "decode_shard_task",
+    "encode_shard_batch",
+    "encode_shard_task",
     "make_executor",
     "plan_shards",
+    "plan_weighted_shards",
 ]

@@ -8,7 +8,7 @@ The system delegates :meth:`run_epoch` to whichever executor its
 :class:`~repro.core.system.SystemConfig` selected and keeps everything else
 (historical recording, result delivery, feedback re-tuning) executor-agnostic.
 
-Three implementations ship with the runtime:
+Four implementations ship with the runtime:
 
 * :class:`~repro.runtime.serial.SerialExecutor` — the reference
   implementation: one in-order loop over clients, one transmit per client,
@@ -23,6 +23,12 @@ Three implementations ship with the runtime:
   shards answer in a worker pool while a transmitter thread publishes each
   *completed* shard to shard-aware proxy topics and the caller's thread
   ingests relayed shards into the aggregator, all concurrently.
+* :class:`~repro.runtime.process_pool.ProcessPoolEpochExecutor` — the
+  pipelined shape with answering in worker *processes*: each worker receives
+  a serialized, self-contained shard task (:mod:`repro.runtime.wire`),
+  reconstructs its clients from seeded-RNG snapshots, and returns a
+  serialized shard batch; shard boundaries adapt to per-shard wall-clock
+  across epochs.  The only executor whose answer stage escapes the GIL.
 
 Because every client draws from its own seeded RNG and keystream, the work is
 embarrassingly parallel and the merged outcome is independent of shard count
@@ -37,8 +43,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # imported lazily to keep repro.core <-> repro.runtime acyclic
-    from repro.core.aggregator import Aggregator, WindowResult
-    from repro.core.client import Client, ClientResponse
+    from repro.core.aggregator import Aggregator
+    from repro.core.client import Client
     from repro.core.proxy import ProxyNetwork
     from repro.pubsub import Consumer
 
@@ -78,7 +84,7 @@ class EpochOutcome:
 
 # The canonical registry of executor kinds make_executor understands;
 # SystemConfig validation and the CLI choices import this single source.
-EXECUTOR_KINDS = ("serial", "sharded", "pipelined")
+EXECUTOR_KINDS = ("serial", "sharded", "pipelined", "process")
 
 
 class EpochExecutor:
@@ -99,6 +105,85 @@ class EpochExecutor:
         """Release worker pools or other resources (idempotent no-op here)."""
 
 
+class PooledEpochExecutor(EpochExecutor):
+    """Shared lifecycle for the pipelined-shape executors.
+
+    The pipelined and process-pool executors differ in *where* shards answer
+    (threads vs. processes) but share everything around it: worker/shard/queue
+    validation, the lazily built worker pool, the per-query shard-topic
+    consumers whose offsets persist across epochs, and shutdown.  Subclasses
+    provide :meth:`_make_pool` and a ``_consumer_group_prefix``.
+
+    Parameters
+    ----------
+    num_workers:
+        Workers in the answering pool.
+    num_shards:
+        Shard count (and shard-aware topic slots per proxy); defaults to
+        ``num_workers``.  More shards than workers gives finer pipelining.
+    queue_depth:
+        Capacity of the bounded hand-off queue feeding the transmitter.
+        Small values apply backpressure when transmission or ingestion falls
+        behind; the default keeps roughly one shard per worker in flight.
+    """
+
+    _consumer_group_prefix = "pooled"
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        num_shards: int | None = None,
+        queue_depth: int | None = None,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if num_shards is not None and num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        self.num_workers = num_workers
+        self.num_shards = num_shards if num_shards is not None else num_workers
+        self.queue_depth = queue_depth if queue_depth is not None else max(2, num_workers)
+        self._pool = None
+        # Shard-topic consumers per query id, tagged with the proxy network
+        # they were built against; offsets persist across epochs.
+        self._consumers: dict[str, tuple["ProxyNetwork", list[list["Consumer"]]]] = {}
+
+    def _make_pool(self):
+        """Build the ``concurrent.futures`` pool this executor answers on."""
+        raise NotImplementedError
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def _consumers_for(self, context: EpochContext) -> list[list["Consumer"]]:
+        """The per-(shard, proxy) consumers for this query, created on first use.
+
+        The cache is keyed by query id but *validated* against the context's
+        proxy network: query ids are deterministic per analyst name, so an
+        executor reused across two deployments would otherwise keep polling
+        the first deployment's brokers and silently ingest nothing.
+        """
+        cached = self._consumers.get(context.query_id)
+        if cached is not None and cached[0] is context.proxies:
+            return cached[1]
+        consumers = context.proxies.make_shard_consumers(
+            group_id=f"{self._consumer_group_prefix}-{context.query_id}",
+            num_slots=self.num_shards,
+        )
+        self._consumers[context.query_id] = (context.proxies, consumers)
+        return consumers
+
+    def close(self) -> None:
+        """Shut the worker pool down and drop cached consumers (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._consumers.clear()
+
+
 def make_executor(
     name: str,
     workers: int = 4,
@@ -110,19 +195,22 @@ def make_executor(
     Parameters
     ----------
     name:
-        ``"serial"``, ``"sharded"`` or ``"pipelined"`` (see
+        ``"serial"``, ``"sharded"``, ``"pipelined"`` or ``"process"`` (see
         :data:`EXECUTOR_KINDS`).
     workers:
-        Worker pool size for the sharded and pipelined executors.
+        Worker pool size for the sharded, pipelined and process executors.
     shards:
-        Shard count for the sharded and pipelined executors; ``None`` means
-        one shard per worker.
+        Shard count for the sharded, pipelined and process executors;
+        ``None`` means one shard per worker.
     pool:
         ``"thread"`` or ``"process"``, sharded executor only — the pipelined
         executor shares live client/broker state across its stages and
-        therefore only runs on threads.
+        therefore only runs on threads, and the ``"process"`` executor is a
+        process pool by construction (its workers answer from serialized
+        shard tasks; see :mod:`repro.runtime.process_pool`).
     """
     from repro.runtime.pipelined import PipelinedExecutor
+    from repro.runtime.process_pool import ProcessPoolEpochExecutor
     from repro.runtime.serial import SerialExecutor
     from repro.runtime.sharded import ShardedExecutor
 
@@ -134,7 +222,9 @@ def make_executor(
         if pool != "thread":
             raise ValueError(
                 "the pipelined executor only supports pool='thread' "
-                "(use the sharded executor for process pools)"
+                "(use the 'process' executor for cross-process pipelining)"
             )
         return PipelinedExecutor(num_workers=workers, num_shards=shards)
+    if name == "process":
+        return ProcessPoolEpochExecutor(num_workers=workers, num_shards=shards)
     raise ValueError(f"unknown executor {name!r} (expected one of {EXECUTOR_KINDS})")

@@ -43,10 +43,10 @@ from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
-from repro.runtime.executor import EpochContext, EpochExecutor, EpochOutcome
+from repro.runtime.executor import EpochContext, EpochOutcome, PooledEpochExecutor
 from repro.runtime.sharded import answer_shard
 from repro.runtime.sharding import plan_shards
 
@@ -55,74 +55,26 @@ if TYPE_CHECKING:
     from repro.pubsub import Consumer
 
 
-class PipelinedExecutor(EpochExecutor):
+class PipelinedExecutor(PooledEpochExecutor):
     """Barrier-free epoch execution: answer, transmit and ingest concurrently.
 
-    Parameters
-    ----------
-    num_workers:
-        Threads in the answering pool.
-    num_shards:
-        Shard count (and shard-aware topic count per proxy); defaults to
-        ``num_workers``.  More shards than workers gives finer pipelining —
-        the first shard reaches the aggregator sooner.
-    queue_depth:
-        Capacity of the bounded answered-shard hand-off queue.  Small values
-        apply backpressure to the answering pool when transmission or
-        ingestion falls behind; the default keeps roughly one shard per
-        worker in flight.
+    Worker/shard/queue parameters and the pool/consumer lifecycle are the
+    shared :class:`~repro.runtime.executor.PooledEpochExecutor` machinery.
 
     Only the thread pool is supported: the pipeline shares live client and
     broker state between its stages, which is exactly the in-process shape.
-    (Use ``ShardedExecutor(pool="process")`` to demonstrate cross-process
-    sharding.)
+    (Use the ``process`` executor for cross-process pipelining from
+    serialized shard tasks, or ``ShardedExecutor(pool="process")`` for the
+    minimal picklable-shard-task demonstration.)
     """
 
-    def __init__(
-        self,
-        num_workers: int = 4,
-        num_shards: int | None = None,
-        queue_depth: int | None = None,
-    ):
-        if num_workers < 1:
-            raise ValueError(f"num_workers must be positive, got {num_workers}")
-        if num_shards is not None and num_shards < 1:
-            raise ValueError(f"num_shards must be positive, got {num_shards}")
-        if queue_depth is not None and queue_depth < 1:
-            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
-        self.num_workers = num_workers
-        self.num_shards = num_shards if num_shards is not None else num_workers
-        self.queue_depth = queue_depth if queue_depth is not None else max(2, num_workers)
-        self._pool: Executor | None = None
-        # Shard-topic consumers per query id; offsets persist across epochs.
-        self._consumers: dict[str, list[list["Consumer"]]] = {}
+    _consumer_group_prefix = "pipelined"
 
-    # -- pool / consumer lifecycle ------------------------------------------
-
-    def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.num_workers,
-                thread_name_prefix="privapprox-pipeline",
-            )
-        return self._pool
-
-    def _consumers_for(self, context: EpochContext) -> list[list["Consumer"]]:
-        """The per-(shard, proxy) consumers for this query, created on first use."""
-        cached = self._consumers.get(context.query_id)
-        if cached is None:
-            cached = context.proxies.make_shard_consumers(
-                group_id=f"pipelined-{context.query_id}", num_slots=self.num_shards
-            )
-            self._consumers[context.query_id] = cached
-        return cached
-
-    def close(self) -> None:
-        """Shut the worker pool down and drop cached consumers (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        self._consumers.clear()
+    def _make_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.num_workers,
+            thread_name_prefix="privapprox-pipeline",
+        )
 
     # -- epoch execution ----------------------------------------------------
 
@@ -244,6 +196,11 @@ def _ingest_stage(
     fast path.  Runs until the transmitter's ``done`` sentinel and never
     raises — the first error is returned for ``run_epoch`` to re-raise after
     the pipeline has fully unwound.
+
+    On a failed epoch, every shard consumer is drained (polled and discarded)
+    before returning: records that were published but never ingested must not
+    linger in the cached consumers, or a caller that treats the failure as
+    transient and runs the next epoch would ingest them into the wrong epoch.
     """
     window_results: list = []
     error: Exception | None = None
@@ -252,9 +209,11 @@ def _ingest_stage(
         if kind == "done":
             if error is None:
                 error = payload
+            if error is not None:
+                _drain_consumers(consumers)
             return window_results, error
         if error is not None:
-            continue  # skip further shards but keep waiting for the sentinel
+            continue  # skip further shards; the final drain discards them
         try:
             shares = []
             for consumer in consumers[payload]:
@@ -266,3 +225,18 @@ def _ingest_stage(
                 )
         except Exception as exc:
             error = exc
+
+
+def _drain_consumers(consumers: list[list["Consumer"]]) -> None:
+    """Poll and discard everything pending on the shard-topic consumers.
+
+    Best-effort cleanup for failed epochs; a consumer that itself fails to
+    poll is skipped (the epoch error already surfaces).
+    """
+    for slot_consumers in consumers:
+        for consumer in slot_consumers:
+            try:
+                while consumer.poll():
+                    pass
+            except Exception:
+                continue

@@ -1,0 +1,306 @@
+"""The process-pool epoch executor: answering escapes the GIL.
+
+The pipelined executor overlaps its stages, but its answering workers are
+*threads*: under the GIL they time-slice one core, so the CPU-heavy answer
+stage (SQL → randomize → encrypt per client) never truly parallelizes.  This
+executor keeps the pipelined shape — completed shards stream through the
+shard-aware proxy topics into the aggregator — but answers each shard in a
+``concurrent.futures.ProcessPoolExecutor`` worker:
+
+1. **Serialize** — the parent snapshots each occupied shard's clients
+   (:meth:`~repro.core.client.Client.export_state`) and frames them into a
+   self-contained :class:`~repro.runtime.wire.ShardTask` blob — client seeds
+   and mid-stream RNG/keystream states, local tables, and the subscription
+   carrying the query and randomized-response parameters.  No broker, proxy
+   or aggregator state crosses the process border.  Shards are submitted as
+   they are encoded (early shards answer while later shards serialize), and
+   all of it happens before the pipeline threads start: a pickling failure
+   cancels the submitted work and surfaces with nothing transmitted.
+2. **Answer (worker process)** — :func:`answer_shard_task` reconstructs the
+   shard's clients from their snapshots, answers the epoch with exactly the
+   draws the serial reference would make (the restored RNG/keystream resume
+   mid-stream), and returns a framed :class:`~repro.runtime.wire.ShardBatch`:
+   responses, advanced client snapshots, and the shard's answering
+   wall-clock.
+3. **Collect** — a collector thread in the parent decodes batches in
+   completion order, writes the advanced client state back into the live
+   client list (so epoch ``t + 1`` continues the same streams) and hands the
+   shard to the transmitter.
+4. **Transmit / ingest** — unchanged from the pipelined executor: the
+   transmitter thread publishes each finished shard to its shard-aware
+   topics, and the caller's thread ingests relayed shards into the
+   aggregator's grouped join while other shards are still answering.
+
+Adaptive shard sizing: each batch reports its answering wall-clock; an
+:class:`AdaptiveShardSizer` turns that into a per-client cost estimate
+(exponential moving average) and plans the *next* epoch's shard boundaries so
+every shard carries roughly equal predicted work
+(:func:`~repro.runtime.sharding.plan_weighted_shards`).  Boundaries move,
+shard count does not — the shard-aware topic slots stay stable across epochs.
+Because results are independent of where the boundaries fall (the
+equivalence contract), adaptivity is a pure load-balancing optimization.
+
+Failure handling follows the pipelined contract: a worker exception (or a
+crashed worker — ``BrokenProcessPool``), a wire error, a transmit or ingest
+failure all surface from :meth:`ProcessPoolEpochExecutor.run_epoch` after the
+pipeline has drained; a broken pool is discarded so the next epoch gets a
+fresh one.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.runtime.executor import EpochContext, EpochOutcome, PooledEpochExecutor
+from repro.runtime.pipelined import _ingest_stage, _transmit_stage
+from repro.runtime.sharded import answer_shard
+from repro.runtime.sharding import Shard, plan_shards, plan_weighted_shards
+from repro.runtime.wire import (
+    ShardBatch,
+    ShardTask,
+    decode_shard_batch,
+    decode_shard_task,
+    encode_shard_batch,
+    encode_shard_task,
+)
+
+
+def answer_shard_task(task_blob: bytes) -> bytes:
+    """The worker entry point: bytes in, bytes out.
+
+    Decodes one :class:`~repro.runtime.wire.ShardTask`, rebuilds its clients,
+    answers the epoch, and returns the framed
+    :class:`~repro.runtime.wire.ShardBatch`.  Module-level (hence picklable
+    by reference) and dependent only on the blob, so it runs identically
+    under fork or spawn — or, in principle, on another machine.
+    """
+    # Imported here: repro.core imports repro.runtime at package level, so a
+    # module-level import would be cyclic.
+    from repro.core.client import Client
+
+    task = decode_shard_task(task_blob)
+    start = time.perf_counter()
+    clients = [Client.from_state(state) for state in task.client_states]
+    # The same shard task the thread executors run, so participation
+    # semantics can never drift between the executors.
+    responses, clients = answer_shard(clients, task.query_id, task.epoch)
+    wall_seconds = time.perf_counter() - start
+    return encode_shard_batch(
+        ShardBatch(
+            shard_index=task.shard_index,
+            epoch=task.epoch,
+            wall_seconds=wall_seconds,
+            responses=tuple(responses),
+            client_states=tuple(client.export_state() for client in clients),
+        )
+    )
+
+
+class AdaptiveShardSizer:
+    """Plans shard boundaries from per-shard answering wall-clock feedback.
+
+    Epoch 0 uses balanced :func:`~repro.runtime.sharding.plan_shards`
+    boundaries.  After each epoch :meth:`record` spreads every timed shard's
+    wall-clock evenly over its clients and folds it into a per-client cost
+    EWMA; :meth:`plan` then cuts the next epoch's boundaries so each shard
+    carries roughly equal predicted cost.  A changed population size resets
+    the estimates (client indices no longer line up).
+    """
+
+    def __init__(self, num_shards: int, smoothing: float = 0.5):
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must lie in (0, 1], got {smoothing}")
+        self.num_shards = num_shards
+        self.smoothing = smoothing
+        self._cost_per_client: list[float] | None = None
+
+    def plan(self, num_items: int) -> list[Shard]:
+        """Shard boundaries for the next epoch over ``num_items`` clients."""
+        costs = self._cost_per_client
+        if costs is None or len(costs) != num_items:
+            return plan_shards(num_items, self.num_shards)
+        return plan_weighted_shards(costs, self.num_shards)
+
+    def record(self, shards: list[Shard], wall_seconds: dict[int, float]) -> None:
+        """Fold one epoch's per-shard timings into the per-client estimates.
+
+        ``wall_seconds`` maps shard index → answering wall-clock; shards that
+        never produced a timing (failed epochs) are simply skipped.
+        """
+        if not shards:
+            return
+        num_items = shards[-1].stop
+        costs = self._cost_per_client
+        if costs is None or len(costs) != num_items:
+            costs = [0.0] * num_items
+        alpha = self.smoothing
+        for shard in shards:
+            if shard.num_items == 0 or shard.index not in wall_seconds:
+                continue
+            per_client = wall_seconds[shard.index] / shard.num_items
+            for i in range(shard.start, shard.stop):
+                previous = costs[i]
+                costs[i] = per_client if previous <= 0.0 else (
+                    (1.0 - alpha) * previous + alpha * per_client
+                )
+        self._cost_per_client = costs
+
+
+class ProcessPoolEpochExecutor(PooledEpochExecutor):
+    """Pipelined epoch execution with answering in worker *processes*.
+
+    Worker/shard/queue parameters and the pool/consumer lifecycle are the
+    shared :class:`~repro.runtime.executor.PooledEpochExecutor` machinery;
+    more shards than workers additionally gives the adaptive sizer finer
+    rebalancing, at more serialization calls.
+
+    Parameters
+    ----------
+    adaptive:
+        Feed per-shard wall-clock back into the next epoch's boundaries
+        (default).  Disable to pin balanced-count boundaries, e.g. when
+        comparing against the sharded executor.
+    """
+
+    _consumer_group_prefix = "process"
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        num_shards: int | None = None,
+        queue_depth: int | None = None,
+        adaptive: bool = True,
+    ):
+        super().__init__(
+            num_workers=num_workers, num_shards=num_shards, queue_depth=queue_depth
+        )
+        self.adaptive = adaptive
+        self._sizer = AdaptiveShardSizer(self.num_shards)
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.num_workers)
+
+    def _discard_pool(self) -> None:
+        """Drop a (possibly broken) pool so the next epoch builds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- epoch execution ----------------------------------------------------
+
+    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
+        num_clients = len(context.clients)
+        shards = (
+            self._sizer.plan(num_clients)
+            if self.adaptive
+            else plan_shards(num_clients, self.num_shards)
+        )
+        occupied = [shard for shard in shards if shard.num_items > 0]
+        consumers = self._consumers_for(context)
+
+        pool = self._ensure_pool()
+        responses_by_shard: list[list | None] = [None] * len(shards)
+        wall_seconds: dict[int, float] = {}
+        answered: queue.Queue = queue.Queue(maxsize=self.queue_depth)
+        transmitted: queue.Queue = queue.Queue()
+
+        # Encode and submit shard by shard, so early shards answer in the
+        # workers while later shards are still being serialized.  All of this
+        # happens before any pipeline thread starts: a failure here (a
+        # WireError from unpicklable client state, a broken pool) cancels
+        # what was submitted and raises cleanly — nothing has been
+        # transmitted, no parent state has changed, and the next epoch can
+        # run as if this one never started.
+        futures: dict[Future, Shard] = {}
+        try:
+            for shard in occupied:
+                blob = encode_shard_task(
+                    ShardTask(
+                        shard_index=shard.index,
+                        epoch=epoch,
+                        query_id=context.query_id,
+                        client_states=tuple(
+                            client.export_state()
+                            for client in context.clients[shard.as_slice()]
+                        ),
+                    )
+                )
+                futures[pool.submit(answer_shard_task, blob)] = shard
+        except Exception as exc:
+            for future in futures:
+                future.cancel()
+            if isinstance(exc, BrokenProcessPool):
+                self._discard_pool()
+            raise
+
+        collector = threading.Thread(
+            target=_collect_stage,
+            args=(context, futures, responses_by_shard, wall_seconds, answered),
+            name="privapprox-process-collect",
+            daemon=True,
+        )
+        collector.start()
+        transmitter = threading.Thread(
+            target=_transmit_stage,
+            args=(context, len(occupied), responses_by_shard, answered, transmitted),
+            name="privapprox-process-transmit",
+            daemon=True,
+        )
+        transmitter.start()
+        window_results, error = _ingest_stage(context, consumers, epoch, transmitted)
+        transmitter.join()
+        collector.join()
+
+        if self.adaptive and wall_seconds:
+            self._sizer.record(shards, wall_seconds)
+        if error is not None:
+            if isinstance(error, BrokenProcessPool):
+                self._discard_pool()
+            raise error
+
+        responses: list = []
+        for shard in shards:
+            shard_responses = responses_by_shard[shard.index]
+            if shard_responses:
+                responses.extend(shard_responses)
+        return EpochOutcome(
+            responses=tuple(responses), window_results=tuple(window_results)
+        )
+
+
+def _collect_stage(
+    context: EpochContext,
+    futures: dict[Future, Shard],
+    responses_by_shard: list,
+    wall_seconds: dict[int, float],
+    answered: queue.Queue,
+) -> None:
+    """Decode finished shard batches and adopt the advanced client state.
+
+    Runs in a parent thread.  Always enqueues exactly one
+    ``(shard_index, error)`` item per submitted shard — success or failure —
+    so the transmitter's expected-item count never hangs, even when the whole
+    pool breaks and every pending future fails at once.
+    """
+    from repro.core.client import Client  # deferred: repro.core <-> repro.runtime
+
+    for future in as_completed(futures):
+        shard = futures[future]
+        try:
+            batch = decode_shard_batch(future.result())
+            # Adopt the advanced snapshots so epoch t+1 continues the exact
+            # RNG/keystream sequences the serial reference would.
+            context.clients[shard.as_slice()] = [
+                Client.from_state(state) for state in batch.client_states
+            ]
+            responses_by_shard[shard.index] = list(batch.responses)
+            wall_seconds[shard.index] = batch.wall_seconds
+        except Exception as exc:  # surfaced from run_epoch, never swallowed
+            responses_by_shard[shard.index] = []
+            answered.put((shard.index, exc))
+        else:
+            answered.put((shard.index, None))

@@ -1,0 +1,176 @@
+"""Wire format for shard tasks and shard batches (process-pool runtime).
+
+The in-process executors hand live objects between their stages; the
+process-pool executor (:mod:`repro.runtime.process_pool`) cannot — a worker
+process shares nothing with the parent, and a multi-machine deployment would
+share even less.  This module is the serialization boundary: everything that
+crosses a process border travels as one *framed byte blob*, so the same
+encoding would work over a socket or a broker topic unchanged.
+
+**The payload is pickle: decode only bytes you produced.**  The frame header
+authenticates nothing — ``pickle.loads`` on attacker-supplied bytes is
+arbitrary code execution.  That is fine for the in-process worker pool
+(both ends are this program), but moving these frames onto a real socket or
+broker requires an authenticated channel between mutually trusted hosts, or
+replacing the payload with a non-executable codec.
+
+**This is simulation-harness state transfer, not a client protocol.**  The
+frames carry what the *simulation* holds on behalf of each simulated device:
+raw private table rows, RNG secrets, truthful answer bits.  In the paper's
+threat model none of that may ever leave a real client — the only deployable
+client-to-proxy wire is the randomized, XOR-encrypted shares
+(:mod:`repro.core.encryption`).  A real multi-machine deployment of this
+executor would place *whole simulated clients* on remote machines (each
+remote worker is a stand-in for a fleet of devices), never relay client
+plaintext through an untrusted hop.
+
+Two message kinds exist:
+
+* :class:`ShardTask` — parent → worker.  A self-contained description of one
+  contiguous client shard for one epoch: the query id, the epoch number, and
+  one state snapshot per client (:meth:`repro.core.client.Client.export_state`
+  — config with seed, mid-stream RNG and keystream states, local tables,
+  subscriptions carrying the query and randomized-response parameters).  No
+  broker, proxy or aggregator state is included; the worker reconstructs the
+  clients from the snapshots and answers with exactly the draws the serial
+  reference would have made.
+* :class:`ShardBatch` — worker → parent.  The shard's participating responses
+  (shares included), the *advanced* client snapshots the parent must adopt so
+  the next epoch continues the same random streams, and the shard's answering
+  wall-clock, which feeds the adaptive shard sizer.
+
+The frame is ``magic ("PAWF") + version + kind + payload length + payload``;
+the payload is a pickle of the dataclass (pickle because the snapshots carry
+arbitrary query/answer dataclasses; the frame means the *transport* never
+needs to know that).  Byte accounting reuses the pub/sub payload sizing
+(:func:`repro.pubsub.payload_size`), so a decoded batch and the shard-aware
+broker records the pipelined runtime publishes agree on wire size.
+
+All encoding/decoding failures — unpicklable client state, truncated or
+foreign bytes, version drift — surface as :class:`WireError`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+
+from repro.pubsub import payload_size
+
+WIRE_MAGIC = b"PAWF"
+WIRE_VERSION = 1
+
+_KIND_SHARD_TASK = 1
+_KIND_SHARD_BATCH = 2
+
+# magic, version, kind, payload length
+_FRAME_FORMAT = ">4sBBI"
+_FRAME_SIZE = struct.calcsize(_FRAME_FORMAT)
+
+
+class WireError(Exception):
+    """Raised when a shard task or batch cannot be (de)serialized."""
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One contiguous client shard's worth of answering work for one epoch.
+
+    ``client_states`` holds one :meth:`~repro.core.client.Client.export_state`
+    snapshot per client, in client order.  The task is self-contained: a
+    worker needs nothing but this object (no shared brokers, no aggregator)
+    to produce the shard's responses.
+    """
+
+    shard_index: int
+    epoch: int
+    query_id: str
+    client_states: tuple
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_states)
+
+
+@dataclass(frozen=True)
+class ShardBatch:
+    """What one worker returns for one shard task.
+
+    ``responses`` are the shard's participating responses in client order;
+    ``client_states`` are the advanced snapshots (every client, participant or
+    not) the parent writes back into its live client list; ``wall_seconds``
+    is the answering wall-clock the adaptive shard sizer feeds on.
+    """
+
+    shard_index: int
+    epoch: int
+    wall_seconds: float
+    responses: tuple
+    client_states: tuple
+
+    def share_rows(self) -> list[list]:
+        """The shard's shares, one row per response — the transmit-stage input."""
+        return [list(response.encrypted.shares) for response in self.responses]
+
+    def size_bytes(self) -> int:
+        """Logical wire size of the relayed shares, via the pub/sub sizing.
+
+        This is the size the shard's shares occupy as broker records (what
+        :meth:`repro.pubsub.Record.size_bytes` would charge), not the pickled
+        frame length — the two coexist because the frame also carries client
+        state that never reaches the brokers.
+        """
+        return payload_size(self.share_rows())
+
+
+def _encode(obj, kind: int) -> bytes:
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise WireError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+    return struct.pack(_FRAME_FORMAT, WIRE_MAGIC, WIRE_VERSION, kind, len(payload)) + payload
+
+
+def _decode(data: bytes, kind: int, expected_type: type):
+    if len(data) < _FRAME_SIZE:
+        raise WireError(f"frame too short: {len(data)} bytes")
+    magic, version, frame_kind, length = struct.unpack(_FRAME_FORMAT, data[:_FRAME_SIZE])
+    if magic != WIRE_MAGIC:
+        raise WireError(f"bad magic {magic!r}: not a runtime wire frame")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version} (expected {WIRE_VERSION})")
+    if frame_kind != kind:
+        raise WireError(f"unexpected frame kind {frame_kind} (expected {kind})")
+    payload = data[_FRAME_SIZE:]
+    if len(payload) != length:
+        raise WireError(f"frame declares {length} payload bytes, got {len(payload)}")
+    try:
+        obj = pickle.loads(payload)
+    except Exception as exc:
+        raise WireError(f"cannot deserialize frame payload: {exc}") from exc
+    if not isinstance(obj, expected_type):
+        raise WireError(
+            f"frame payload is {type(obj).__name__}, expected {expected_type.__name__}"
+        )
+    return obj
+
+
+def encode_shard_task(task: ShardTask) -> bytes:
+    """Frame one shard task into self-contained bytes."""
+    return _encode(task, _KIND_SHARD_TASK)
+
+
+def decode_shard_task(data: bytes) -> ShardTask:
+    """Decode bytes produced by :func:`encode_shard_task`."""
+    return _decode(data, _KIND_SHARD_TASK, ShardTask)
+
+
+def encode_shard_batch(batch: ShardBatch) -> bytes:
+    """Frame one shard batch (a worker's result) into bytes."""
+    return _encode(batch, _KIND_SHARD_BATCH)
+
+
+def decode_shard_batch(data: bytes) -> ShardBatch:
+    """Decode bytes produced by :func:`encode_shard_batch`."""
+    return _decode(data, _KIND_SHARD_BATCH, ShardBatch)

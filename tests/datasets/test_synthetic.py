@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datasets import SyntheticAnswers, generate_binary_answers
+from repro.datasets import generate_binary_answers
 from repro.datasets.synthetic import generate_bucketed_answers
 
 

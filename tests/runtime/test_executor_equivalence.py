@@ -1,11 +1,15 @@
 """Equivalence of the parallel runtimes with the serial reference executor.
 
 The property the runtime guarantees (the seeded-equivalence contract of
-``docs/ARCHITECTURE.md``): for the same system seed, the sharded and
-pipelined executors produce *identical* results to the serial executor — same
-participants, same response logs, byte-identical window histograms (estimates
-AND error bounds, since the calibration RNG is seeded from the system seed) —
-regardless of shard count, worker count or pool kind.
+``docs/ARCHITECTURE.md``): for the same system seed, the sharded, pipelined
+and process-pool executors produce *identical* results to the serial
+executor — same participants, same response logs, byte-identical window
+histograms (estimates AND error bounds, since the calibration RNG is seeded
+from the system seed) — regardless of shard count, worker count or pool
+kind.  For the ``process`` executor this additionally pins the wire format:
+client state travels to the workers as serialized shard tasks and the
+advanced state ships back, so a multi-epoch run only matches serial if the
+snapshots resume every RNG and keystream mid-stream exactly.
 """
 
 from __future__ import annotations
@@ -101,7 +105,7 @@ def serialize_responses(responses) -> list[tuple]:
     ]
 
 
-@pytest.mark.parametrize("executor", ["sharded", "pipelined"])
+@pytest.mark.parametrize("executor", ["sharded", "pipelined", "process"])
 class TestParallelExecutorsMatchSerial:
     @pytest.mark.parametrize("num_clients", [1, 50, 100])
     @pytest.mark.parametrize("num_shards", [1, 2, 7])

@@ -185,6 +185,36 @@ class TestFailureSurfacing:
             system.run_epoch(query_id, 0)
         system.close()
 
+    def test_failed_epoch_leaves_no_stale_records(self):
+        """Shards published but never ingested must not leak into epoch t+1.
+
+        An ingest failure on the first shard leaves the later shards'
+        batch records sitting in the shard-topic consumers; without the
+        failure-path drain they would be polled at the next epoch and
+        ingested with the wrong epoch number.
+        """
+        system, query_id = make_system(num_clients=12, shards=3)
+        aggregator = system.aggregator_for(query_id)
+        original = aggregator.ingest_shares
+        calls = {"count": 0}
+
+        def fail_once(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient ingest fault")
+            return original(*args, **kwargs)
+
+        aggregator.ingest_shares = fail_once
+        with pytest.raises(RuntimeError, match="transient ingest fault"):
+            system.run_epoch(query_id, 0)
+        aggregator.ingest_shares = original
+        before = aggregator.shares_received
+        report = system.run_epoch(query_id, 1)
+        assert report.num_participants == 12
+        # Only epoch 1's own shares arrive: 12 participants x 2 proxies.
+        assert aggregator.shares_received - before == 12 * 2
+        system.close()
+
     def test_executor_survives_for_the_next_epoch(self):
         """After a failed epoch the pool is intact and can run again."""
         system, query_id = make_system(num_clients=12, shards=3)
@@ -200,6 +230,23 @@ class TestFailureSurfacing:
         report = system.run_epoch(query_id, 1)
         assert report.num_participants == 12
         system.close()
+
+
+class TestExecutorReuse:
+    def test_reuse_across_deployments_rebinds_consumers(self):
+        """Query ids are deterministic, so a reused executor must notice a
+        new proxy network instead of polling the old deployment's brokers."""
+        executor = PipelinedExecutor(num_workers=2, num_shards=2)
+        try:
+            context_a = make_context(6)
+            executor.run_epoch(context_a, epoch=0)
+            context_b = make_context(6)  # same query id, fresh brokers
+            outcome = executor.run_epoch(context_b, epoch=0)
+        finally:
+            executor.close()
+        assert outcome.num_participants == 6
+        # The second deployment's aggregator really received the shares.
+        assert context_b.aggregator.shares_received == 6 * 2
 
 
 class TestConfiguration:

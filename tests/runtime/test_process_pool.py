@@ -1,0 +1,333 @@
+"""Edge cases and failure handling of the process-pool epoch executor.
+
+The equivalence suite pins the process executor to the serial reference on
+ordinary populations; this module covers the boundaries (an empty client
+population, fewer clients than shards) and the failure contract: a worker
+exception, a dead worker process, a parent-side pickling failure, a transmit
+or ingest error must all surface from ``run_epoch`` without deadlocking the
+pipeline — and the executor must be usable for the next epoch afterwards.
+It also covers the adaptive shard sizer's feedback loop directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+)
+from repro.core.aggregator import Aggregator
+from repro.core.client import Client, ClientConfig
+from repro.core.proxy import ProxyNetwork
+from repro.runtime import (
+    AdaptiveShardSizer,
+    EpochContext,
+    ProcessPoolEpochExecutor,
+    SerialExecutor,
+    WireError,
+    make_executor,
+    plan_shards,
+)
+
+PARAMS = ExecutionParameters(sampling_fraction=1.0, p=0.9, q=0.5)
+
+
+def make_context(num_clients: int) -> EpochContext:
+    """A minimal epoch context wired by hand (no PrivApproxSystem).
+
+    Lets the tests exercise populations PrivApproxSystem refuses (0 clients).
+    """
+    proxies = ProxyNetwork(num_proxies=2)
+    analyst = Analyst("process-edge")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    clients = []
+    for index in range(num_clients):
+        client = Client(
+            ClientConfig(client_id=f"edge-{index:03d}", num_proxies=2, seed=2000 + index)
+        )
+        client.create_table([("value", "REAL")])
+        client.ingest([{"value": float(index % 8)}])
+        client.subscribe(query, PARAMS)
+        clients.append(client)
+    aggregator = Aggregator(
+        query=query,
+        parameters=PARAMS,
+        total_clients=max(1, num_clients),
+        num_proxies=2,
+    )
+    return EpochContext(
+        clients=clients,
+        proxies=proxies,
+        aggregator=aggregator,
+        consumers=proxies.make_consumers(group_id="process-edge"),
+        query_id=query.query_id,
+    )
+
+
+def make_system(num_clients: int = 12, shards: int | None = None) -> tuple:
+    config = SystemConfig(
+        num_clients=num_clients,
+        seed=424,
+        executor="process",
+        executor_workers=2,
+        executor_shards=shards,
+    )
+    system = PrivApproxSystem(config)
+    system.provision_clients([("value", "REAL")], lambda i: [{"value": float(i % 8)}])
+    analyst = Analyst("process-edge")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    system.submit_query(analyst, query, QueryBudget(), parameters=PARAMS)
+    return system, query.query_id
+
+
+class TestPopulationEdges:
+    def test_zero_clients(self):
+        """An empty population completes the epoch and produces nothing."""
+        executor = ProcessPoolEpochExecutor(num_workers=2, num_shards=4)
+        try:
+            outcome = executor.run_epoch(make_context(0), epoch=0)
+        finally:
+            executor.close()
+        assert outcome.num_participants == 0
+        assert outcome.window_results == ()
+
+    def test_zero_clients_matches_serial(self):
+        serial = SerialExecutor()
+        process = ProcessPoolEpochExecutor(num_workers=2, num_shards=3)
+        try:
+            serial_outcome = serial.run_epoch(make_context(0), epoch=0)
+            process_outcome = process.run_epoch(make_context(0), epoch=0)
+        finally:
+            serial.close()
+            process.close()
+        assert serial_outcome.responses == process_outcome.responses == ()
+        assert serial_outcome.window_results == process_outcome.window_results == ()
+
+    def test_fewer_clients_than_shards(self):
+        """Trailing empty shards are simply skipped."""
+        executor = ProcessPoolEpochExecutor(num_workers=2, num_shards=8)
+        try:
+            outcome = executor.run_epoch(make_context(3), epoch=0)
+        finally:
+            executor.close()
+        assert outcome.num_participants == 3  # s = 1.0: everyone participates
+        assert [r.client_id for r in outcome.responses] == [
+            "edge-000",
+            "edge-001",
+            "edge-002",
+        ]
+
+    def test_state_written_back_to_live_clients(self):
+        """Advanced RNG state replaces the parent's clients between epochs."""
+        context = make_context(6)
+        originals = list(context.clients)
+        executor = ProcessPoolEpochExecutor(num_workers=2, num_shards=2)
+        try:
+            executor.run_epoch(context, epoch=0)
+        finally:
+            executor.close()
+        # The list now holds *restored* client objects carrying advanced state.
+        assert all(a is not b for a, b in zip(context.clients, originals))
+        assert [c.config.client_id for c in context.clients] == [
+            c.config.client_id for c in originals
+        ]
+
+
+class TestFailureSurfacing:
+    def test_worker_exception_surfaces(self):
+        """A client whose local SQL fails inside the worker fails the epoch."""
+        system, query_id = make_system(num_clients=8, shards=4)
+        # Dropping the table travels with the state snapshot, so the failure
+        # happens in the worker process, not in the parent.
+        system.clients[5].database.drop_table("private_data")
+        with pytest.raises(Exception, match="private_data"):
+            system.run_epoch(query_id, 0)
+        system.close()
+
+    def test_worker_process_death_surfaces_and_pool_recovers(self):
+        """A worker that dies mid-task breaks the pool; the next epoch heals."""
+        system, query_id = make_system(num_clients=8, shards=2)
+
+        class Bomb:
+            """Pickles fine in the parent; detonates on unpickle in the child."""
+
+            def __reduce__(self):
+                return (os._exit, (1,))
+
+        table = system.clients[2].database.table("private_data")
+        table.rows.append((Bomb(),))
+        with pytest.raises(Exception):  # BrokenProcessPool from the dead worker
+            system.run_epoch(query_id, 0)
+        # Remove the bomb; the executor must build a fresh pool and succeed.
+        del table.rows[-1]
+        report = system.run_epoch(query_id, 1)
+        assert report.num_participants == 8
+        system.close()
+
+    def test_unpicklable_client_state_raises_wire_error(self):
+        """A pickling failure surfaces before any pipeline stage starts."""
+        system, query_id = make_system(num_clients=6, shards=3)
+        table = system.clients[1].database.table("private_data")
+        table.rows.append((lambda: None,))  # lambdas cannot pickle
+        with pytest.raises(WireError, match="serialize"):
+            system.run_epoch(query_id, 0)
+        # The failure is pre-pipeline: removing it leaves the executor usable.
+        del table.rows[-1]
+        report = system.run_epoch(query_id, 1)
+        assert report.num_participants == 6
+        system.close()
+
+    def test_transmit_exception_surfaces(self):
+        system, query_id = make_system(num_clients=6, shards=3)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("proxy link down")
+
+        system.proxies.transmit_shard = explode
+        with pytest.raises(RuntimeError, match="proxy link down"):
+            system.run_epoch(query_id, 0)
+        system.close()
+
+    def test_ingest_exception_surfaces(self):
+        system, query_id = make_system(num_clients=6, shards=3)
+        aggregator = system.aggregator_for(query_id)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("aggregator out of memory")
+
+        aggregator.ingest_shares = explode
+        with pytest.raises(RuntimeError, match="aggregator out of memory"):
+            system.run_epoch(query_id, 0)
+        system.close()
+
+    def test_failed_epoch_leaves_no_stale_records(self):
+        """The failure-path consumer drain also protects the process executor."""
+        system, query_id = make_system(num_clients=8, shards=4)
+        aggregator = system.aggregator_for(query_id)
+        original = aggregator.ingest_shares
+        calls = {"count": 0}
+
+        def fail_once(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient ingest fault")
+            return original(*args, **kwargs)
+
+        aggregator.ingest_shares = fail_once
+        with pytest.raises(RuntimeError, match="transient ingest fault"):
+            system.run_epoch(query_id, 0)
+        aggregator.ingest_shares = original
+        before = aggregator.shares_received
+        report = system.run_epoch(query_id, 1)
+        assert report.num_participants == 8
+        assert aggregator.shares_received - before == 8 * 2
+        system.close()
+
+    def test_executor_survives_worker_exception(self):
+        """After a failed epoch the executor runs the next one."""
+        system, query_id = make_system(num_clients=6, shards=3)
+        client = system.clients[0]
+        client.database.drop_table("private_data")
+        with pytest.raises(Exception, match="private_data"):
+            system.run_epoch(query_id, 0)
+        client.create_table([("value", "REAL")])
+        client.ingest([{"value": 1.0}])
+        report = system.run_epoch(query_id, 1)
+        assert report.num_participants == 6
+        system.close()
+
+
+class TestAdaptiveShardSizer:
+    def test_first_plan_is_balanced(self):
+        sizer = AdaptiveShardSizer(num_shards=4)
+        assert sizer.plan(12) == plan_shards(12, 4)
+
+    def test_timings_move_boundaries(self):
+        sizer = AdaptiveShardSizer(num_shards=2)
+        shards = sizer.plan(8)
+        # Shard 0 (clients 0-3) reports 9x the wall-clock of shard 1.
+        sizer.record(shards, {0: 9.0, 1: 1.0})
+        replanned = sizer.plan(8)
+        assert replanned[0].num_items < replanned[1].num_items
+        assert replanned[-1].stop == 8
+
+    def test_population_change_resets_estimates(self):
+        sizer = AdaptiveShardSizer(num_shards=2)
+        sizer.record(sizer.plan(8), {0: 9.0, 1: 1.0})
+        assert sizer.plan(10) == plan_shards(10, 2)
+
+    def test_missing_timings_are_skipped(self):
+        sizer = AdaptiveShardSizer(num_shards=2)
+        sizer.record(sizer.plan(8), {})
+        assert sizer.plan(8) == plan_shards(8, 2)
+
+    def test_ewma_converges_back_after_transient_skew(self):
+        """A one-off slow epoch decays out of the estimates instead of sticking."""
+        sizer = AdaptiveShardSizer(num_shards=2, smoothing=0.5)
+        shards = sizer.plan(8)
+        sizer.record(shards, {0: 9.0, 1: 1.0})  # transient: shard 0 looked slow
+        assert sizer.plan(8)[0].num_items < 4
+        for _ in range(6):  # then epochs where every client costs the same
+            shards = sizer.plan(8)
+            sizer.record(
+                shards,
+                {s.index: float(s.num_items) for s in shards if s.num_items > 0},
+            )
+        assert sizer.plan(8) == plan_shards(8, 2)
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveShardSizer(num_shards=2, smoothing=0.0)
+
+
+class TestConfiguration:
+    def test_factory_builds_process_executor(self):
+        executor = make_executor("process", workers=2, shards=5)
+        assert isinstance(executor, ProcessPoolEpochExecutor)
+        assert executor.num_workers == 2
+        assert executor.num_shards == 5
+        executor.close()
+
+    def test_system_config_accepts_process(self):
+        config = SystemConfig(num_clients=4, executor="process")
+        assert config.executor == "process"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProcessPoolEpochExecutor(num_workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolEpochExecutor(num_workers=2, num_shards=0)
+        with pytest.raises(ValueError):
+            ProcessPoolEpochExecutor(num_workers=2, queue_depth=0)
+
+    def test_close_is_idempotent(self):
+        executor = ProcessPoolEpochExecutor(num_workers=2)
+        executor.run_epoch(make_context(4), epoch=0)
+        executor.close()
+        executor.close()

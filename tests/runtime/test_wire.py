@@ -1,0 +1,191 @@
+"""The wire format: framed shard tasks/batches and client state snapshots.
+
+The process-pool runtime is only correct if (a) a client restored from its
+snapshot continues the *exact* random streams of the original and (b) the
+framing rejects foreign, truncated or version-drifted bytes instead of
+feeding garbage to a worker.  Both properties are pinned here, independently
+of any executor.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    RangeBuckets,
+)
+from repro.core.client import Client, ClientConfig
+from repro.crypto.prng import KeystreamGenerator
+from repro.pubsub import payload_size
+from repro.runtime import (
+    ShardBatch,
+    ShardTask,
+    WireError,
+    decode_shard_batch,
+    decode_shard_task,
+    encode_shard_batch,
+    encode_shard_task,
+)
+
+PARAMS = ExecutionParameters(sampling_fraction=0.8, p=0.9, q=0.5)
+
+
+def make_query():
+    return Analyst("wire").create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+
+
+def make_client(seed: int = 4242) -> Client:
+    client = Client(ClientConfig(client_id=f"wire-{seed}", num_proxies=2, seed=seed))
+    client.create_table([("value", "REAL")])
+    client.ingest([{"value": 3.5}, {"value": 6.25}])
+    client.subscribe(make_query(), PARAMS)
+    return client
+
+
+class TestKeystreamState:
+    def test_restored_stream_resumes_mid_stream(self):
+        original = KeystreamGenerator(seed=b"wire-state")
+        original.next_bytes(100)  # advance past a few blocks
+        clone = KeystreamGenerator(seed=b"other")
+        clone.setstate(original.getstate())
+        assert clone.next_bytes(64) == original.next_bytes(64)
+
+    def test_setstate_validates(self):
+        generator = KeystreamGenerator(seed=b"x")
+        with pytest.raises(TypeError):
+            generator.setstate(("not-bytes", 0, b""))
+        with pytest.raises(ValueError):
+            generator.setstate((b"seed", -1, b""))
+        with pytest.raises(TypeError):
+            generator.setstate((b"seed", 0, "not-bytes"))
+
+
+class TestClientSnapshot:
+    def test_restored_client_continues_identically(self):
+        """Answer → snapshot → answer must equal answer → answer."""
+        reference = make_client()
+        traveller = make_client()
+        query_id = reference.subscribed_query_ids[0]
+        # Epoch 0 on both, identically seeded.
+        ref0 = reference.answer_query(query_id, epoch=0)
+        trav0 = traveller.answer_query(query_id, epoch=0)
+        assert (ref0 is None) == (trav0 is None)
+        # Round-trip the traveller through its snapshot (as a worker would).
+        traveller = Client.from_state(pickle.loads(pickle.dumps(traveller.export_state())))
+        for epoch in (1, 2, 3):
+            ref = reference.answer_query(query_id, epoch=epoch)
+            trav = traveller.answer_query(query_id, epoch=epoch)
+            if ref is None:
+                assert trav is None
+                continue
+            assert trav is not None
+            assert trav.truthful_bits == ref.truthful_bits
+            assert trav.randomized_bits == ref.randomized_bits
+            assert [s.payload for s in trav.encrypted.shares] == [
+                s.payload for s in ref.encrypted.shares
+            ]
+
+    def test_snapshot_preserves_local_data_and_subscriptions(self):
+        client = make_client()
+        restored = Client.from_state(client.export_state())
+        assert restored.local_row_count() == client.local_row_count()
+        assert restored.subscribed_query_ids == client.subscribed_query_ids
+        assert restored.config == client.config
+
+
+class TestFraming:
+    def make_task(self) -> ShardTask:
+        client = make_client()
+        return ShardTask(
+            shard_index=3,
+            epoch=7,
+            query_id=client.subscribed_query_ids[0],
+            client_states=(client.export_state(),),
+        )
+
+    def make_batch(self) -> ShardBatch:
+        client = make_client(seed=7)
+        query_id = client.subscribed_query_ids[0]
+        responses = []
+        for epoch in range(6):  # collect a couple of participating epochs
+            response = client.answer_query(query_id, epoch=epoch)
+            if response is not None:
+                responses.append(response)
+        return ShardBatch(
+            shard_index=1,
+            epoch=5,
+            wall_seconds=0.25,
+            responses=tuple(responses),
+            client_states=(client.export_state(),),
+        )
+
+    def test_task_round_trip(self):
+        task = self.make_task()
+        decoded = decode_shard_task(encode_shard_task(task))
+        assert decoded.shard_index == task.shard_index
+        assert decoded.epoch == task.epoch
+        assert decoded.query_id == task.query_id
+        assert decoded.num_clients == 1
+
+    def test_batch_round_trip(self):
+        batch = self.make_batch()
+        decoded = decode_shard_batch(encode_shard_batch(batch))
+        assert decoded.responses == batch.responses
+        assert decoded.wall_seconds == batch.wall_seconds
+        assert decoded.share_rows() == batch.share_rows()
+
+    def test_batch_size_matches_pubsub_sizing(self):
+        """A decoded batch and the broker records agree on share byte size."""
+        batch = self.make_batch()
+        assert batch.size_bytes() == payload_size(batch.share_rows())
+        assert batch.size_bytes() > 0
+
+    def test_rejects_truncated_frames(self):
+        blob = encode_shard_task(self.make_task())
+        with pytest.raises(WireError, match="too short"):
+            decode_shard_task(blob[:4])
+        with pytest.raises(WireError, match="payload bytes"):
+            decode_shard_task(blob[:-3])
+
+    def test_rejects_foreign_magic_and_version(self):
+        blob = encode_shard_task(self.make_task())
+        with pytest.raises(WireError, match="magic"):
+            decode_shard_task(b"XXXX" + blob[4:])
+        with pytest.raises(WireError, match="version"):
+            decode_shard_task(blob[:4] + bytes([99]) + blob[5:])
+
+    def test_rejects_kind_mismatch(self):
+        task_blob = encode_shard_task(self.make_task())
+        with pytest.raises(WireError, match="kind"):
+            decode_shard_batch(task_blob)
+
+    def test_unpicklable_state_raises_wire_error(self):
+        task = ShardTask(
+            shard_index=0,
+            epoch=0,
+            query_id="q",
+            client_states=(lambda: None,),  # lambdas cannot pickle
+        )
+        with pytest.raises(WireError, match="serialize"):
+            encode_shard_task(task)
+
+    def test_garbage_payload_raises_wire_error(self):
+        blob = encode_shard_task(self.make_task())
+        header = blob[:10]
+        corrupted = header[:6] + len(b"junk!").to_bytes(4, "big") + b"junk!"
+        with pytest.raises(WireError, match="deserialize"):
+            decode_shard_task(corrupted)
