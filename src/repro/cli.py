@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--clients", type=int, default=500)
     simulate.add_argument("--epochs", type=int, default=2)
     simulate.add_argument("--buckets", type=int, default=8)
+    simulate.add_argument(
+        "--queries", type=int, default=1,
+        help="concurrent analyst queries served per epoch from one shared "
+             "answering pass (each query gets its own bucketing, channel "
+             "topics and aggregator; default: 1)",
+    )
     simulate.add_argument("--sampling-fraction", "-s", type=float, default=0.9)
     simulate.add_argument("-p", type=float, default=0.9)
     simulate.add_argument("-q", type=float, default=0.6)
@@ -158,38 +164,56 @@ def _print_histogram(labels, estimates, bounds, exact) -> None:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.queries < 1:
+        raise SystemExit("--queries must be at least 1")
     system = PrivApproxSystem(_system_config(args))
     rng = random.Random(args.seed)
     system.provision_clients(
         [("value", "REAL")], lambda i: [{"value": rng.gammavariate(2.0, 1.0)}]
     )
     analyst = Analyst("cli")
-    query = analyst.create_query(
-        "SELECT value FROM private_data",
-        AnswerSpec(
-            buckets=RangeBuckets.uniform(0.0, 8.0, args.buckets, open_ended=True),
-            value_column="value",
-        ),
-        frequency_seconds=60.0,
-        window_seconds=60.0,
-        slide_seconds=60.0,
-    )
     params = ExecutionParameters(
         sampling_fraction=args.sampling_fraction, p=args.p, q=args.q
     )
-    system.submit_query(analyst, query, QueryBudget(), parameters=params)
-    for epoch in range(args.epochs):
-        system.run_epoch(query.query_id, epoch)
-    system.flush(query.query_id)
+    # N concurrent queries over the same stream, each with its own bucket
+    # resolution — the multi-analyst scenario the multi-query epoch serves
+    # from one shared answering pass.
+    queries = []
+    for index in range(args.queries):
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(
+                buckets=RangeBuckets.uniform(
+                    0.0, 8.0, args.buckets + index, open_ended=True
+                ),
+                value_column="value",
+            ),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        system.submit_query(analyst, query, QueryBudget(), parameters=params)
+        queries.append(query)
+    if args.queries == 1:
+        for epoch in range(args.epochs):
+            system.run_epoch(queries[0].query_id, epoch)
+    else:
+        for epoch in range(args.epochs):
+            system.run_epoch_all(epoch)
+    for query in queries:
+        system.flush(query.query_id)
     system.close()
-    results = analyst.results_for(query.query_id)
-    exact = system.exact_bucket_counts(query.query_id)
-    last = results[-1]
-    print(f"{len(results)} window results; last window shown below")
-    _print_histogram(last.histogram.labels(), last.histogram.estimates(),
-                     last.histogram.error_bounds(), exact)
-    print(f"histogram accuracy loss vs exact: "
-          f"{100 * histogram_accuracy_loss(exact, last.histogram.estimates()):.2f}%")
+    for index, query in enumerate(queries):
+        results = analyst.results_for(query.query_id)
+        exact = system.exact_bucket_counts(query.query_id)
+        last = results[-1]
+        if args.queries > 1:
+            print(f"--- query {index + 1}/{args.queries} ({query.query_id}) ---")
+        print(f"{len(results)} window results; last window shown below")
+        _print_histogram(last.histogram.labels(), last.histogram.estimates(),
+                         last.histogram.error_bounds(), exact)
+        print(f"histogram accuracy loss vs exact: "
+              f"{100 * histogram_accuracy_loss(exact, last.histogram.estimates()):.2f}%")
     return 0
 
 

@@ -135,5 +135,21 @@ class AnswerAdmissionController:
         self._seen.pop((query_id, epoch), None)
         self._admitted_counts.pop((query_id, epoch), None)
 
+    def forget_epochs_before(self, query_id: str, epoch: int) -> int:
+        """Drop every tracked epoch of ``query_id`` older than ``epoch``.
+
+        Called by the aggregator once an epoch's ingest completes (with a
+        small retention window for stragglers), so the per-epoch token sets
+        stay bounded in a long-running stream instead of growing forever.
+        Returns the number of epochs dropped.
+        """
+        stale = [
+            key for key in self._seen if key[0] == query_id and key[1] < epoch
+        ]
+        for key in stale:
+            del self._seen[key]
+            self._admitted_counts.pop(key, None)
+        return len(stale)
+
     def tracked_epochs(self) -> int:
         return len(self._seen)

@@ -74,12 +74,20 @@ class Aggregator:
     validator: AnswerValidator | None = None
     admission: AnswerAdmissionController | None = None
     allowed_lateness_seconds: float = 0.0
+    # How many recent epochs of duplicate-suppression state to keep once an
+    # epoch's ingest completes: the current epoch plus retention - 1 earlier
+    # ones (stragglers admitted late must still collide with their epoch's
+    # token set).  Without retirement the per-epoch token sets grow without
+    # bound in a long-running stream; see finish_epoch.
+    admission_retention_epochs: int = 2
 
     def __post_init__(self) -> None:
         if self.total_clients <= 0:
             raise ValueError("total_clients must be positive")
         if self.num_proxies < 2:
             raise ValueError("PrivApprox requires at least two proxies")
+        if self.admission_retention_epochs < 1:
+            raise ValueError("admission_retention_epochs must be at least 1")
         self._codec = AnswerCodec()
         if self.error_estimator is None:
             self.error_estimator = ErrorEstimator(
@@ -173,6 +181,20 @@ class Aggregator:
         for consumer in consumers:
             shares.extend(record.value for record in consumer.poll())
         return self.ingest_shares(shares, epoch, batched=batched)
+
+    def finish_epoch(self, epoch: int) -> None:
+        """Mark one epoch's ingest complete and retire stale admission state.
+
+        Keeps the ``admission_retention_epochs`` most recent epochs' token
+        sets and drops everything older, so ``admission.tracked_epochs()``
+        stays bounded over an unbounded stream.  Idempotent and safe to call
+        even when admission control is disabled.
+        """
+        if self.admission is None:
+            return
+        self.admission.forget_epochs_before(
+            self.query.query_id, epoch - self.admission_retention_epochs + 1
+        )
 
     def flush(self) -> list[WindowResult]:
         """Emit every pending window (end of stream / end of experiment)."""

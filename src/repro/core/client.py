@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.admission import participation_token
 from repro.core.budget import ExecutionParameters
@@ -27,6 +27,7 @@ from repro.core.encryption import AnswerCodec, EncryptedAnswer
 from repro.core.query import Query, QueryAnswer
 from repro.core.randomized_response import RandomizedResponder
 from repro.core.sampling import SimpleRandomSampler
+from repro.core.seeding import derive_query_seed, derive_query_seed_bytes
 from repro.crypto.prng import KeystreamGenerator, secure_random_bytes
 from repro.sqldb import Database
 
@@ -86,18 +87,28 @@ class Client:
     def __init__(self, config: ClientConfig):
         self.config = config
         self.database = Database(name=f"client-{config.client_id}")
-        self._rng = random.Random(config.seed)
         self._keystream = KeystreamGenerator(
             seed=None if config.seed is None else config.seed.to_bytes(8, "big", signed=True)
         )
         self._codec = AnswerCodec()
         self._subscriptions: dict[str, tuple[Query, ExecutionParameters]] = {}
-        # Sampler/responder pairs cached per parameter set: both only hold the
-        # (p, q, s) constants plus a reference to this client's RNG, so reuse
-        # across epochs draws exactly the same random sequence as fresh
-        # instances while avoiding two allocations per answer.
+        # One independent seeded RNG and encryption keystream per subscribed
+        # query, created lazily on first answer.  Sharing a single RNG or
+        # keystream between subscriptions would let a co-subscribed query
+        # perturb another query's sampling, randomization or pad draws; with
+        # per-query streams a query's responses — encrypted shares included —
+        # are byte-identical whether or not other queries ride the same
+        # epoch.  (self._keystream remains the client-level stream behind the
+        # token secret.)
+        self._rngs: dict[str, random.Random] = {}
+        self._keystreams: dict[str, KeystreamGenerator] = {}
+        # Sampler/responder pairs cached per (query, parameter set): both only
+        # hold the (p, q, s) constants plus a reference to that query's RNG,
+        # so reuse across epochs draws exactly the same random sequence as
+        # fresh instances while avoiding two allocations per answer.
         self._mechanisms: dict[
-            ExecutionParameters, tuple[SimpleRandomSampler, RandomizedResponder]
+            tuple[str, ExecutionParameters],
+            tuple[SimpleRandomSampler, RandomizedResponder],
         ] = {}
         # Local secret behind the anonymous per-epoch participation tokens;
         # it never leaves the device.
@@ -131,7 +142,14 @@ class Client:
             )
         return {
             "config": self.config,
-            "rng_state": _pack_rng_state(self._rng.getstate()),
+            "rng_states": {
+                query_id: _pack_rng_state(rng.getstate())
+                for query_id, rng in self._rngs.items()
+            },
+            "query_keystream_states": {
+                query_id: keystream.getstate()
+                for query_id, keystream in self._keystreams.items()
+            },
             "keystream_state": self._keystream.getstate(),
             "token_secret": self._token_secret,
             "tables": tables,
@@ -149,7 +167,10 @@ class Client:
         so the restored client's next draw equals the original's next draw.
         """
         client = cls(state["config"])
-        client._rng.setstate(_unpack_rng_state(state["rng_state"]))
+        for query_id, packed in state["rng_states"].items():
+            client._rng_for(query_id).setstate(_unpack_rng_state(packed))
+        for query_id, keystream_state in state["query_keystream_states"].items():
+            client._keystream_for(query_id).setstate(keystream_state)
         client._keystream.setstate(state["keystream_state"])
         client._token_secret = state["token_secret"]
         for name, columns, rows in state["tables"]:
@@ -187,21 +208,49 @@ class Client:
 
     # -- query answering -----------------------------------------------------------
 
-    def answer_query(self, query_id: str, epoch: int = 0) -> ClientResponse | None:
+    def answer(
+        self, query_ids: Sequence[str], epoch: int = 0
+    ) -> list[ClientResponse | None]:
+        """Run one answering epoch for many subscribed queries in one pass.
+
+        Returns one entry per query id, ``None`` where the query's sampling
+        coin said not to participate (or the query is unknown).  The local
+        table scan is shared: queries with the same SQL reuse a single
+        database pass, which is what makes a multi-query epoch cheaper than
+        answering each query in its own full pass.  Randomness stays
+        per-query (each query id owns its seeded RNG *and* encryption
+        keystream), so the responses — encrypted shares included — are
+        byte-identical to answering each query alone.
+        """
+        scan_cache: dict[str, Any] = {}
+        return [
+            self.answer_query(query_id, epoch=epoch, scan_cache=scan_cache)
+            for query_id in query_ids
+        ]
+
+    def answer_query(
+        self,
+        query_id: str,
+        epoch: int = 0,
+        *,
+        scan_cache: dict[str, Any] | None = None,
+    ) -> ClientResponse | None:
         """Run one answering epoch for a subscribed query.
 
         Returns ``None`` when the sampling coin says not to participate (or
         when the query is unknown), otherwise the encrypted response.
+        ``scan_cache`` (SQL text → result set) lets a multi-query epoch share
+        one table scan across co-subscribed queries; see :meth:`answer`.
         """
         if query_id not in self._subscriptions:
             return None
         query, parameters = self._subscriptions[query_id]
 
-        sampler, responder = self._mechanisms_for(parameters)
+        sampler, responder = self._mechanisms_for(query_id, parameters)
         if not sampler.should_participate():
             return None
 
-        truthful_bits = self._execute_query_locally(query)
+        truthful_bits = self._execute_query_locally(query, scan_cache)
         randomized_bits = responder.randomize_vector(truthful_bits)
 
         answer = QueryAnswer(
@@ -211,7 +260,9 @@ class Client:
             token=participation_token(self._token_secret, query.query_id, epoch),
         )
         encrypted = self._codec.encrypt(
-            answer, num_proxies=self.config.num_proxies, keystream=self._keystream
+            answer,
+            num_proxies=self.config.num_proxies,
+            keystream=self._keystream_for(query_id),
         )
         return ClientResponse(
             client_id=self.config.client_id,
@@ -222,16 +273,52 @@ class Client:
             randomized_bits=tuple(randomized_bits),
         )
 
+    def _rng_for(self, query_id: str) -> random.Random:
+        """The query's own RNG stream, derived from the client seed.
+
+        The derivation (:func:`~repro.core.seeding.derive_query_seed`) is the
+        same one :mod:`repro.core.system` uses to seed per-query error
+        estimators: base seed mixed with a CRC of the query id.  An unseeded
+        client gets an independent fresh-entropy stream per query.
+        """
+        rng = self._rngs.get(query_id)
+        if rng is None:
+            if self.config.seed is None:
+                rng = random.Random()
+            else:
+                rng = random.Random(derive_query_seed(self.config.seed, query_id))
+            self._rngs[query_id] = rng
+        return rng
+
+    def _keystream_for(self, query_id: str) -> KeystreamGenerator:
+        """The query's own encryption keystream, derived like :meth:`_rng_for`.
+
+        A shared keystream would let one query's encryption shift a
+        co-subscribed query's pad bytes; per-query keystreams keep even the
+        encrypted shares byte-identical with and without co-subscription.
+        """
+        keystream = self._keystreams.get(query_id)
+        if keystream is None:
+            if self.config.seed is None:
+                keystream = KeystreamGenerator(seed=None)
+            else:
+                keystream = KeystreamGenerator(
+                    seed=derive_query_seed_bytes(self.config.seed, query_id)
+                )
+            self._keystreams[query_id] = keystream
+        return keystream
+
     def _mechanisms_for(
-        self, parameters: ExecutionParameters
+        self, query_id: str, parameters: ExecutionParameters
     ) -> tuple[SimpleRandomSampler, RandomizedResponder]:
-        cached = self._mechanisms.get(parameters)
+        cached = self._mechanisms.get((query_id, parameters))
         if cached is None:
+            rng = self._rng_for(query_id)
             cached = (
-                SimpleRandomSampler(parameters.sampling_fraction, rng=self._rng),
-                RandomizedResponder(p=parameters.p, q=parameters.q, rng=self._rng),
+                SimpleRandomSampler(parameters.sampling_fraction, rng=rng),
+                RandomizedResponder(p=parameters.p, q=parameters.q, rng=rng),
             )
-            self._mechanisms[parameters] = cached
+            self._mechanisms[(query_id, parameters)] = cached
         return cached
 
     def truthful_answer(self, query_id: str) -> list[int]:
@@ -245,16 +332,25 @@ class Client:
         query, _ = self._subscriptions[query_id]
         return self._execute_query_locally(query)
 
-    def _execute_query_locally(self, query: Query) -> list[int]:
+    def _execute_query_locally(
+        self, query: Query, scan_cache: dict[str, Any] | None = None
+    ) -> list[int]:
         """Run the analyst's SQL on the local database and bucket the result.
 
         The client answers with the most recent matching row (the paper's
         examples — current driving speed, last ride distance, current power
         draw — are all "latest value" readings).  A client with no matching
         rows answers all-zeros, which still gets randomized so non-matching
-        clients are indistinguishable from matching ones.
+        clients are indistinguishable from matching ones.  ``scan_cache``
+        (keyed by SQL text) deduplicates the database pass when several
+        co-subscribed queries in a multi-query epoch run the same statement.
         """
-        result = self.database.query(query.sql)
+        if scan_cache is not None and query.sql in scan_cache:
+            result = scan_cache[query.sql]
+        else:
+            result = self.database.query(query.sql)
+            if scan_cache is not None:
+                scan_cache[query.sql] = result
         value = None
         if len(result) > 0:
             column = query.answer_spec.value_column

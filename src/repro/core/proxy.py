@@ -20,6 +20,13 @@ Two relay granularities coexist:
   whole shard's share column) — used by the pipelined epoch runtime so a
   completed shard can be relayed and ingested while other shards are still
   answering, without per-share partition routing or record framing.
+
+Both granularities additionally support a per-query *channel*: passing
+``channel="<query id>"`` scopes the relay to ``proxy-<i>-q-<channel>`` (or
+``proxy-<i>-q-<channel>-shard-<s>``), so a multi-query epoch keeps each
+query's share stream on its own topics and every aggregator only ever polls
+its own query's records — no cross-query reads, no post-decrypt filtering.
+``channel=None`` keeps the legacy shared topics of the single-query paths.
 """
 
 from __future__ import annotations
@@ -48,13 +55,28 @@ class Proxy:
         self.shares_relayed = 0
         self.bytes_relayed = 0
 
-    def receive_share(self, share: MessageShare) -> None:
+    def channel_topic_name(self, channel: str | None) -> str:
+        """The relay topic for one query channel (the shared topic for None)."""
+        if channel is None:
+            return self.topic_name
+        return f"{self.topic_name}-q-{channel}"
+
+    def _channel_topic(self, channel: str | None) -> str:
+        """Resolve (and lazily create) the relay topic for a channel."""
+        name = self.channel_topic_name(channel)
+        if channel is not None:
+            self.cluster.ensure_topic(name, self.num_partitions)
+        return name
+
+    def receive_share(self, share: MessageShare, channel: str | None = None) -> None:
         """Accept one share from a client and publish it for the aggregator."""
-        self._producer.send(self.topic_name, value=share, key=share.message_id)
+        self._producer.send(self._channel_topic(channel), value=share, key=share.message_id)
         self.shares_relayed += 1
         self.bytes_relayed += share.size_bytes()
 
-    def receive_batch(self, shares: list[MessageShare]) -> None:
+    def receive_batch(
+        self, shares: list[MessageShare], channel: str | None = None
+    ) -> None:
         """Accept one share from each of many clients in a single publish.
 
         Same relay semantics and accounting as per-share :meth:`receive_share`
@@ -63,18 +85,22 @@ class Proxy:
         if not shares:
             return
         self._producer.send_many(
-            self.topic_name, shares, keys=[share.message_id for share in shares]
+            self._channel_topic(channel),
+            shares,
+            keys=[share.message_id for share in shares],
         )
         self.shares_relayed += len(shares)
         self.bytes_relayed += sum(share.size_bytes() for share in shares)
 
     # -- shard-aware relay (pipelined runtime) ------------------------------
 
-    def shard_topic_name(self, slot: int) -> str:
+    def shard_topic_name(self, slot: int, channel: str | None = None) -> str:
         """Name of the shard-aware relay topic for one shard slot."""
-        return f"{self.topic_name}-shard-{slot}"
+        return f"{self.channel_topic_name(channel)}-shard-{slot}"
 
-    def ensure_shard_topics(self, num_slots: int) -> list[str]:
+    def ensure_shard_topics(
+        self, num_slots: int, channel: str | None = None
+    ) -> list[str]:
         """Create the shard-aware relay topics (one single-partition topic each).
 
         Idempotent: existing topics are kept, so executors can call this every
@@ -84,12 +110,14 @@ class Proxy:
             raise ValueError(f"num_slots must be positive, got {num_slots}")
         names = []
         for slot in range(num_slots):
-            name = self.shard_topic_name(slot)
+            name = self.shard_topic_name(slot, channel)
             self.cluster.ensure_topic(name, num_partitions=1)
             names.append(name)
         return names
 
-    def receive_shard_batch(self, slot: int, shares: list[MessageShare]) -> None:
+    def receive_shard_batch(
+        self, slot: int, shares: list[MessageShare], channel: str | None = None
+    ) -> None:
         """Relay one shard's worth of shares as a single batch record.
 
         The record's value is the tuple of shares, so the broker handles one
@@ -99,11 +127,13 @@ class Proxy:
         """
         if not shares:
             return
-        self._producer.send(self.shard_topic_name(slot), value=tuple(shares))
+        self._producer.send(self.shard_topic_name(slot, channel), value=tuple(shares))
         self.shares_relayed += len(shares)
         self.bytes_relayed += sum(share.size_bytes() for share in shares)
 
-    def make_shard_consumer(self, slot: int, group_id: str = "aggregator") -> Consumer:
+    def make_shard_consumer(
+        self, slot: int, group_id: str = "aggregator", channel: str | None = None
+    ) -> Consumer:
         """Create a consumer over one shard slot's relay topic.
 
         The topic must exist (see :meth:`ensure_shard_topics`).
@@ -113,13 +143,17 @@ class Proxy:
             group_id=group_id,
             consumer_id=f"{group_id}-{self.proxy_id}-shard-{slot}",
         )
-        consumer.subscribe([self.shard_topic_name(slot)])
+        consumer.subscribe([self.shard_topic_name(slot, channel)])
         return consumer
 
-    def make_consumer(self, group_id: str = "aggregator") -> Consumer:
+    def make_consumer(
+        self, group_id: str = "aggregator", channel: str | None = None
+    ) -> Consumer:
         """Create a consumer the aggregator uses to pull this proxy's stream."""
-        consumer = Consumer(self.cluster, group_id=group_id, consumer_id=f"{group_id}-{self.proxy_id}")
-        consumer.subscribe([self.topic_name])
+        consumer = Consumer(
+            self.cluster, group_id=group_id, consumer_id=f"{group_id}-{self.proxy_id}"
+        )
+        consumer.subscribe([self._channel_topic(channel)])
         return consumer
 
     def pending_shares(self) -> int:
@@ -149,16 +183,22 @@ class ProxyNetwork:
             raise ValueError("PrivApprox requires at least two proxies")
         self.proxies = [Proxy(proxy_id=i, cluster=self.cluster) for i in range(self.num_proxies)]
 
-    def transmit(self, shares: list[MessageShare]) -> None:
-        """Send each share of one encrypted answer to its proxy."""
+    def transmit(self, shares: list[MessageShare], channel: str | None = None) -> None:
+        """Send each share of one encrypted answer to its proxy.
+
+        ``channel`` scopes the relay to a query's own topics (multi-query
+        epochs); ``None`` uses the shared per-proxy topic.
+        """
         if len(shares) != self.num_proxies:
             raise ValueError(
                 f"expected {self.num_proxies} shares (one per proxy), got {len(shares)}"
             )
         for proxy, share in zip(self.proxies, shares):
-            proxy.receive_share(share)
+            proxy.receive_share(share, channel=channel)
 
-    def transmit_batch(self, share_rows: list[list[MessageShare]]) -> None:
+    def transmit_batch(
+        self, share_rows: list[list[MessageShare]], channel: str | None = None
+    ) -> None:
         """Send the shares of many encrypted answers, batched per proxy.
 
         ``share_rows`` holds one row per answer (``num_proxies`` shares each);
@@ -175,16 +215,21 @@ class ProxyNetwork:
                     f"expected {self.num_proxies} shares (one per proxy), got {len(row)}"
                 )
         for index, proxy in enumerate(self.proxies):
-            proxy.receive_batch([row[index] for row in share_rows])
+            proxy.receive_batch([row[index] for row in share_rows], channel=channel)
 
     # -- shard-aware relay (pipelined runtime) ------------------------------
 
-    def ensure_shard_topics(self, num_slots: int) -> None:
+    def ensure_shard_topics(self, num_slots: int, channel: str | None = None) -> None:
         """Create the shard-aware relay topics on every proxy (idempotent)."""
         for proxy in self.proxies:
-            proxy.ensure_shard_topics(num_slots)
+            proxy.ensure_shard_topics(num_slots, channel=channel)
 
-    def transmit_shard(self, slot: int, share_rows: list[list[MessageShare]]) -> None:
+    def transmit_shard(
+        self,
+        slot: int,
+        share_rows: list[list[MessageShare]],
+        channel: str | None = None,
+    ) -> None:
         """Send many answers' shares as one batch record per proxy.
 
         Like :meth:`transmit_batch` the rows (one per answer) are transposed
@@ -202,18 +247,23 @@ class ProxyNetwork:
                     f"expected {self.num_proxies} shares (one per proxy), got {len(row)}"
                 )
         for index, proxy in enumerate(self.proxies):
-            proxy.receive_shard_batch(slot, [row[index] for row in share_rows])
+            proxy.receive_shard_batch(
+                slot, [row[index] for row in share_rows], channel=channel
+            )
 
     def make_shard_consumers(
-        self, group_id: str, num_slots: int
+        self, group_id: str, num_slots: int, channel: str | None = None
     ) -> list[list[Consumer]]:
         """Consumers over the shard-aware topics: ``result[slot][proxy]``.
 
         Creates the topics first so consumers can subscribe immediately.
         """
-        self.ensure_shard_topics(num_slots)
+        self.ensure_shard_topics(num_slots, channel=channel)
         return [
-            [proxy.make_shard_consumer(slot, group_id) for proxy in self.proxies]
+            [
+                proxy.make_shard_consumer(slot, group_id, channel=channel)
+                for proxy in self.proxies
+            ]
             for slot in range(num_slots)
         ]
 
@@ -223,9 +273,11 @@ class ProxyNetwork:
     def total_bytes_relayed(self) -> int:
         return sum(proxy.bytes_relayed for proxy in self.proxies)
 
-    def make_consumers(self, group_id: str = "aggregator") -> list:
+    def make_consumers(
+        self, group_id: str = "aggregator", channel: str | None = None
+    ) -> list:
         """One consumer per proxy stream, for the aggregator."""
-        return [proxy.make_consumer(group_id) for proxy in self.proxies]
+        return [proxy.make_consumer(group_id, channel=channel) for proxy in self.proxies]
 
     # -- performance model ------------------------------------------------------
 

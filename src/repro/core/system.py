@@ -15,14 +15,20 @@ proxies, aggregator and analyst — into a runnable system:
 
 The system also (optionally) persists every decrypted randomized answer to the
 historical store so batch analytics can run over longer periods.
+
+Concurrent queries (many analysts over one client population) are served by
+:meth:`PrivApproxSystem.run_epoch_all`: one answering pass per epoch covers
+every submitted query — clients answer all their subscriptions in one go with
+per-query RNG streams, and each query's shares travel on its own channel
+topics into its own aggregator — so results are byte-identical to running
+each query alone, at a fraction of the cost.
 """
 
 from __future__ import annotations
 
 import random
-import zlib
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.core.admission import AnswerAdmissionController
 from repro.core.aggregator import Aggregator, WindowResult
@@ -34,8 +40,9 @@ from repro.core.estimation import ErrorEstimator
 from repro.core.historical import HistoricalStore
 from repro.core.proxy import ProxyNetwork
 from repro.core.query import Query
+from repro.core.seeding import derive_query_seed
 from repro.core.validation import AnswerValidator
-from repro.runtime import EXECUTOR_KINDS, EpochContext, make_executor
+from repro.runtime import EXECUTOR_KINDS, EpochContext, QueryContext, make_executor
 
 
 @dataclass(frozen=True)
@@ -149,6 +156,11 @@ class PrivApproxSystem:
         self._queries: dict[str, Query] = {}
         self._budgets: dict[str, QueryBudget] = {}
         self._consumers: dict[str, list] = {}
+        # Channel-scoped consumers for multi-query epochs, created lazily on
+        # first run_epoch_all use: each query's aggregator polls its own
+        # per-query proxy topics, so concurrent queries never read each
+        # other's records.  Single-query deployments never allocate them.
+        self._scoped_consumers: dict[str, list] = {}
         self._responses_log: dict[str, list[ClientResponse]] = {}
 
     # -- provisioning -------------------------------------------------------
@@ -224,7 +236,7 @@ class PrivApproxSystem:
         """
         if self.config.seed is None:
             return None
-        derived = self.config.seed * 1_000_003 + zlib.crc32(query.query_id.encode("utf-8"))
+        derived = derive_query_seed(self.config.seed, query.query_id)
         return ErrorEstimator(p=params.p, q=params.q, rng=random.Random(derived))
 
     def _distribute_query(
@@ -257,30 +269,101 @@ class PrivApproxSystem:
 
         The answering/transmission/ingestion dataflow is delegated to the
         configured :class:`~repro.runtime.EpochExecutor`; everything after
-        (historical recording, result delivery, feedback re-tuning) is
-        executor-agnostic.
+        (historical recording, result delivery, feedback re-tuning, retiring
+        stale admission-control epochs) is executor-agnostic.
         """
         if query_id not in self._queries:
             raise KeyError(f"unknown query {query_id}")
-        query = self._queries[query_id]
-        aggregator = self._aggregators[query_id]
-        consumers = self._consumers[query_id]
-
         outcome = self.executor.run_epoch(
             EpochContext(
                 clients=self.clients,
                 proxies=self.proxies,
-                aggregator=aggregator,
-                consumers=consumers,
+                aggregator=self._aggregators[query_id],
+                consumers=self._consumers[query_id],
                 query_id=query_id,
             ),
             epoch,
         )
-        self._responses_log[query_id].extend(outcome.responses)
+        return self._finish_query_epoch(query_id, epoch, outcome.per_query[0])
 
+    def run_epoch_all(
+        self, epoch: int, query_ids: Sequence[str] | None = None
+    ) -> dict[str, EpochReport]:
+        """Run one answering epoch for *all* (or the given) queries at once.
+
+        Every query is served from a single answering pass over the clients:
+        each client answers all its subscriptions in one go (sharing the
+        local table scan, with per-query RNG streams keeping the draws
+        isolated), and transmission/ingestion run on per-query channel
+        topics into per-query aggregators.  For a fixed seed each query's
+        results are byte-identical to running it alone — the multi-query
+        epoch is a pure batching optimization.
+
+        Returns one :class:`EpochReport` per query, keyed by query id, in
+        submission order.
+        """
+        ids = list(query_ids) if query_ids is not None else list(self._queries)
+        if not ids:
+            raise ValueError("no queries submitted; nothing to run")
+        if len(set(ids)) != len(ids):
+            # A duplicated id would answer the query twice in one pass
+            # (advancing its RNG streams twice) and run the epoch postlude
+            # twice — corrupting state rather than failing loudly.
+            raise ValueError("query_ids contains duplicates")
+        for query_id in ids:
+            if query_id not in self._queries:
+                raise KeyError(f"unknown query {query_id}")
+        outcome = self.executor.run_epoch(
+            EpochContext(
+                clients=self.clients,
+                proxies=self.proxies,
+                queries=tuple(
+                    QueryContext(
+                        query_id=query_id,
+                        aggregator=self._aggregators[query_id],
+                        consumers=self._scoped_consumers_for(query_id),
+                        channel=query_id,
+                    )
+                    for query_id in ids
+                ),
+            ),
+            epoch,
+        )
+        return {
+            query_outcome.query_id: self._finish_query_epoch(
+                query_outcome.query_id, epoch, query_outcome
+            )
+            for query_outcome in outcome.per_query
+        }
+
+    def _scoped_consumers_for(self, query_id: str) -> list:
+        """The query's channel-scoped consumers, created on first use.
+
+        Offsets persist across epochs, so the consumers (and the per-query
+        topics they subscribe to) are built once per query — and only for
+        deployments that actually run multi-query epochs.
+        """
+        consumers = self._scoped_consumers.get(query_id)
+        if consumers is None:
+            consumers = self.proxies.make_consumers(
+                group_id=f"aggregator-{query_id}-scoped", channel=query_id
+            )
+            self._scoped_consumers[query_id] = consumers
+        return consumers
+
+    def _finish_query_epoch(self, query_id: str, epoch: int, outcome) -> EpochReport:
+        """Executor-agnostic per-query epoch postlude.
+
+        Logs the responses, records history, delivers results and re-tunes,
+        and retires admission-control state outside the retention window.
+        """
+        query = self._queries[query_id]
+        aggregator = self._aggregators[query_id]
+        self._responses_log[query_id].extend(outcome.responses)
         window_results = list(outcome.window_results)
         self._record_historical(query, aggregator, epoch)
         self._deliver_and_retune(query_id, window_results)
+        aggregator.finish_epoch(epoch)
         return EpochReport(
             epoch=epoch,
             num_participants=outcome.num_participants,
@@ -292,6 +375,12 @@ class PrivApproxSystem:
     def run_epochs(self, query_id: str, num_epochs: int) -> list[EpochReport]:
         """Run several consecutive epochs."""
         return [self.run_epoch(query_id, epoch) for epoch in range(num_epochs)]
+
+    def run_epochs_all(
+        self, num_epochs: int, query_ids: Sequence[str] | None = None
+    ) -> list[dict[str, EpochReport]]:
+        """Run several consecutive multi-query epochs (see :meth:`run_epoch_all`)."""
+        return [self.run_epoch_all(epoch, query_ids) for epoch in range(num_epochs)]
 
     def close(self) -> None:
         """Release executor resources (worker pools); safe to call twice."""

@@ -27,6 +27,8 @@ from repro.runtime.executor import (
     EpochContext,
     EpochExecutor,
     EpochOutcome,
+    QueryContext,
+    QueryEpochOutcome,
     make_executor,
 )
 from repro.runtime.pipelined import PipelinedExecutor
@@ -56,6 +58,8 @@ __all__ = [
     "EpochOutcome",
     "PipelinedExecutor",
     "ProcessPoolEpochExecutor",
+    "QueryContext",
+    "QueryEpochOutcome",
     "SerialExecutor",
     "Shard",
     "ShardBatch",

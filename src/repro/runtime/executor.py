@@ -8,6 +8,14 @@ The system delegates :meth:`run_epoch` to whichever executor its
 :class:`~repro.core.system.SystemConfig` selected and keeps everything else
 (historical recording, result delivery, feedback re-tuning) executor-agnostic.
 
+An epoch context carries one :class:`QueryContext` per *concurrent* query:
+all of them are served from a single answering pass over the clients (each
+client answers every query it subscribes to in one go, sharing the local
+table scan), while transmission and ingestion stay per query — every query
+has its own channel topics, its own aggregator and its own consumers, so the
+tenants are isolated end-to-end.  Single-query epochs are the one-element
+case and keep the legacy shared proxy topics.
+
 Four implementations ship with the runtime:
 
 * :class:`~repro.runtime.serial.SerialExecutor` — the reference
@@ -49,37 +57,137 @@ if TYPE_CHECKING:  # imported lazily to keep repro.core <-> repro.runtime acycli
     from repro.pubsub import Consumer
 
 
-@dataclass
+@dataclass(frozen=True)
+class QueryContext:
+    """One query's slice of an epoch: its aggregator, consumers and channel.
+
+    ``channel`` names the per-query topic scope on the proxies
+    (:meth:`~repro.core.proxy.ProxyNetwork.transmit` and friends); ``None``
+    keeps the legacy shared topics, which is correct only while a single
+    query is in flight.  Multi-query epochs set ``channel=query_id`` so each
+    aggregator only ever polls its own query's records.
+    """
+
+    query_id: str
+    aggregator: "Aggregator"
+    consumers: Sequence["Consumer"]
+    channel: str | None = None
+
+
 class EpochContext:
-    """Everything an executor needs to run one epoch for one query.
+    """Everything an executor needs to run one epoch.
 
     ``clients`` is the system's *live* client list: executors that move
     client state to other processes must write the advanced state back into
-    it so later epochs continue the same RNG streams.
+    it so later epochs continue the same RNG streams.  ``queries`` holds one
+    :class:`QueryContext` per concurrent query served by this epoch's single
+    answering pass; the single-query constructor keywords (``aggregator``,
+    ``consumers``, ``query_id``) remain as a convenience and build a
+    one-element ``queries`` tuple.
     """
 
-    clients: list["Client"]
-    proxies: "ProxyNetwork"
-    aggregator: "Aggregator"
-    consumers: Sequence["Consumer"]
-    query_id: str
+    def __init__(
+        self,
+        clients: list["Client"],
+        proxies: "ProxyNetwork",
+        queries: Sequence[QueryContext] | None = None,
+        *,
+        aggregator: "Aggregator | None" = None,
+        consumers: Sequence["Consumer"] | None = None,
+        query_id: str | None = None,
+    ):
+        if queries is None:
+            if aggregator is None or consumers is None or query_id is None:
+                raise ValueError(
+                    "EpochContext needs either queries=[QueryContext, ...] or "
+                    "the single-query aggregator/consumers/query_id trio"
+                )
+            queries = (
+                QueryContext(
+                    query_id=query_id, aggregator=aggregator, consumers=consumers
+                ),
+            )
+        elif aggregator is not None or consumers is not None or query_id is not None:
+            raise ValueError(
+                "pass either queries= or the single-query trio, not both"
+            )
+        if not queries:
+            raise ValueError("an epoch needs at least one query context")
+        self.clients = clients
+        self.proxies = proxies
+        self.queries = tuple(queries)
+
+    @property
+    def query_ids(self) -> list[str]:
+        return [query.query_id for query in self.queries]
+
+    # -- single-query conveniences (tests and legacy callers) ---------------
+
+    def _single(self) -> QueryContext:
+        if len(self.queries) != 1:
+            raise ValueError(
+                "this EpochContext carries multiple queries; use .queries"
+            )
+        return self.queries[0]
+
+    @property
+    def query_id(self) -> str:
+        return self._single().query_id
+
+    @property
+    def aggregator(self) -> "Aggregator":
+        return self._single().aggregator
+
+    @property
+    def consumers(self) -> Sequence["Consumer"]:
+        return self._single().consumers
 
 
 @dataclass(frozen=True)
-class EpochOutcome:
-    """What one executed epoch produced.
+class QueryEpochOutcome:
+    """One query's share of an executed epoch.
 
-    ``responses`` holds the participating clients' responses in client order
+    ``responses`` holds the query's participating responses in client order
     (the deterministic merge of per-shard logs); ``window_results`` holds the
-    window results the aggregator emitted while ingesting this epoch.
+    window results the query's aggregator emitted while ingesting the epoch.
     """
 
+    query_id: str
     responses: tuple
     window_results: tuple
 
     @property
     def num_participants(self) -> int:
         return len(self.responses)
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """What one executed epoch produced, per query.
+
+    ``per_query`` is aligned with the context's ``queries``.  The
+    ``responses`` / ``window_results`` / ``num_participants`` accessors keep
+    the single-query view for callers that ran a one-query epoch.
+    """
+
+    per_query: tuple[QueryEpochOutcome, ...]
+
+    def _single(self) -> QueryEpochOutcome:
+        if len(self.per_query) != 1:
+            raise ValueError("this outcome covers multiple queries; use .per_query")
+        return self.per_query[0]
+
+    @property
+    def responses(self) -> tuple:
+        return self._single().responses
+
+    @property
+    def window_results(self) -> tuple:
+        return self._single().window_results
+
+    @property
+    def num_participants(self) -> int:
+        return self._single().num_participants
 
 
 # The canonical registry of executor kinds make_executor understands;
@@ -145,9 +253,14 @@ class PooledEpochExecutor(EpochExecutor):
         self.num_shards = num_shards if num_shards is not None else num_workers
         self.queue_depth = queue_depth if queue_depth is not None else max(2, num_workers)
         self._pool = None
-        # Shard-topic consumers per query id, tagged with the proxy network
-        # they were built against; offsets persist across epochs.
-        self._consumers: dict[str, tuple["ProxyNetwork", list[list["Consumer"]]]] = {}
+        # Shard-topic consumers per (query id, channel), tagged with the
+        # proxy network they were built against; offsets persist across
+        # epochs.  Channel-scoped entries point at the query's own topics,
+        # so a multi-query epoch never cross-reads another query's records.
+        self._consumers: dict[
+            tuple[str, str | None],
+            tuple["ProxyNetwork", list[list["Consumer"]]],
+        ] = {}
 
     def _make_pool(self):
         """Build the ``concurrent.futures`` pool this executor answers on."""
@@ -158,23 +271,34 @@ class PooledEpochExecutor(EpochExecutor):
             self._pool = self._make_pool()
         return self._pool
 
-    def _consumers_for(self, context: EpochContext) -> list[list["Consumer"]]:
-        """The per-(shard, proxy) consumers for this query, created on first use.
+    def _consumers_for(self, context: EpochContext) -> list[list[list["Consumer"]]]:
+        """Per-query shard-topic consumers, created on first use.
 
-        The cache is keyed by query id but *validated* against the context's
-        proxy network: query ids are deterministic per analyst name, so an
-        executor reused across two deployments would otherwise keep polling
-        the first deployment's brokers and silently ingest nothing.
+        Returns one ``[slot][proxy]`` consumer grid per context query, in
+        context order.  The cache is keyed by (query id, channel) but
+        *validated* against the context's proxy network: query ids are
+        deterministic per analyst name, so an executor reused across two
+        deployments would otherwise keep polling the first deployment's
+        brokers and silently ingest nothing.
         """
-        cached = self._consumers.get(context.query_id)
-        if cached is not None and cached[0] is context.proxies:
-            return cached[1]
-        consumers = context.proxies.make_shard_consumers(
-            group_id=f"{self._consumer_group_prefix}-{context.query_id}",
-            num_slots=self.num_shards,
-        )
-        self._consumers[context.query_id] = (context.proxies, consumers)
-        return consumers
+        grids = []
+        for query in context.queries:
+            key = (query.query_id, query.channel)
+            cached = self._consumers.get(key)
+            if cached is not None and cached[0] is context.proxies:
+                grids.append(cached[1])
+                continue
+            group = f"{self._consumer_group_prefix}-{query.query_id}"
+            if query.channel is not None:
+                group = f"{group}-q-{query.channel}"
+            grid = context.proxies.make_shard_consumers(
+                group_id=group,
+                num_slots=self.num_shards,
+                channel=query.channel,
+            )
+            self._consumers[key] = (context.proxies, grid)
+            grids.append(grid)
+        return grids
 
     def close(self) -> None:
         """Shut the worker pool down and drop cached consumers (idempotent)."""

@@ -13,30 +13,39 @@ of materializing between them:
 2. **Transmit** — a dedicated transmitter thread drains the hand-off queue in
    completion order and publishes every finished shard's shares to the
    proxies' *shard-aware topics* (:meth:`~repro.core.proxy.ProxyNetwork.transmit_shard`):
-   one single-partition topic per (proxy, shard slot), carrying one batch
-   record per shard per epoch.  Compared with the sharded executor's
-   per-share records this removes the per-share partition routing, record
-   construction and poll bookkeeping entirely.
+   one single-partition topic per (proxy, shard slot) and query channel,
+   carrying one batch record per shard per query per epoch.  Compared with
+   the sharded executor's per-share records this removes the per-share
+   partition routing, record construction and poll bookkeeping entirely.
 3. **Ingest** — the caller's thread consumes transmit notifications and, for
-   each relayed shard, polls that shard's consumers and feeds the shares to
-   the aggregator's grouped ``MID`` join and batched validation/admission
-   loop — while other shards are still being answered by the pool.
+   each relayed shard, polls that shard's consumers (query by query) and
+   feeds the shares to each query's grouped ``MID`` join and batched
+   validation/admission loop — while other shards are still being answered
+   by the pool.
 
-Determinism: per-client seeded RNGs make shard answering order-independent;
-shard responses are merged into the epoch log in shard-index (= client) order;
-and every aggregation step downstream of transmission is insensitive to the
-order shards arrive in — joins are keyed by ``MID``, window aggregation is a
-commutative sum, and windows only fire on epoch boundaries, after every shard
-of the previous epoch has been ingested.  The equivalence suite
-(``tests/runtime/test_executor_equivalence.py``) pins the executor to the
-serial reference byte-for-byte.
+Multi-query epochs ride the same pipeline: a shard answers every context
+query in one pass, the transmitter publishes one batch record per (query,
+proxy) on the query's own channel topics, and the ingest stage feeds each
+query's aggregator separately.  One answering pass, N isolated tenants.
+
+Determinism: per-client, per-query seeded RNGs make shard answering
+order-independent; shard responses are merged into each query's epoch log in
+shard-index (= client) order; and every aggregation step downstream of
+transmission is insensitive to the order shards arrive in — joins are keyed
+by ``MID``, window aggregation is a commutative sum, and windows only fire on
+epoch boundaries, after every shard of the previous epoch has been ingested.
+The equivalence suite (``tests/runtime/test_executor_equivalence.py``) pins
+the executor to the serial reference byte-for-byte.
 
 Failure handling: a worker, transmitter or ingest exception is *surfaced* from
 :meth:`PipelinedExecutor.run_epoch` instead of hanging the pipeline — every
 stage keeps draining its input queue after a failure so no producer ever
 blocks on a full queue, and the first error is re-raised once the epoch's
 in-flight work has unwound.  The epoch is then partially ingested; a real
-deployment would retry the epoch, the simulation treats it as fatal.
+deployment would retry the epoch, the simulation treats it as fatal.  On a
+failed epoch *every* query's shard consumers are drained, so one query's
+leftover records can never leak into another query's (or the next epoch's)
+ingest.
 """
 
 from __future__ import annotations
@@ -46,12 +55,16 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
-from repro.runtime.executor import EpochContext, EpochOutcome, PooledEpochExecutor
+from repro.runtime.executor import (
+    EpochContext,
+    EpochOutcome,
+    PooledEpochExecutor,
+    QueryEpochOutcome,
+)
 from repro.runtime.sharded import answer_shard
 from repro.runtime.sharding import plan_shards
 
 if TYPE_CHECKING:
-    from repro.core.client import ClientResponse
     from repro.pubsub import Consumer
 
 
@@ -84,9 +97,10 @@ class PipelinedExecutor(PooledEpochExecutor):
         occupied = [shard for shard in shards if shard.num_items > 0]
         consumers = self._consumers_for(context)
 
-        # Per-shard response logs, written by the answering workers (distinct
-        # slots, so no locking) and merged in shard order at the end.
-        responses_by_shard: list[list["ClientResponse"] | None] = [None] * len(shards)
+        # Per-shard response logs (one list per query inside each slot),
+        # written by the answering workers (distinct slots, so no locking)
+        # and merged in shard order at the end.
+        responses_by_shard: list[list[list] | None] = [None] * len(shards)
         answered: queue.Queue = queue.Queue(maxsize=self.queue_depth)
         transmitted: queue.Queue = queue.Queue()
 
@@ -111,14 +125,21 @@ class PipelinedExecutor(PooledEpochExecutor):
         if error is not None:
             raise error
 
-        responses: list["ClientResponse"] = []
-        for shard in shards:
-            shard_responses = responses_by_shard[shard.index]
-            if shard_responses:
-                responses.extend(shard_responses)
-        return EpochOutcome(
-            responses=tuple(responses), window_results=tuple(window_results)
-        )
+        per_query = []
+        for index, query in enumerate(context.queries):
+            responses: list = []
+            for shard in shards:
+                shard_responses = responses_by_shard[shard.index]
+                if shard_responses:
+                    responses.extend(shard_responses[index])
+            per_query.append(
+                QueryEpochOutcome(
+                    query_id=query.query_id,
+                    responses=tuple(responses),
+                    window_results=tuple(window_results[index]),
+                )
+            )
+        return EpochOutcome(per_query=tuple(per_query))
 
 
 def _answer_stage(
@@ -135,10 +156,10 @@ def _answer_stage(
     """
     try:
         responses, _ = answer_shard(
-            context.clients[shard.as_slice()], context.query_id, epoch
+            context.clients[shard.as_slice()], context.query_ids, epoch
         )
     except Exception as exc:  # surfaced from run_epoch, never swallowed
-        responses_by_shard[shard.index] = []
+        responses_by_shard[shard.index] = [[] for _ in context.queries]
         answered.put((shard.index, exc))
     else:
         responses_by_shard[shard.index] = responses
@@ -154,10 +175,12 @@ def _transmit_stage(
 ) -> None:
     """Publish finished shards to their shard-aware topics as they arrive.
 
-    Consumes exactly ``expected`` items from the answered queue even after a
-    failure (so no answering worker ever blocks on a full hand-off queue),
-    stops publishing once an error is seen, and always terminates the ingest
-    stage with a ``("done", error)`` sentinel.
+    Every query's responses for the shard go out as one batch record per
+    proxy on that query's channel.  Consumes exactly ``expected`` items from
+    the answered queue even after a failure (so no answering worker ever
+    blocks on a full hand-off queue), stops publishing once an error is
+    seen, and always terminates the ingest stage with a ``("done", error)``
+    sentinel.
     """
     error: Exception | None = None
     for _ in range(expected):
@@ -169,13 +192,15 @@ def _transmit_stage(
         if error is not None:
             continue  # drain without publishing; the epoch already failed
         try:
-            context.proxies.transmit_shard(
-                shard_index,
-                [
-                    list(response.encrypted.shares)
-                    for response in responses_by_shard[shard_index]
-                ],
-            )
+            for index, query in enumerate(context.queries):
+                context.proxies.transmit_shard(
+                    shard_index,
+                    [
+                        list(response.encrypted.shares)
+                        for response in responses_by_shard[shard_index][index]
+                    ],
+                    channel=query.channel,
+                )
         except Exception as exc:
             error = exc
             continue
@@ -185,24 +210,27 @@ def _transmit_stage(
 
 def _ingest_stage(
     context: EpochContext,
-    consumers: list[list["Consumer"]],
+    consumers: list[list[list["Consumer"]]],
     epoch: int,
     transmitted: queue.Queue,
-) -> tuple[list, Exception | None]:
+) -> tuple[list[list], Exception | None]:
     """Ingest each relayed shard as soon as its transmission lands.
 
-    Polls the shard's consumers across all proxies together, so every batch
-    carries complete ``MID`` groups and takes the aggregator's grouped-join
-    fast path.  Runs until the transmitter's ``done`` sentinel and never
-    raises — the first error is returned for ``run_epoch`` to re-raise after
-    the pipeline has fully unwound.
+    ``consumers`` holds one ``[slot][proxy]`` grid per context query.  For
+    every relayed shard each query's consumers are polled across all proxies
+    together, so every batch carries complete ``MID`` groups and takes the
+    grouped-join fast path of that query's aggregator.  Returns one
+    window-result list per query.  Runs until the transmitter's ``done``
+    sentinel and never raises — the first error is returned for
+    ``run_epoch`` to re-raise after the pipeline has fully unwound.
 
-    On a failed epoch, every shard consumer is drained (polled and discarded)
-    before returning: records that were published but never ingested must not
-    linger in the cached consumers, or a caller that treats the failure as
-    transient and runs the next epoch would ingest them into the wrong epoch.
+    On a failed epoch, every query's shard consumers are drained (polled and
+    discarded) before returning: records that were published but never
+    ingested must not linger in the cached consumers, or a caller that
+    treats the failure as transient and runs the next epoch would ingest
+    them into the wrong epoch.
     """
-    window_results: list = []
+    window_results: list[list] = [[] for _ in context.queries]
     error: Exception | None = None
     while True:
         kind, payload = transmitted.get()
@@ -210,25 +238,27 @@ def _ingest_stage(
             if error is None:
                 error = payload
             if error is not None:
-                _drain_consumers(consumers)
+                for grid in consumers:
+                    _drain_consumers(grid)
             return window_results, error
         if error is not None:
             continue  # skip further shards; the final drain discards them
         try:
-            shares = []
-            for consumer in consumers[payload]:
-                for record in consumer.poll():
-                    shares.extend(record.value)
-            if shares:
-                window_results.extend(
-                    context.aggregator.ingest_shares(shares, epoch, batched=True)
-                )
+            for index, query in enumerate(context.queries):
+                shares = []
+                for consumer in consumers[index][payload]:
+                    for record in consumer.poll():
+                        shares.extend(record.value)
+                if shares:
+                    window_results[index].extend(
+                        query.aggregator.ingest_shares(shares, epoch, batched=True)
+                    )
         except Exception as exc:
             error = exc
 
 
 def _drain_consumers(consumers: list[list["Consumer"]]) -> None:
-    """Poll and discard everything pending on the shard-topic consumers.
+    """Poll and discard everything pending on one query's shard consumers.
 
     Best-effort cleanup for failed epochs; a consumer that itself fails to
     poll is skipped (the epoch error already surfaces).

@@ -55,7 +55,12 @@ import time
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.runtime.executor import EpochContext, EpochOutcome, PooledEpochExecutor
+from repro.runtime.executor import (
+    EpochContext,
+    EpochOutcome,
+    PooledEpochExecutor,
+    QueryEpochOutcome,
+)
 from repro.runtime.pipelined import _ingest_stage, _transmit_stage
 from repro.runtime.sharded import answer_shard
 from repro.runtime.sharding import Shard, plan_shards, plan_weighted_shards
@@ -87,14 +92,14 @@ def answer_shard_task(task_blob: bytes) -> bytes:
     clients = [Client.from_state(state) for state in task.client_states]
     # The same shard task the thread executors run, so participation
     # semantics can never drift between the executors.
-    responses, clients = answer_shard(clients, task.query_id, task.epoch)
+    responses_per_query, clients = answer_shard(clients, task.query_ids, task.epoch)
     wall_seconds = time.perf_counter() - start
     return encode_shard_batch(
         ShardBatch(
             shard_index=task.shard_index,
             epoch=task.epoch,
             wall_seconds=wall_seconds,
-            responses=tuple(responses),
+            responses=tuple(tuple(responses) for responses in responses_per_query),
             client_states=tuple(client.export_state() for client in clients),
         )
     )
@@ -222,7 +227,7 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
                     ShardTask(
                         shard_index=shard.index,
                         epoch=epoch,
-                        query_id=context.query_id,
+                        query_ids=tuple(context.query_ids),
                         client_states=tuple(
                             client.export_state()
                             for client in context.clients[shard.as_slice()]
@@ -262,14 +267,21 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
                 self._discard_pool()
             raise error
 
-        responses: list = []
-        for shard in shards:
-            shard_responses = responses_by_shard[shard.index]
-            if shard_responses:
-                responses.extend(shard_responses)
-        return EpochOutcome(
-            responses=tuple(responses), window_results=tuple(window_results)
-        )
+        per_query = []
+        for index, query in enumerate(context.queries):
+            responses: list = []
+            for shard in shards:
+                shard_responses = responses_by_shard[shard.index]
+                if shard_responses:
+                    responses.extend(shard_responses[index])
+            per_query.append(
+                QueryEpochOutcome(
+                    query_id=query.query_id,
+                    responses=tuple(responses),
+                    window_results=tuple(window_results[index]),
+                )
+            )
+        return EpochOutcome(per_query=tuple(per_query))
 
 
 def _collect_stage(
@@ -297,10 +309,12 @@ def _collect_stage(
             context.clients[shard.as_slice()] = [
                 Client.from_state(state) for state in batch.client_states
             ]
-            responses_by_shard[shard.index] = list(batch.responses)
+            responses_by_shard[shard.index] = [
+                list(responses) for responses in batch.responses
+            ]
             wall_seconds[shard.index] = batch.wall_seconds
         except Exception as exc:  # surfaced from run_epoch, never swallowed
-            responses_by_shard[shard.index] = []
+            responses_by_shard[shard.index] = [[] for _ in context.queries]
             answered.put((shard.index, exc))
         else:
             answered.put((shard.index, None))

@@ -6,27 +6,49 @@ serve as the executable specification that the parallel executors
 (:class:`~repro.runtime.sharded.ShardedExecutor`,
 :class:`~repro.runtime.pipelined.PipelinedExecutor`) must match
 result-for-result; ``docs/ARCHITECTURE.md`` spells the contract out.
+
+A multi-query epoch keeps the same shape: the single client loop answers
+every context query from one :meth:`~repro.core.client.Client.answer` pass
+(shared table scan, per-query RNG streams), transmits each query's shares on
+that query's channel, and then ingests query by query.  This is the
+reference the multi-query equivalence suite pins the parallel executors to.
 """
 
 from __future__ import annotations
 
-from repro.runtime.executor import EpochContext, EpochExecutor, EpochOutcome
+from repro.runtime.executor import (
+    EpochContext,
+    EpochExecutor,
+    EpochOutcome,
+    QueryEpochOutcome,
+)
 
 
 class SerialExecutor(EpochExecutor):
     """Answers every client one-by-one in a single in-process loop."""
 
     def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
-        responses = []
+        queries = context.queries
+        query_ids = context.query_ids
+        responses_per_query: list[list] = [[] for _ in queries]
         for client in context.clients:
-            response = client.answer_query(context.query_id, epoch=epoch)
-            if response is None:
-                continue
-            responses.append(response)
-            context.proxies.transmit(list(response.encrypted.shares))
-        window_results = context.aggregator.consume_from_proxies(
-            list(context.consumers), epoch=epoch
-        )
-        return EpochOutcome(
-            responses=tuple(responses), window_results=tuple(window_results)
-        )
+            for index, response in enumerate(client.answer(query_ids, epoch=epoch)):
+                if response is None:
+                    continue
+                responses_per_query[index].append(response)
+                context.proxies.transmit(
+                    list(response.encrypted.shares), channel=queries[index].channel
+                )
+        per_query = []
+        for index, query in enumerate(queries):
+            window_results = query.aggregator.consume_from_proxies(
+                list(query.consumers), epoch=epoch
+            )
+            per_query.append(
+                QueryEpochOutcome(
+                    query_id=query.query_id,
+                    responses=tuple(responses_per_query[index]),
+                    window_results=tuple(window_results),
+                )
+            )
+        return EpochOutcome(per_query=tuple(per_query))

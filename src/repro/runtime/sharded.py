@@ -10,10 +10,15 @@ written back on return).  Per shard, the collected shares are transmitted to
 the proxy brokers in one batched publish instead of one publish per client,
 and the aggregator ingests with its grouped join.
 
-Determinism: every client owns a seeded RNG and keystream that only its own
-shard task touches, so results do not depend on shard count or worker
-interleaving.  Shard outputs are merged in shard-index order, which equals
-serial client order because shards are contiguous.
+Multi-query epochs reuse the same shard task: a shard answers *all* context
+queries from one pass over its clients (shared table scan, per-query RNG
+streams) and returns one response list per query; transmission and ingestion
+then run per query on that query's channel.
+
+Determinism: every client owns a seeded RNG and keystream per query that
+only its own shard task touches, so results do not depend on shard count or
+worker interleaving.  Shard outputs are merged in shard-index order, which
+equals serial client order because shards are contiguous.
 
 The three stages still barrier on each other: transmission happens as shard
 results are collected (in shard order) and ingestion runs only after every
@@ -24,9 +29,14 @@ removes those barriers; see ``docs/ARCHITECTURE.md`` for the comparison.
 from __future__ import annotations
 
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
-from repro.runtime.executor import EpochContext, EpochExecutor, EpochOutcome
+from repro.runtime.executor import (
+    EpochContext,
+    EpochExecutor,
+    EpochOutcome,
+    QueryEpochOutcome,
+)
 from repro.runtime.sharding import plan_shards
 
 if TYPE_CHECKING:
@@ -36,21 +46,23 @@ _POOL_KINDS = ("thread", "process")
 
 
 def answer_shard(
-    clients: list["Client"], query_id: str, epoch: int
-) -> tuple[list["ClientResponse"], list["Client"]]:
+    clients: list["Client"], query_ids: Sequence[str], epoch: int
+) -> tuple[list[list["ClientResponse"]], list["Client"]]:
     """Answer one shard of clients for one epoch (the picklable shard task).
 
-    Returns the shard's participating responses in client order together with
-    the clients themselves: in-process (thread) execution returns the very
-    same objects, while a process pool returns copies carrying the advanced
-    RNG/keystream state that the parent must adopt for the next epoch.
+    Every client answers all of ``query_ids`` in one pass; the return value
+    holds one participating-response list per query (client order within
+    each list) together with the clients themselves: in-process (thread)
+    execution returns the very same objects, while a process pool returns
+    copies carrying the advanced RNG/keystream state that the parent must
+    adopt for the next epoch.
     """
-    responses = []
+    responses_per_query: list[list["ClientResponse"]] = [[] for _ in query_ids]
     for client in clients:
-        response = client.answer_query(query_id, epoch=epoch)
-        if response is not None:
-            responses.append(response)
-    return responses, clients
+        for index, response in enumerate(client.answer(query_ids, epoch=epoch)):
+            if response is not None:
+                responses_per_query[index].append(response)
+    return responses_per_query, clients
 
 
 class ShardedExecutor(EpochExecutor):
@@ -110,32 +122,46 @@ class ShardedExecutor(EpochExecutor):
 
     def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
         pool = self._ensure_pool()
+        queries = context.queries
+        query_ids = context.query_ids
         shards = plan_shards(len(context.clients), self.num_shards)
         futures = [
             pool.submit(
                 answer_shard,
                 context.clients[shard.as_slice()],
-                context.query_id,
+                query_ids,
                 epoch,
             )
             for shard in shards
             if shard.num_items > 0
         ]
         occupied = [shard for shard in shards if shard.num_items > 0]
-        responses: list = []
+        responses_per_query: list[list] = [[] for _ in queries]
         for shard, future in zip(occupied, futures):
             shard_responses, shard_clients = future.result()
             if self.pool == "process":
                 # Adopt the advanced client state so epoch t+1 continues the
                 # same RNG/keystream sequences the serial reference would.
                 context.clients[shard.as_slice()] = shard_clients
-            responses.extend(shard_responses)
-            context.proxies.transmit_batch(
-                [list(response.encrypted.shares) for response in shard_responses]
+            for index, query in enumerate(queries):
+                responses_per_query[index].extend(shard_responses[index])
+                context.proxies.transmit_batch(
+                    [
+                        list(response.encrypted.shares)
+                        for response in shard_responses[index]
+                    ],
+                    channel=query.channel,
+                )
+        per_query = []
+        for index, query in enumerate(queries):
+            window_results = query.aggregator.consume_from_proxies(
+                list(query.consumers), epoch=epoch, batched=True
             )
-        window_results = context.aggregator.consume_from_proxies(
-            list(context.consumers), epoch=epoch, batched=True
-        )
-        return EpochOutcome(
-            responses=tuple(responses), window_results=tuple(window_results)
-        )
+            per_query.append(
+                QueryEpochOutcome(
+                    query_id=query.query_id,
+                    responses=tuple(responses_per_query[index]),
+                    window_results=tuple(window_results),
+                )
+            )
+        return EpochOutcome(per_query=tuple(per_query))

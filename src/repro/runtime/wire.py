@@ -27,17 +27,19 @@ plaintext through an untrusted hop.
 Two message kinds exist:
 
 * :class:`ShardTask` — parent → worker.  A self-contained description of one
-  contiguous client shard for one epoch: the query id, the epoch number, and
-  one state snapshot per client (:meth:`repro.core.client.Client.export_state`
-  — config with seed, mid-stream RNG and keystream states, local tables,
-  subscriptions carrying the query and randomized-response parameters).  No
-  broker, proxy or aggregator state is included; the worker reconstructs the
-  clients from the snapshots and answers with exactly the draws the serial
-  reference would have made.
+  contiguous client shard for one epoch: the query ids served by this
+  epoch's shared answering pass, the epoch number, and one state snapshot
+  per client (:meth:`repro.core.client.Client.export_state` — config with
+  seed, mid-stream per-query RNG and keystream states, local tables,
+  subscriptions carrying the queries and randomized-response parameters).
+  No broker, proxy or aggregator state is included; the worker reconstructs
+  the clients from the snapshots and answers with exactly the draws the
+  serial reference would have made.
 * :class:`ShardBatch` — worker → parent.  The shard's participating responses
-  (shares included), the *advanced* client snapshots the parent must adopt so
-  the next epoch continues the same random streams, and the shard's answering
-  wall-clock, which feeds the adaptive shard sizer.
+  (shares included), one response tuple per task query; the *advanced*
+  client snapshots the parent must adopt so the next epoch continues the
+  same random streams; and the shard's answering wall-clock, which feeds the
+  adaptive shard sizer.
 
 The frame is ``magic ("PAWF") + version + kind + payload length + payload``;
 the payload is a pickle of the dataclass (pickle because the snapshots carry
@@ -59,7 +61,10 @@ from dataclasses import dataclass
 from repro.pubsub import payload_size
 
 WIRE_MAGIC = b"PAWF"
-WIRE_VERSION = 1
+# Version 2: multi-query epochs — tasks carry query id *tuples* and batches
+# one response tuple per query.  Version-1 (single query id) frames are
+# rejected rather than silently misread.
+WIRE_VERSION = 2
 
 _KIND_SHARD_TASK = 1
 _KIND_SHARD_BATCH = 2
@@ -77,30 +82,38 @@ class WireError(Exception):
 class ShardTask:
     """One contiguous client shard's worth of answering work for one epoch.
 
-    ``client_states`` holds one :meth:`~repro.core.client.Client.export_state`
-    snapshot per client, in client order.  The task is self-contained: a
-    worker needs nothing but this object (no shared brokers, no aggregator)
-    to produce the shard's responses.
+    ``query_ids`` are the queries the shard answers in one shared pass (a
+    single-query epoch is the one-element case).  ``client_states`` holds one
+    :meth:`~repro.core.client.Client.export_state` snapshot per client, in
+    client order.  The task is self-contained: a worker needs nothing but
+    this object (no shared brokers, no aggregator) to produce the shard's
+    responses.
     """
 
     shard_index: int
     epoch: int
-    query_id: str
+    query_ids: tuple
     client_states: tuple
 
     @property
     def num_clients(self) -> int:
         return len(self.client_states)
 
+    @property
+    def num_queries(self) -> int:
+        return len(self.query_ids)
+
 
 @dataclass(frozen=True)
 class ShardBatch:
     """What one worker returns for one shard task.
 
-    ``responses`` are the shard's participating responses in client order;
-    ``client_states`` are the advanced snapshots (every client, participant or
-    not) the parent writes back into its live client list; ``wall_seconds``
-    is the answering wall-clock the adaptive shard sizer feeds on.
+    ``responses`` holds one tuple of participating responses per task query
+    (client order within each tuple, query order matching the task's
+    ``query_ids``); ``client_states`` are the advanced snapshots (every
+    client, participant or not) the parent writes back into its live client
+    list; ``wall_seconds`` is the answering wall-clock the adaptive shard
+    sizer feeds on.
     """
 
     shard_index: int
@@ -109,19 +122,26 @@ class ShardBatch:
     responses: tuple
     client_states: tuple
 
-    def share_rows(self) -> list[list]:
-        """The shard's shares, one row per response — the transmit-stage input."""
-        return [list(response.encrypted.shares) for response in self.responses]
+    def share_rows(self, query_index: int = 0) -> list[list]:
+        """One query's shares, one row per response — the transmit-stage input."""
+        return [
+            list(response.encrypted.shares)
+            for response in self.responses[query_index]
+        ]
 
     def size_bytes(self) -> int:
         """Logical wire size of the relayed shares, via the pub/sub sizing.
 
-        This is the size the shard's shares occupy as broker records (what
+        Sums over every query's share rows.  This is the size the shard's
+        shares occupy as broker records (what
         :meth:`repro.pubsub.Record.size_bytes` would charge), not the pickled
         frame length — the two coexist because the frame also carries client
         state that never reaches the brokers.
         """
-        return payload_size(self.share_rows())
+        return sum(
+            payload_size(self.share_rows(index))
+            for index in range(len(self.responses))
+        )
 
 
 def _encode(obj, kind: int) -> bytes:

@@ -56,28 +56,43 @@ class SlidingWindowAssigner:
             raise ValueError("slide_interval must not exceed window_length")
 
     def assign(self, timestamp: float) -> list[Window]:
-        """All windows containing ``timestamp``, ordered by start time."""
-        last_start = math.floor(timestamp / self.slide_interval) * self.slide_interval
+        """All windows containing ``timestamp``, ordered by start time.
+
+        Window starts are computed as ``index * slide_interval`` — never by
+        repeatedly subtracting the slide.  Accumulated float subtraction
+        drifts for non-representable slides (0.1, 0.3, ...), producing start
+        values that differ in the last ulp from the multiplication form used
+        by :meth:`windows_between`; since :class:`Window` keys window state
+        by exact float equality, a drifted start would silently split one
+        logical window into two.
+        """
+        last_index = math.floor(timestamp / self.slide_interval)
         windows = []
-        start = last_start
-        while start > timestamp - self.window_length:
+        index = last_index
+        while index * self.slide_interval > timestamp - self.window_length:
+            start = index * self.slide_interval
             window = Window(start=start, end=start + self.window_length)
             if window.contains(timestamp):
                 windows.append(window)
-            start -= self.slide_interval
+            index -= 1
         windows.reverse()
         return windows
 
     def windows_between(self, start_time: float, end_time: float) -> list[Window]:
-        """All windows whose start lies in ``[start_time, end_time)``."""
+        """All windows whose start lies in ``[start_time, end_time)``.
+
+        Starts are ``index * slide_interval``, the same form :meth:`assign`
+        uses, so the two methods key every logical window with bit-identical
+        floats (repeated ``start += slide`` would drift; see :meth:`assign`).
+        """
         if end_time < start_time:
             raise ValueError("end_time must not precede start_time")
-        first = math.ceil(start_time / self.slide_interval) * self.slide_interval
+        index = math.ceil(start_time / self.slide_interval)
         out = []
-        start = first
-        while start < end_time:
+        while index * self.slide_interval < end_time:
+            start = index * self.slide_interval
             out.append(Window(start=start, end=start + self.window_length))
-            start += self.slide_interval
+            index += 1
         return out
 
 

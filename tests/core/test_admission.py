@@ -101,6 +101,92 @@ class TestAnswerAdmissionController:
         # After forgetting, the same token is admitted again (the window is closed anyway).
         assert controller.admit("q", 0, "a").admitted
 
+    def test_forget_epochs_before_drops_only_older_epochs(self):
+        controller = AnswerAdmissionController()
+        for epoch in range(5):
+            controller.admit("q", epoch, f"token-{epoch}")
+        controller.admit("other", 0, "token")
+        assert controller.forget_epochs_before("q", 3) == 3
+        assert controller.tracked_epochs() == 3  # q@3, q@4, other@0
+        # Retained epochs still deduplicate.
+        assert not controller.admit("q", 3, "token-3").admitted
+        assert not controller.admit("q", 4, "token-4").admitted
+        # Other queries' state is untouched.
+        assert not controller.admit("other", 0, "token").admitted
+
+    def test_forget_epochs_before_is_idempotent(self):
+        controller = AnswerAdmissionController()
+        controller.admit("q", 0, "a")
+        controller.admit("q", 1, "b")
+        assert controller.forget_epochs_before("q", 1) == 1
+        assert controller.forget_epochs_before("q", 1) == 0
+        assert controller.tracked_epochs() == 1
+
+
+class TestAdmissionStateStaysBounded:
+    """The long-running-stream fix: epoch state is retired after ingest.
+
+    Without retirement every (query, epoch) token set lives forever; the
+    system now calls ``Aggregator.finish_epoch`` once an epoch's ingest
+    completes, keeping only a small retention window.
+    """
+
+    def _run_epochs(self, num_epochs):
+        import random
+
+        from repro.core import (
+            Analyst,
+            AnswerSpec,
+            ExecutionParameters,
+            PrivApproxSystem,
+            QueryBudget,
+            RangeBuckets,
+            SystemConfig,
+        )
+
+        system = PrivApproxSystem(SystemConfig(num_clients=10, seed=3))
+        rng = random.Random(3)
+        system.provision_clients(
+            [("value", "REAL")], lambda i: [{"value": rng.uniform(0.0, 8.0)}]
+        )
+        analyst = Analyst("bounded")
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(
+                buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+                value_column="value",
+            ),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        system.submit_query(
+            analyst,
+            query,
+            QueryBudget(),
+            parameters=ExecutionParameters(sampling_fraction=0.9, p=0.9, q=0.5),
+        )
+        system.run_epochs(query.query_id, num_epochs)
+        admission = system.aggregator_for(query.query_id).admission
+        retention = system.aggregator_for(query.query_id).admission_retention_epochs
+        system.close()
+        return admission, retention
+
+    def test_tracked_epochs_bounded_over_many_epochs(self):
+        admission, retention = self._run_epochs(25)
+        assert admission is not None
+        assert admission.tracked_epochs() <= retention
+
+    def test_retained_window_still_deduplicates_current_epoch(self):
+        admission, _ = self._run_epochs(5)
+        # The last completed epoch's tokens are still tracked: replaying any
+        # of them is rejected.
+        (query_id, epoch), tokens = max(
+            admission._seen.items(), key=lambda item: item[0][1]
+        )
+        token = next(iter(tokens))
+        assert not admission.admit(query_id, epoch, token).admitted
+
 
 class TestAdmissionInsideAggregator:
     def test_duplicate_flood_does_not_distort_result(self):

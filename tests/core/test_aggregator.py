@@ -42,6 +42,13 @@ class TestAggregatorBasics:
             Aggregator(query=make_query(), parameters=NOISELESS, total_clients=0)
         with pytest.raises(ValueError):
             Aggregator(query=make_query(), parameters=NOISELESS, total_clients=10, num_proxies=1)
+        with pytest.raises(ValueError):
+            Aggregator(
+                query=make_query(),
+                parameters=NOISELESS,
+                total_clients=10,
+                admission_retention_epochs=0,
+            )
 
     def test_noiseless_single_window_matches_truth(self):
         aggregator = Aggregator(query=make_query(), parameters=NOISELESS, total_clients=4)

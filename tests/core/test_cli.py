@@ -51,6 +51,32 @@ class TestCommands:
         assert "accuracy loss" in out
         assert "bucket" in out
 
+    def test_simulate_multi_query(self, capsys):
+        """--queries N serves every query from one shared answering pass."""
+        code = main(
+            [
+                "simulate",
+                "--clients", "60",
+                "--epochs", "1",
+                "--buckets", "4",
+                "--queries", "3",
+                "-s", "1.0",
+                "-p", "1.0",
+                "-q", "0.5",
+                "--seed", "3",
+                "--executor", "sharded",
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("accuracy loss") == 3
+        assert "query 3/3" in out
+
+    def test_simulate_rejects_zero_queries(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--clients", "10", "--queries", "0"])
+
     def test_taxi_small(self, capsys):
         assert main(["taxi", "--clients", "80", "-s", "1.0", "-p", "1.0", "-q", "0.5"]) == 0
         out = capsys.readouterr().out

@@ -141,6 +141,50 @@ class TestAnswering:
         response = client.answer_query(query.query_id)
         assert response.encrypted.num_shares == 3
 
+    def test_cosubscription_does_not_perturb_other_queries(self):
+        """Per-query RNG *and* keystream isolation, encrypted bytes included.
+
+        A non-first query's responses — sampling decisions, randomized bits
+        and the encrypted shares' pad bytes — must be identical whether the
+        client answers it alone or after a co-subscribed query in the same
+        pass.  A shared RNG or keystream would shift the later query's draws.
+        """
+        query_a = make_query()
+        query_b = Query(
+            query_id="analyst-00000002",
+            sql="SELECT speed FROM private_data WHERE location = 'San Francisco'",
+            answer_spec=AnswerSpec(
+                buckets=RangeBuckets(boundaries=(0.0, 15.0, 30.0), open_ended=True),
+                value_column="speed",
+            ),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        params = ExecutionParameters(sampling_fraction=0.7, p=0.9, q=0.5)
+
+        def provision(client):
+            client.ingest([{"speed": 12.0, "location": "San Francisco"}])
+            return client
+
+        together = provision(make_client(seed=99))
+        together.subscribe(query_a, params)
+        together.subscribe(query_b, params)
+        alone = provision(make_client(seed=99))
+        alone.subscribe(query_b, params)
+        for epoch in range(20):
+            _, co_response = together.answer(
+                [query_a.query_id, query_b.query_id], epoch=epoch
+            )
+            (solo_response,) = alone.answer([query_b.query_id], epoch=epoch)
+            assert (co_response is None) == (solo_response is None)
+            if co_response is None:
+                continue
+            assert co_response.randomized_bits == solo_response.randomized_bits
+            assert [s.payload for s in co_response.encrypted.shares] == [
+                s.payload for s in solo_response.encrypted.shares
+            ]
+
     def test_randomization_changes_answers_with_low_p(self):
         client = make_client(seed=11)
         client.ingest([{"speed": 12.0, "location": "San Francisco"}])

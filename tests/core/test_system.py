@@ -135,6 +135,103 @@ class TestEpochExecution:
         assert 0 <= report.num_participants <= 40
 
 
+class TestMultiQueryEpochs:
+    """run_epoch_all: N concurrent queries from one answering pass."""
+
+    def _submit_queries(self, system, num_queries):
+        analyst = Analyst("multi")
+        query_ids = []
+        for index in range(num_queries):
+            query = analyst.create_query(
+                "SELECT value FROM private_data",
+                AnswerSpec(
+                    buckets=RangeBuckets.uniform(0.0, 8.0, 4 + index, open_ended=True),
+                    value_column="value",
+                ),
+                frequency_seconds=60.0,
+                window_seconds=60.0,
+                slide_seconds=60.0,
+            )
+            system.submit_query(
+                analyst,
+                query,
+                QueryBudget(),
+                parameters=ExecutionParameters(sampling_fraction=0.9, p=0.9, q=0.5),
+            )
+            query_ids.append(query.query_id)
+        return analyst, query_ids
+
+    def _build(self, num_queries=3, num_clients=20):
+        system = PrivApproxSystem(SystemConfig(num_clients=num_clients, seed=21))
+        rng = random.Random(21)
+        system.provision_clients(
+            [("value", "REAL")], lambda i: [{"value": rng.uniform(0, 8)}]
+        )
+        analyst, query_ids = self._submit_queries(system, num_queries)
+        return system, analyst, query_ids
+
+    def test_one_report_per_query_in_submission_order(self):
+        system, _, query_ids = self._build()
+        reports = system.run_epoch_all(0)
+        assert list(reports) == query_ids
+        assert all(report.epoch == 0 for report in reports.values())
+        system.close()
+
+    def test_each_query_gets_its_own_responses_and_results(self):
+        system, analyst, query_ids = self._build()
+        reports = system.run_epoch_all(0)
+        for index, query_id in enumerate(query_ids):
+            assert len(system.responses_log(query_id)) == (
+                reports[query_id].num_participants
+            )
+            system.flush(query_id)
+            results = analyst.results_for(query_id)
+            assert results
+            # Bucket resolution differs per query (4 + index finite ranges
+            # plus the open-ended tail), so a cross-query mix-up could not
+            # produce the right histogram width.
+            assert len(results[-1].histogram.buckets) == 4 + index + 1
+        system.close()
+
+    def test_subset_of_queries(self):
+        system, _, query_ids = self._build()
+        reports = system.run_epoch_all(0, query_ids[:2])
+        assert list(reports) == query_ids[:2]
+        assert system.responses_log(query_ids[2]) == []
+        system.close()
+
+    def test_unknown_query_rejected(self):
+        system, _, _ = self._build(num_queries=1)
+        with pytest.raises(KeyError):
+            system.run_epoch_all(0, ["missing"])
+        system.close()
+
+    def test_duplicate_query_ids_rejected(self):
+        """Answering a query twice in one pass would corrupt its RNG streams."""
+        system, _, query_ids = self._build(num_queries=2)
+        with pytest.raises(ValueError, match="duplicates"):
+            system.run_epoch_all(0, [query_ids[0], query_ids[0]])
+        system.close()
+
+    def test_no_queries_rejected(self):
+        system = PrivApproxSystem(SystemConfig(num_clients=5, seed=1))
+        system.provision_clients([("value", "REAL")], lambda i: [{"value": 1.0}])
+        with pytest.raises(ValueError):
+            system.run_epoch_all(0)
+        system.close()
+
+    def test_run_epochs_all_runs_consecutive_epochs(self):
+        system, _, query_ids = self._build(num_queries=2)
+        rounds = system.run_epochs_all(3)
+        assert len(rounds) == 3
+        for epoch, reports in enumerate(rounds):
+            assert all(report.epoch == epoch for report in reports.values())
+        assert all(
+            len(system.responses_log(query_id)) > 0 for query_id in query_ids
+        )
+        system.close()
+
+
 class TestFeedbackLoop:
     def test_feedback_raises_sampling_when_error_exceeds_budget(self):
         config = SystemConfig(num_clients=30, num_proxies=2, seed=3)

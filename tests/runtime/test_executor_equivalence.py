@@ -10,6 +10,12 @@ kind.  For the ``process`` executor this additionally pins the wire format:
 client state travels to the workers as serialized shard tasks and the
 advanced state ships back, so a multi-epoch run only matches serial if the
 snapshots resume every RNG and keystream mid-stream exactly.
+
+Multi-query epochs extend the contract twice over: ``run_epoch_all`` must
+produce, per query, exactly what the serial executor produces for the same
+multi-query epoch (any executor, any shard count), *and* — because every
+client holds one independent seeded RNG per query — each query's results
+must be byte-identical whether it runs alone or co-subscribed with others.
 """
 
 from __future__ import annotations
@@ -188,6 +194,218 @@ class TestPipelinedMatchesSharded:
         assert serialize_results(sharded_results) == serialize_results(
             pipelined_results
         )
+
+
+def run_multi_deployment(
+    num_clients: int,
+    num_queries: int,
+    *,
+    executor: str = "serial",
+    workers: int = 4,
+    shards: int | None = None,
+    sampling_fraction: float = 0.8,
+    num_epochs: int = 2,
+    seed: int = SEED,
+    single_query_epochs: bool = False,
+):
+    """Run N concurrent queries end-to-end and return per-query outputs.
+
+    ``single_query_epochs=True`` answers each query in its own full
+    ``run_epoch`` pass instead of the shared ``run_epoch_all`` pass — the
+    baseline the RNG-isolation tests compare against.  Queries differ in
+    bucket resolution so a cross-query mix-up cannot cancel out.
+    """
+    config = SystemConfig(
+        num_clients=num_clients,
+        num_proxies=2,
+        seed=seed,
+        executor=executor,
+        executor_workers=workers,
+        executor_shards=shards,
+    )
+    system = PrivApproxSystem(config)
+    rng = random.Random(seed)
+    system.provision_clients(
+        [("value", "REAL")], lambda i: [{"value": rng.uniform(0.0, 8.0)}]
+    )
+    analyst = Analyst("equivalence-multi")
+    query_ids = []
+    for index in range(num_queries):
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(
+                buckets=RangeBuckets.uniform(0.0, 8.0, 4 + index, open_ended=True),
+                value_column="value",
+            ),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        system.submit_query(
+            analyst,
+            query,
+            QueryBudget(),
+            parameters=ExecutionParameters(
+                sampling_fraction=sampling_fraction, p=0.9, q=0.5
+            ),
+        )
+        query_ids.append(query.query_id)
+    for epoch in range(num_epochs):
+        if single_query_epochs:
+            for query_id in query_ids:
+                system.run_epoch(query_id, epoch)
+        else:
+            system.run_epoch_all(epoch)
+    per_query = {}
+    for query_id in query_ids:
+        system.flush(query_id)
+        per_query[query_id] = (
+            serialize_results(analyst.results_for(query_id)),
+            serialize_responses(system.responses_log(query_id)),
+        )
+    system.close()
+    return per_query
+
+
+@pytest.mark.parametrize("executor", ["sharded", "pipelined", "process"])
+@pytest.mark.parametrize("num_queries", [2, 3])
+class TestMultiQueryExecutorsMatchSerial:
+    """run_epoch_all: every executor serves N queries from one pass, byte-identically."""
+
+    def test_identical_outputs_per_query(self, executor, num_queries):
+        serial = run_multi_deployment(40, num_queries)
+        parallel = run_multi_deployment(
+            40, num_queries, executor=executor, workers=4, shards=5
+        )
+        assert serial.keys() == parallel.keys()
+        for query_id in serial:
+            assert parallel[query_id] == serial[query_id]
+
+    def test_more_shards_than_clients(self, executor, num_queries):
+        serial = run_multi_deployment(5, num_queries)
+        parallel = run_multi_deployment(
+            5, num_queries, executor=executor, workers=2, shards=7
+        )
+        assert parallel == serial
+
+    def test_sparse_participation(self, executor, num_queries):
+        serial = run_multi_deployment(
+            20, num_queries, sampling_fraction=0.05, num_epochs=3
+        )
+        parallel = run_multi_deployment(
+            20,
+            num_queries,
+            executor=executor,
+            workers=4,
+            shards=10,
+            sampling_fraction=0.05,
+            num_epochs=3,
+        )
+        assert parallel == serial
+
+
+class TestPerQueryRngIsolation:
+    """The prerequisite bugfix: co-subscribed queries cannot perturb each other.
+
+    Each client derives an independent seeded RNG per query id, so a query's
+    sampling and randomization draws are the same whether the epoch serves it
+    alone or alongside other queries.
+    """
+
+    def test_results_identical_with_and_without_cosubscription(self):
+        alone = run_multi_deployment(30, 1, single_query_epochs=True)
+        (query_id, alone_outputs), = alone.items()
+        for num_queries in (2, 3):
+            together = run_multi_deployment(30, num_queries)
+            assert together[query_id] == alone_outputs, (
+                f"co-subscribing {num_queries - 1} extra quer(y/ies) changed "
+                f"query {query_id}'s bytes"
+            )
+
+    def test_single_query_run_epoch_all_matches_run_epoch(self):
+        """The shared pass degenerates cleanly: one query, same bytes."""
+        via_run_epoch = run_multi_deployment(30, 1, single_query_epochs=True)
+        via_run_epoch_all = run_multi_deployment(30, 1)
+        assert via_run_epoch_all == via_run_epoch
+
+    def test_sequential_multi_query_epochs_match_shared_pass(self):
+        """Answering N queries in N passes equals one shared pass, per query."""
+        sequential = run_multi_deployment(25, 3, single_query_epochs=True)
+        shared = run_multi_deployment(25, 3)
+        assert shared == sequential
+
+
+@pytest.mark.parametrize("executor", ["pipelined", "process"])
+class TestMultiQueryFailureIsolation:
+    """A failed multi-query epoch must not poison any query's next epoch.
+
+    The failure-path consumer drain covers *every* query's shard consumers:
+    records published for queries that never got ingested (because another
+    query's ingest failed first) must not linger and be replayed into the
+    wrong epoch.
+    """
+
+    def _build_system(self, executor):
+        config = SystemConfig(
+            num_clients=12,
+            seed=SEED,
+            executor=executor,
+            executor_workers=2,
+            executor_shards=3,
+        )
+        system = PrivApproxSystem(config)
+        system.provision_clients(
+            [("value", "REAL")], lambda i: [{"value": float(i % 8)}]
+        )
+        analyst = Analyst("equivalence-multi-failure")
+        query_ids = []
+        for index in range(2):
+            query = analyst.create_query(
+                "SELECT value FROM private_data",
+                AnswerSpec(
+                    buckets=RangeBuckets.uniform(0.0, 8.0, 4 + index, open_ended=True),
+                    value_column="value",
+                ),
+                frequency_seconds=60.0,
+                window_seconds=60.0,
+                slide_seconds=60.0,
+            )
+            system.submit_query(
+                analyst,
+                query,
+                QueryBudget(),
+                parameters=ExecutionParameters(sampling_fraction=1.0, p=0.9, q=0.5),
+            )
+            query_ids.append(query.query_id)
+        return system, query_ids
+
+    def test_one_querys_ingest_failure_does_not_disturb_the_others(self, executor):
+        system, query_ids = self._build_system(executor)
+        failing = system.aggregator_for(query_ids[0])
+        healthy = system.aggregator_for(query_ids[1])
+        original = failing.ingest_shares
+        calls = {"count": 0}
+
+        def fail_once(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient ingest fault")
+            return original(*args, **kwargs)
+
+        failing.ingest_shares = fail_once
+        with pytest.raises(RuntimeError, match="transient ingest fault"):
+            system.run_epoch_all(0)
+        failing.ingest_shares = original
+
+        # Epoch 1 must deliver exactly its own shares to *both* aggregators:
+        # with s = 1.0 that is 12 participants x 2 proxies per query.  Any
+        # records left over from the failed epoch would inflate the counts.
+        before = (failing.shares_received, healthy.shares_received)
+        reports = system.run_epoch_all(1)
+        assert all(r.num_participants == 12 for r in reports.values())
+        assert failing.shares_received - before[0] == 12 * 2
+        assert healthy.shares_received - before[1] == 12 * 2
+        system.close()
 
 
 @pytest.mark.slow

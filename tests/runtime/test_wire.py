@@ -113,7 +113,7 @@ class TestFraming:
         return ShardTask(
             shard_index=3,
             epoch=7,
-            query_id=client.subscribed_query_ids[0],
+            query_ids=(client.subscribed_query_ids[0],),
             client_states=(client.export_state(),),
         )
 
@@ -129,7 +129,7 @@ class TestFraming:
             shard_index=1,
             epoch=5,
             wall_seconds=0.25,
-            responses=tuple(responses),
+            responses=(tuple(responses),),
             client_states=(client.export_state(),),
         )
 
@@ -138,8 +138,9 @@ class TestFraming:
         decoded = decode_shard_task(encode_shard_task(task))
         assert decoded.shard_index == task.shard_index
         assert decoded.epoch == task.epoch
-        assert decoded.query_id == task.query_id
+        assert decoded.query_ids == task.query_ids
         assert decoded.num_clients == 1
+        assert decoded.num_queries == 1
 
     def test_batch_round_trip(self):
         batch = self.make_batch()
@@ -151,7 +152,7 @@ class TestFraming:
     def test_batch_size_matches_pubsub_sizing(self):
         """A decoded batch and the broker records agree on share byte size."""
         batch = self.make_batch()
-        assert batch.size_bytes() == payload_size(batch.share_rows())
+        assert batch.size_bytes() == payload_size(batch.share_rows(0))
         assert batch.size_bytes() > 0
 
     def test_rejects_truncated_frames(self):
@@ -177,7 +178,7 @@ class TestFraming:
         task = ShardTask(
             shard_index=0,
             epoch=0,
-            query_id="q",
+            query_ids=("q",),
             client_states=(lambda: None,),  # lambdas cannot pickle
         )
         with pytest.raises(WireError, match="serialize"):

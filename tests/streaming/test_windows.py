@@ -78,6 +78,35 @@ class TestSlidingWindowAssigner:
         # The number of covering windows is ceil(length / slide) or one fewer at edges.
         assert len(windows) <= -(-window_length // slide)
 
+    def test_fractional_slide_matches_windows_between_exactly(self):
+        """Window starts must not drift for non-representable slides.
+
+        0.1 has no exact binary representation, so building starts by
+        repeated subtraction (``start -= slide``) accumulates rounding error
+        and eventually keys the same logical window with a float that
+        differs in the last ulp from the multiplication form used by
+        ``windows_between`` — splitting one window's state in two.  Starts
+        must therefore be computed as ``index * slide`` on both paths.
+        """
+        assigner = SlidingWindowAssigner(window_length=0.5, slide_interval=0.1)
+        reference = {w.start for w in assigner.windows_between(0.0, 100.0)}
+        for k in range(1000):
+            timestamp = k * 0.1
+            for window in assigner.assign(timestamp):
+                if 0.0 <= window.start < 100.0:
+                    assert window.start in reference, (
+                        f"assign() start {window.start!r} at t={timestamp!r} "
+                        "does not equal any windows_between() start bit-for-bit"
+                    )
+
+    def test_fractional_slide_assigns_full_coverage(self):
+        """Every timestamp is covered by exactly ceil(w / slide) interior windows."""
+        assigner = SlidingWindowAssigner(window_length=0.5, slide_interval=0.1)
+        for k in range(5, 500):
+            windows = assigner.assign(k * 0.1)
+            assert 4 <= len(windows) <= 5
+            assert all(w.contains(k * 0.1) for w in windows)
+
 
 class TestTumblingWindowAssigner:
     def test_assigns_exactly_one_window(self):
