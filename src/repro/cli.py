@@ -60,6 +60,19 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         help="shard count for the sharded/pipelined executors "
              "(default: one per worker)",
     )
+    parser.add_argument(
+        "--resident-state", action="store_true",
+        help="process executor only: keep client state resident in pinned "
+             "worker processes (sticky shard->worker affinity; state is "
+             "bootstrapped once and per-epoch traffic shrinks to deltas "
+             "and acks)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=4,
+        help="with --resident-state: refresh the parent's authoritative "
+             "state copy every N epochs per shard (0 = only on "
+             "demand/shutdown; default: 4)",
+    )
 
 
 def _system_config(args: argparse.Namespace, **overrides) -> SystemConfig:
@@ -70,6 +83,8 @@ def _system_config(args: argparse.Namespace, **overrides) -> SystemConfig:
         executor=args.executor,
         executor_workers=args.workers,
         executor_shards=args.shards,
+        executor_resident=args.resident_state,
+        executor_checkpoint_every=args.checkpoint_every,
         **overrides,
     )
 

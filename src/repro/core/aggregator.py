@@ -25,7 +25,7 @@ from repro.core.estimation import ErrorEstimator
 from repro.core.query import Query, QueryAnswer
 from repro.core.randomized_response import estimate_true_yes
 from repro.core.validation import AnswerValidator
-from repro.crypto.xor import MessageShare
+from repro.crypto.xor import MessageShare, join_shares_batch
 from repro.pubsub import Consumer
 from repro.streaming.operators import KeyedJoinOperator, WindowAggregateOperator
 from repro.streaming.records import StreamRecord
@@ -139,23 +139,25 @@ class Aggregator:
         self.shares_received += len(shares)
         if batched:
             joined = self._join_grouped(shares, timestamp)
+            candidates = self._decrypt_batch(joined)
         else:
             records = [
                 StreamRecord(value=share, timestamp=timestamp, key=share.message_id)
                 for share in shares
             ]
             joined = self._join.process(records)
-        candidates = []
-        for record in joined:
-            try:
-                answer = self._decrypt(record.value)
-            except ValueError:
-                # A malformed or maliciously crafted message: dropping it only
-                # loses that client's (invalid) answer and cannot poison the
-                # window (Section 2.2 threat model — malicious clients).
-                self.malformed_messages += 1
-                continue
-            candidates.append((record, answer))
+            candidates = []
+            for record in joined:
+                try:
+                    answer = self._decrypt(record.value)
+                except ValueError:
+                    # A malformed or maliciously crafted message: dropping it
+                    # only loses that client's (invalid) answer and cannot
+                    # poison the window (Section 2.2 threat model — malicious
+                    # clients).
+                    self.malformed_messages += 1
+                    continue
+                candidates.append((record, answer))
         if batched:
             verdicts = self._accept_batch([answer for _, answer in candidates], epoch)
             decoded = [
@@ -248,6 +250,31 @@ class Aggregator:
 
     def _decrypt(self, shares: list[MessageShare]) -> QueryAnswer:
         return self._codec.decrypt(shares)
+
+    def _decrypt_batch(self, joined: list[StreamRecord]) -> list[tuple]:
+        """XOR-decrypt a whole ingest batch of joined share groups at once.
+
+        The batched counterpart of the per-record :meth:`_decrypt` loop: all
+        of a shard's share groups are XOR-ed in one
+        :func:`~repro.crypto.xor.join_shares_batch` pass (within one epoch
+        every answer to the query has the same encoded length, so the whole
+        shard vectorizes into a single big-integer XOR per share position).
+        Returns ``(record, answer)`` pairs in arrival order; malformed groups
+        are dropped and counted exactly as on the reference path.
+        """
+        candidates = []
+        plaintexts = join_shares_batch([record.value for record in joined])
+        for record, plaintext in zip(joined, plaintexts):
+            if plaintext is None:
+                self.malformed_messages += 1
+                continue
+            try:
+                answer = self._codec.decode(plaintext)
+            except ValueError:
+                self.malformed_messages += 1
+                continue
+            candidates.append((record, answer))
+        return candidates
 
     def _accept(self, answer: QueryAnswer, arrival_epoch: int) -> bool:
         """Apply structural validation and duplicate admission control."""

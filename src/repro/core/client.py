@@ -16,6 +16,7 @@ encrypted shares leave the device.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import struct
 from dataclasses import dataclass
@@ -180,6 +181,75 @@ class Client:
             client.subscribe(query, parameters)
         return client
 
+    def adopt_rng_state(self, state: dict) -> None:
+        """Graft a snapshot's RNG/keystream state onto this *live* client.
+
+        The worker-resident runtime splits authority over a client in two:
+        the parent stays authoritative for tables and subscriptions (it
+        mutates them directly), the pinned worker for the advancing
+        RNG/keystream streams.  Checkpoints and migrations reunite the two by
+        grafting only the random-stream fields of the worker's exported
+        snapshot onto the parent's live object — tables and subscriptions are
+        deliberately left untouched, so parent-side mutations that postdate
+        the export are never lost.
+        """
+        for query_id, packed in state["rng_states"].items():
+            self._rng_for(query_id).setstate(_unpack_rng_state(packed))
+        for query_id, keystream_state in state["query_keystream_states"].items():
+            self._keystream_for(query_id).setstate(keystream_state)
+        self._keystream.setstate(state["keystream_state"])
+
+    def state_fingerprint(self) -> bytes:
+        """A cheap digest of everything the answering path draws from.
+
+        Covers the per-query RNG states, the per-query and client-level
+        keystream states and the token secret — the exact fields a resident
+        worker advances on the parent's behalf.  Two clients agree on the
+        fingerprint iff their next draws agree, so a
+        :class:`~repro.runtime.wire.ShardAck` can vouch for ~4 KB of state
+        with 32 bytes.  Tables and subscriptions are excluded on purpose:
+        they are parent-authoritative and shipped as deltas, not vouched for
+        by the worker.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.config.client_id.encode("utf-8"))
+        digest.update(self._token_secret)
+        for query_id in sorted(self._rngs):
+            version, blob, gauss_next = _pack_rng_state(self._rngs[query_id].getstate())
+            digest.update(query_id.encode("utf-8"))
+            digest.update(struct.pack(">I", version))
+            digest.update(blob)
+            digest.update(repr(gauss_next).encode("utf-8"))
+        for query_id in sorted(self._keystreams):
+            seed, counter, buffer = self._keystreams[query_id].getstate()
+            digest.update(query_id.encode("utf-8"))
+            digest.update(seed)
+            digest.update(struct.pack(">Q", counter))
+            digest.update(buffer)
+        seed, counter, buffer = self._keystream.getstate()
+        digest.update(seed)
+        digest.update(struct.pack(">Q", counter))
+        digest.update(buffer)
+        return digest.digest()
+
+    def apply_delta(self, delta) -> None:
+        """Apply a parent-side :class:`~repro.runtime.wire.ClientDelta`.
+
+        Subscription changes are upserts/removals; ``append_rows`` ingests
+        new stream rows into local tables (creating a table from its shipped
+        columns on first sight).  Applying the deltas the parent derived from
+        its live client leaves a resident client's tables and subscriptions
+        equal to the parent's — without re-shipping anything unchanged.
+        """
+        for query_id in delta.unsubscribe:
+            self.unsubscribe(query_id)
+        for query, parameters in delta.subscribe:
+            self.subscribe(query, parameters)
+        for table_name, columns, rows in delta.append_rows:
+            if table_name not in self.database.table_names():
+                self.database.create_table(table_name, list(columns))
+            self.database.table(table_name).rows.extend(rows)
+
     # -- local data management ------------------------------------------------
 
     def create_table(self, columns: list[tuple[str, str]], table_name: str | None = None) -> None:
@@ -205,6 +275,15 @@ class Client:
     @property
     def subscribed_query_ids(self) -> list[str]:
         return sorted(self._subscriptions)
+
+    @property
+    def subscriptions(self) -> dict[str, tuple]:
+        """A copy of the active subscriptions: query id → (query, parameters).
+
+        The resident-state runtime diffs this against its recorded baseline
+        to derive per-epoch :class:`~repro.runtime.wire.ClientDelta` frames.
+        """
+        return dict(self._subscriptions)
 
     # -- query answering -----------------------------------------------------------
 

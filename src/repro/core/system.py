@@ -67,6 +67,14 @@ class SystemConfig:
     per-shard wall-clock across epochs (``executor_pool`` is ignored — the
     executor is a process pool by construction).  All executors produce
     identical results for identical seeds; see ``docs/ARCHITECTURE.md``.
+
+    ``executor_resident`` (process executor only) keeps client state
+    *resident* in pinned worker processes across epochs — sticky
+    shard→worker affinity with bootstrap-once / delta-thereafter wire
+    traffic (:mod:`repro.runtime.affinity`) instead of full snapshot round
+    trips; ``executor_checkpoint_every`` controls how often the parent's
+    authoritative copy is refreshed (``0`` = only on demand/shutdown).
+    Residency changes nothing observable: results stay byte-identical.
     """
 
     num_clients: int = 100
@@ -81,6 +89,8 @@ class SystemConfig:
     executor_workers: int = 4
     executor_shards: int | None = None
     executor_pool: str = "thread"
+    executor_resident: bool = False
+    executor_checkpoint_every: int = 4
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -99,6 +109,13 @@ class SystemConfig:
             raise ValueError(
                 "the pipelined executor only supports executor_pool='thread'"
             )
+        if self.executor_resident and self.executor != "process":
+            raise ValueError(
+                "executor_resident requires executor='process' "
+                "(resident state lives in its pinned worker processes)"
+            )
+        if self.executor_checkpoint_every < 0:
+            raise ValueError("executor_checkpoint_every must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -144,6 +161,8 @@ class PrivApproxSystem:
             workers=config.executor_workers,
             shards=config.executor_shards,
             pool=config.executor_pool,
+            resident=config.executor_resident,
+            checkpoint_every=config.executor_checkpoint_every,
         )
         self.analyst: Analyst | None = None
         self.historical_store = HistoricalStore() if config.keep_historical else None

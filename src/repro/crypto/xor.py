@@ -174,3 +174,50 @@ def join_shares(shares: list[MessageShare]) -> bytes:
     if len(lengths) != 1:
         raise ValueError("shares of one message must have equal length")
     return xor_many([share.payload for share in shares])
+
+
+def _group_is_joinable(shares: list[MessageShare]) -> bool:
+    """The :func:`join_shares` preconditions as a predicate (no raising)."""
+    if len(shares) < 2:
+        return False
+    if len({share.message_id for share in shares}) != 1:
+        return False
+    return len({len(share.payload) for share in shares}) == 1
+
+
+def join_shares_batch(groups: list[list[MessageShare]]) -> list[bytes | None]:
+    """Join many complete share groups in one vectorized XOR pass.
+
+    The batched counterpart of calling :func:`join_shares` per group — the
+    decrypt hot loop of the aggregator's grouped ``MID`` join.  Groups with
+    the same share count and payload length (within one epoch's shard that is
+    *all* of them: every answer to one query has the same encoded length) are
+    concatenated per share position and XOR-ed as single big integers, so a
+    shard of ``m`` answers costs ``n`` int conversions of ``m * l`` bytes
+    instead of ``m * n`` conversions of ``l`` bytes.
+
+    Returns one plaintext per group, in input order — or ``None`` where
+    :func:`join_shares` would have raised (too few shares, mixed message ids,
+    unequal lengths), so a malformed group degrades to a per-group skip
+    instead of poisoning the batch.  The scalar reference stays the
+    executable specification; the regression tests pin the two together.
+    """
+    plaintexts: list[bytes | None] = [None] * len(groups)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for index, shares in enumerate(groups):
+        if _group_is_joinable(shares):
+            key = (len(shares), len(shares[0].payload))
+            buckets.setdefault(key, []).append(index)
+    for (num_shares, length), indices in buckets.items():
+        if len(indices) == 1 or length == 0:
+            for index in indices:
+                plaintexts[index] = xor_many([s.payload for s in groups[index]])
+            continue
+        accumulator = 0
+        for position in range(num_shares):
+            concatenated = b"".join(groups[index][position].payload for index in indices)
+            accumulator ^= int.from_bytes(concatenated, "little")
+        joined = accumulator.to_bytes(len(indices) * length, "little")
+        for offset, index in enumerate(indices):
+            plaintexts[index] = joined[offset * length : (offset + 1) * length]
+    return plaintexts

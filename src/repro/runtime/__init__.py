@@ -22,6 +22,13 @@ which, and the seeded-equivalence contract; ``README.md`` ("Runtime
 architecture") covers executor and worker-count selection from the CLI.
 """
 
+from repro.runtime.affinity import (
+    ResidentProcessExecutor,
+    ResidentShardCache,
+    ResidentWorkerError,
+    StickyShardRouter,
+    shard_fingerprint,
+)
 from repro.runtime.executor import (
     EXECUTOR_KINDS,
     EpochContext,
@@ -39,20 +46,32 @@ from repro.runtime.process_pool import (
 )
 from repro.runtime.serial import SerialExecutor
 from repro.runtime.sharded import ShardedExecutor, answer_shard
-from repro.runtime.sharding import Shard, plan_shards, plan_weighted_shards
+from repro.runtime.sharding import Shard, plan_shards, plan_weighted_shards, shard_span
 from repro.runtime.wire import (
+    ClientDelta,
+    ShardAck,
     ShardBatch,
+    ShardBootstrap,
+    ShardDelta,
     ShardTask,
     WireError,
+    decode_frame,
+    decode_shard_ack,
     decode_shard_batch,
+    decode_shard_bootstrap,
+    decode_shard_delta,
     decode_shard_task,
+    encode_shard_ack,
     encode_shard_batch,
+    encode_shard_bootstrap,
+    encode_shard_delta,
     encode_shard_task,
 )
 
 __all__ = [
     "EXECUTOR_KINDS",
     "AdaptiveShardSizer",
+    "ClientDelta",
     "EpochContext",
     "EpochExecutor",
     "EpochOutcome",
@@ -60,19 +79,35 @@ __all__ = [
     "ProcessPoolEpochExecutor",
     "QueryContext",
     "QueryEpochOutcome",
+    "ResidentProcessExecutor",
+    "ResidentShardCache",
+    "ResidentWorkerError",
     "SerialExecutor",
     "Shard",
+    "ShardAck",
     "ShardBatch",
+    "ShardBootstrap",
+    "ShardDelta",
     "ShardTask",
     "ShardedExecutor",
+    "StickyShardRouter",
     "WireError",
     "answer_shard",
     "answer_shard_task",
+    "decode_frame",
+    "decode_shard_ack",
     "decode_shard_batch",
+    "decode_shard_bootstrap",
+    "decode_shard_delta",
     "decode_shard_task",
+    "encode_shard_ack",
     "encode_shard_batch",
+    "encode_shard_bootstrap",
+    "encode_shard_delta",
     "encode_shard_task",
     "make_executor",
     "plan_shards",
     "plan_weighted_shards",
+    "shard_fingerprint",
+    "shard_span",
 ]

@@ -1,0 +1,1005 @@
+"""Worker-resident client state behind sticky shard→worker affinity.
+
+The snapshot-shipping process executor (:mod:`repro.runtime.process_pool`)
+pays for its GIL escape by round-tripping every client's full snapshot across
+the process border twice per epoch — ~5 KB per client each way, every epoch,
+even though almost none of it changes between epochs.  This module makes the
+client state live *inside* the workers instead:
+
+* :class:`StickyShardRouter` pins each shard id to one long-lived worker
+  process (``shard_index % num_workers``) with a dedicated task queue per
+  worker, so frames for a shard always reach the worker holding its state.
+  Shard *boundaries* may move (adaptive re-sharding); shard *ids* are stable
+  (:func:`repro.runtime.sharding.plan_weighted_shards` always emits ids
+  ``0..num_shards-1``), so affinity survives boundary moves.
+* Each worker keeps a :class:`ResidentShardCache` of reconstructed
+  :class:`~repro.core.client.Client` objects per shard id, installed once
+  from a :class:`~repro.runtime.wire.ShardBootstrap` and advanced in place
+  epoch after epoch.
+* The steady-state traffic is tiny: a :class:`~repro.runtime.wire.ShardDelta`
+  per shard per epoch (subscription changes and appended stream rows since
+  the last frame — usually nothing) and a :class:`~repro.runtime.wire.ShardAck`
+  back (responses plus a 32-byte state fingerprint instead of full advanced
+  snapshots).
+
+**Split authority, lazy reunification.**  The parent stays authoritative for
+tables and subscriptions (its live clients are mutated directly by ingest and
+re-tuning, and the changes ship as deltas); the pinned worker is
+authoritative for the advancing RNG/keystream streams.  The parent's copy of
+those streams is refreshed lazily — `export on demand`: every
+``checkpoint_every`` epochs (the delta sets ``want_state`` and the ack
+carries full snapshots, grafted back via
+:meth:`~repro.core.client.Client.adopt_rng_state`), whenever a delta carries
+mutations (so replay windows never span a parent-side change), and on
+shutdown or shard migration.
+
+**Recovery = checkpoint + replay.**  Between checkpoints the parent records
+which ``(epoch, query_ids)`` each shard answered.  Because every draw in the
+answering path comes from client-owned seeded RNG/keystream streams — and the
+*number* of draws is content-independent (one sampling coin; randomization
+draws depend only on the first coin; keystream consumption is fixed-length
+per query) — re-answering the logged epochs on the checkpoint copy and
+discarding the responses reproduces the worker's state exactly.  That is how
+a killed worker, a poisoned fingerprint, or a mid-run re-shard falls back:
+fast-forward the parent copy, then send a bootstrap frame for exactly the
+moved/lost shards.  Results stay byte-identical to the serial reference —
+the equivalence and torture suites pin this with residency on and off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.executor import (
+    EpochContext,
+    EpochOutcome,
+    PooledEpochExecutor,
+    QueryEpochOutcome,
+)
+from repro.runtime.pipelined import _ingest_stage, _transmit_stage
+from repro.runtime.process_pool import AdaptiveShardSizer
+from repro.runtime.sharded import answer_shard
+from repro.runtime.sharding import Shard, plan_shards, shard_span
+from repro.runtime.wire import (
+    ClientDelta,
+    ShardAck,
+    ShardBootstrap,
+    ShardDelta,
+    WireError,
+    decode_frame,
+    decode_shard_ack,
+    encode_shard_ack,
+    encode_shard_bootstrap,
+    encode_shard_delta,
+)
+
+if TYPE_CHECKING:
+    from repro.core.client import Client
+
+# How often the parent-side collectors poll the result queue between
+# liveness checks; long enough to stay off the CPU, short enough that a
+# killed worker is noticed promptly.
+_RECV_POLL_SECONDS = 0.05
+# A shard that keeps answering "bootstrap required" after being re-sent a
+# fresh bootstrap is wedged, not cold; give up instead of looping.
+_MAX_REBOOTSTRAPS_PER_EPOCH = 3
+# Re-sharding hysteresis: moving a boundary costs a state sync plus a full
+# re-bootstrap of the moved shards, so boundaries only move when the current
+# cut's predicted bottleneck shard exceeds the rebalanced cut's by this
+# factor, and at most once per cooldown window — otherwise per-epoch
+# wall-clock noise would move boundaries every epoch and each move would
+# throw away resident state.  (The snapshot-shipping executor re-plans
+# freely — its boundaries are free to move because it ships all state every
+# epoch anyway.)
+_RESHARD_IMBALANCE_THRESHOLD = 2.0
+_RESHARD_COOLDOWN_EPOCHS = 3
+
+
+class ResidentWorkerError(RuntimeError):
+    """A resident worker failed (worker-side exception or worker death)."""
+
+
+def shard_fingerprint(clients: Sequence["Client"]) -> bytes:
+    """Digest of a whole shard's answering-relevant state.
+
+    The concatenation of every client's
+    :meth:`~repro.core.client.Client.state_fingerprint`, hashed once more so
+    the fingerprint stays 32 bytes regardless of shard size.  Parent and
+    worker compute it over the same client order, so agreement means the
+    worker's resident copy will make exactly the draws the parent expects.
+    """
+    digest = hashlib.sha256()
+    for client in clients:
+        digest.update(client.state_fingerprint())
+    return digest.digest()
+
+
+class ResidentShardCache:
+    """The worker-side cache: shard id → live reconstructed clients.
+
+    A plain dict with the lifecycle rules made explicit: ``install`` replaces
+    a shard's clients wholesale (bootstrap), ``lookup`` verifies the parent's
+    expected fingerprint before handing the clients out (a mismatch or miss
+    returns ``None`` — the caller acks ``bootstrap_required``), and
+    ``invalidate`` drops a shard whose state can no longer be trusted (a
+    worker-side exception mid-answer leaves it half-advanced).
+    """
+
+    def __init__(self) -> None:
+        self._clients: dict[int, list["Client"]] = {}
+
+    def install(self, shard_index: int, clients: list["Client"]) -> None:
+        self._clients[shard_index] = clients
+
+    def lookup(self, shard_index: int, expected_fingerprint: bytes) -> list["Client"] | None:
+        clients = self._clients.get(shard_index)
+        if clients is None:
+            return None
+        if shard_fingerprint(clients) != expected_fingerprint:
+            self.invalidate(shard_index)
+            return None
+        return clients
+
+    def invalidate(self, shard_index: int) -> None:
+        self._clients.pop(shard_index, None)
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+
+def _answer_from_residency(
+    cache: ResidentShardCache,
+    shard_index: int,
+    epoch: int,
+    query_ids: tuple,
+    want_state: bool,
+    clients: list["Client"],
+) -> ShardAck:
+    """Answer one epoch from resident clients and build the ack."""
+    start = time.perf_counter()
+    if query_ids:
+        responses_per_query, clients = answer_shard(clients, query_ids, epoch)
+        responses = tuple(tuple(responses) for responses in responses_per_query)
+    else:
+        responses = ()
+    wall_seconds = time.perf_counter() - start
+    return ShardAck(
+        shard_index=shard_index,
+        epoch=epoch,
+        wall_seconds=wall_seconds,
+        responses=responses,
+        fingerprint=shard_fingerprint(clients),
+        client_states=(
+            tuple(client.export_state() for client in clients) if want_state else None
+        ),
+    )
+
+
+def resident_worker_main(task_queue, result_queue) -> None:
+    """The pinned worker loop: bootstrap/delta frames in, ack frames out.
+
+    Runs in a dedicated process until it receives the ``None`` sentinel.
+    Every frame produces exactly one ack — success, ``bootstrap_required``,
+    or a captured worker-side error — so the parent's collector never counts
+    itself into a hang.  State lives in a :class:`ResidentShardCache` for the
+    life of the process; an exception while answering invalidates the shard
+    (its clients may be half-advanced) so the parent re-bootstraps it.
+    """
+    # Imported here: repro.core imports repro.runtime at package level, so a
+    # module-level import would be cyclic.
+    from repro.core.client import Client
+
+    cache = ResidentShardCache()
+    while True:
+        frame = task_queue.get()
+        if frame is None:
+            return
+        shard_index = -1
+        epoch = -1
+        try:
+            message = decode_frame(frame)
+            shard_index = message.shard_index
+            epoch = message.epoch
+            if isinstance(message, ShardBootstrap):
+                clients = [Client.from_state(state) for state in message.client_states]
+                cache.install(shard_index, clients)
+                ack = _answer_from_residency(
+                    cache, shard_index, epoch, message.query_ids, False, clients
+                )
+            elif isinstance(message, ShardDelta):
+                clients = cache.lookup(shard_index, message.expected_fingerprint)
+                if clients is None:
+                    ack = ShardAck(
+                        shard_index=shard_index, epoch=epoch, bootstrap_required=True
+                    )
+                else:
+                    for client, delta in zip(clients, message.deltas):
+                        if delta is not None:
+                            client.apply_delta(delta)
+                    ack = _answer_from_residency(
+                        cache,
+                        shard_index,
+                        epoch,
+                        message.query_ids,
+                        message.want_state,
+                        clients,
+                    )
+            else:
+                raise WireError(
+                    f"resident worker cannot serve {type(message).__name__} frames"
+                )
+        except Exception as exc:  # noqa: BLE001 — every failure must become an ack
+            cache.invalidate(shard_index)
+            ack = ShardAck(
+                shard_index=shard_index,
+                epoch=epoch,
+                error=(type(exc).__name__, str(exc)),
+            )
+        result_queue.put(encode_shard_ack(ack))
+
+
+class _WorkerHandle:
+    """One pinned worker: its process and its dedicated task queue."""
+
+    __slots__ = ("process", "task_queue")
+
+    def __init__(self, process, task_queue):
+        self.process = process
+        self.task_queue = task_queue
+
+
+class StickyShardRouter:
+    """Routes shard frames to long-lived pinned worker processes.
+
+    The affinity function is ``shard_index % num_workers`` — deterministic
+    and stable, so a shard's frames always land on the worker caching its
+    state.  Workers read framed bytes from their own task queue and push ack
+    bytes onto one shared result queue; the router only moves bytes, the
+    executor owns all protocol decisions.  Dead workers are detected via
+    ``Process.is_alive`` and replaced with :meth:`replace` (their resident
+    state is gone — the executor re-bootstraps their shards).
+    """
+
+    def __init__(self, num_workers: int, context=None):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers
+        self._ctx = context if context is not None else multiprocessing.get_context()
+        self._workers: list[_WorkerHandle | None] = [None] * num_workers
+        self._result_queue = self._ctx.Queue()
+        self.workers_spawned = 0
+        self.workers_replaced = 0
+
+    def slot_for(self, shard_index: int) -> int:
+        """The worker slot a shard id is pinned to (stable across epochs)."""
+        return shard_index % self.num_workers
+
+    def worker_alive(self, slot: int) -> bool:
+        handle = self._workers[slot]
+        return handle is not None and handle.process.is_alive()
+
+    def dead_slots(self) -> list[int]:
+        """Slots whose worker was started but is no longer alive."""
+        return [
+            slot
+            for slot, handle in enumerate(self._workers)
+            if handle is not None and not handle.process.is_alive()
+        ]
+
+    def _spawn(self, slot: int) -> None:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=resident_worker_main,
+            args=(task_queue, self._result_queue),
+            name=f"privapprox-resident-{slot}",
+            daemon=True,
+        )
+        process.start()
+        self._workers[slot] = _WorkerHandle(process, task_queue)
+        self.workers_spawned += 1
+
+    def ensure_worker(self, slot: int) -> None:
+        if not self.worker_alive(slot):
+            if self._workers[slot] is not None:
+                self.replace(slot)
+            else:
+                self._spawn(slot)
+
+    def replace(self, slot: int) -> None:
+        """Tear down a (dead or live) worker and spawn a fresh one."""
+        handle = self._workers[slot]
+        if handle is not None:
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=2.0)
+            handle.task_queue.close()
+            self.workers_replaced += 1
+        self._workers[slot] = None
+        self._spawn(slot)
+
+    def send(self, shard_index: int, frame: bytes) -> None:
+        slot = self.slot_for(shard_index)
+        self.ensure_worker(slot)
+        self._workers[slot].task_queue.put(frame)
+
+    def recv(self, timeout: float) -> bytes:
+        """Next ack frame; raises ``queue.Empty`` after ``timeout`` seconds."""
+        return self._result_queue.get(timeout=timeout)
+
+    def drain_stale(self) -> None:
+        """Discard acks left over from a failed epoch or sync round."""
+        while True:
+            try:
+                self._result_queue.get_nowait()
+            except queue.Empty:
+                return
+
+    def close(self) -> None:
+        """Send every live worker its sentinel; terminate stragglers."""
+        for handle in self._workers:
+            if handle is not None and handle.process.is_alive():
+                try:
+                    handle.task_queue.put(None)
+                except (ValueError, OSError):
+                    pass
+        for slot, handle in enumerate(self._workers):
+            if handle is None:
+                continue
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            handle.task_queue.close()
+            self._workers[slot] = None
+
+
+@dataclass
+class _ShardResidency:
+    """Parent-side bookkeeping for one shard id.
+
+    ``start``/``stop`` are the boundaries the resident copy was built for
+    (affinity survives boundary moves, resident state does not — a moved
+    shard is synced back and re-bootstrapped).  ``fingerprint`` is the last
+    acked state digest the next delta will demand.  ``replay_log`` holds the
+    ``(epoch, query_ids)`` answered since the parent's copy was last current;
+    replaying it on the checkpoint copy reproduces the worker state exactly.
+    ``replay_subscriptions`` pins the per-client subscription sets those
+    logged epochs actually ran under — replay must restore them, because a
+    parent-side unsubscribe or re-tune whose checkpoint ack never landed
+    would otherwise change which draws the replay makes.  ``baseline`` is
+    the per-client subscriptions/table-content snapshot deltas are diffed
+    against.
+    """
+
+    resident: bool = False
+    start: int = 0
+    stop: int = 0
+    fingerprint: bytes = b""
+    replay_log: list = field(default_factory=list)
+    replay_subscriptions: list | None = None
+    baseline: list | None = None
+    epochs_since_checkpoint: int = 0
+
+
+def _client_baseline(client: "Client") -> tuple[dict, dict]:
+    """Snapshot the parent-authoritative parts deltas are computed against.
+
+    The table snapshot keeps the *rows themselves* (as a tuple), not just a
+    row count: a delete-and-reinsert or an in-place row edit can leave the
+    length unchanged while the content diverges, and the worker's copy would
+    silently go stale — tables are excluded from the state fingerprint on
+    purpose, so nothing downstream would catch it.  Prefix comparison against
+    the snapshot is a C-speed tuple equality check that short-circuits on the
+    first mismatch.
+    """
+    tables = {}
+    for name in client.database.table_names():
+        table = client.database.table(name)
+        columns = tuple((column.name, column.sql_type) for column in table.columns)
+        tables[name] = (columns, tuple(table.rows))
+    return (client.subscriptions, tables)
+
+
+def _delta_since(client: "Client", baseline: tuple[dict, dict]) -> tuple:
+    """Diff a live client against its baseline.
+
+    Returns ``(delta_or_None, dirty)``: ``dirty`` means the change cannot be
+    expressed as a delta (a table dropped, re-schema'd, shrunk, or edited
+    anywhere in the already-shipped prefix) and the shard must fall back to
+    a full bootstrap.
+    """
+    base_subs, base_tables = baseline
+    subs = client.subscriptions
+    subscribe = tuple(
+        (query, parameters)
+        for query_id, (query, parameters) in sorted(subs.items())
+        if base_subs.get(query_id) != (query, parameters)
+    )
+    unsubscribe = tuple(
+        query_id for query_id in sorted(base_subs) if query_id not in subs
+    )
+    append_rows = []
+    names = client.database.table_names()
+    for name in base_tables:
+        if name not in names:
+            return None, True
+    for name in names:
+        table = client.database.table(name)
+        columns = tuple((column.name, column.sql_type) for column in table.columns)
+        base = base_tables.get(name)
+        if base is None:
+            append_rows.append((name, columns, tuple(table.rows)))
+            continue
+        base_columns, base_rows = base
+        base_count = len(base_rows)
+        if (
+            columns != base_columns
+            or len(table.rows) < base_count
+            or tuple(table.rows[:base_count]) != base_rows
+        ):
+            return None, True
+        if len(table.rows) > base_count:
+            append_rows.append((name, columns, tuple(table.rows[base_count:])))
+    if not (subscribe or unsubscribe or append_rows):
+        return None, False
+    return (
+        ClientDelta(
+            subscribe=subscribe,
+            unsubscribe=unsubscribe,
+            append_rows=tuple(append_rows),
+        ),
+        False,
+    )
+
+
+class ResidentProcessExecutor(PooledEpochExecutor):
+    """The process executor with worker-resident state and sticky affinity.
+
+    Same pipelined dataflow and adaptive shard sizing as
+    :class:`~repro.runtime.process_pool.ProcessPoolEpochExecutor`, but the
+    per-epoch traffic is bootstrap-once / delta-thereafter (wire v3) instead
+    of full snapshots both ways every epoch.  Satisfies the same
+    seeded-equivalence contract.
+
+    Parameters
+    ----------
+    adaptive:
+        Feed per-shard wall-clock back into the next epoch's boundaries.
+        Boundary moves under residency trigger a state sync + re-bootstrap
+        of exactly the moved shards.
+    checkpoint_every:
+        Refresh the parent's authoritative copy every this many acked epochs
+        per shard (``0`` = only on demand: mutation epochs, migration,
+        shutdown).  Smaller values shorten recovery replay at the cost of
+        periodic full-state acks.
+    """
+
+    _consumer_group_prefix = "resident"
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        num_shards: int | None = None,
+        queue_depth: int | None = None,
+        adaptive: bool = True,
+        checkpoint_every: int = 4,
+    ):
+        super().__init__(
+            num_workers=num_workers, num_shards=num_shards, queue_depth=queue_depth
+        )
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be non-negative, got {checkpoint_every}"
+            )
+        self.adaptive = adaptive
+        self.checkpoint_every = checkpoint_every
+        self._sizer = AdaptiveShardSizer(self.num_shards)
+        self._router: StickyShardRouter | None = None
+        self._shards: dict[int, _ShardResidency] = {}
+        self._last_context: EpochContext | None = None
+        self._epochs_since_reshard = 0
+        # Observability: frame counts, fallback events, and per-epoch wire
+        # bytes (frames sent + acks received) for the benchmark's shrinkage
+        # claim.
+        self.bootstrap_frames = 0
+        self.delta_frames = 0
+        self.sync_frames = 0
+        self.rebootstraps = 0
+        self.epoch_wire_bytes: dict[int, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_router(self) -> StickyShardRouter:
+        if self._router is None:
+            self._router = StickyShardRouter(self.num_workers)
+        return self._router
+
+    def close(self) -> None:
+        """Export resident state back to the parent, then stop the workers."""
+        if self._router is not None:
+            try:
+                if self._last_context is not None:
+                    resident = [
+                        index for index, st in self._shards.items() if st.resident
+                    ]
+                    if resident:
+                        self._sync_shards(self._last_context, resident)
+            finally:
+                self._router.close()
+                self._router = None
+        self._shards.clear()
+        self._last_context = None
+        super().close()
+
+    # -- recovery helpers ----------------------------------------------------
+
+    def _residency(self, shard_index: int) -> _ShardResidency:
+        state = self._shards.get(shard_index)
+        if state is None:
+            state = _ShardResidency()
+            self._shards[shard_index] = state
+        return state
+
+    @staticmethod
+    def _apply_subscriptions(client: "Client", subscriptions: dict) -> None:
+        """Make a client's subscription set equal the given qid → (query, params)."""
+        for query_id in list(client.subscriptions):
+            if query_id not in subscriptions:
+                client.unsubscribe(query_id)
+        for query, parameters in subscriptions.values():
+            client.subscribe(query, parameters)
+
+    def _capture_replay_subscriptions(
+        self, context: EpochContext, state: _ShardResidency
+    ) -> None:
+        """Pin the subscription sets the next replay window will run under.
+
+        Called exactly when the replay log resets (bootstrap send, checkpoint
+        graft, sync graft): at those moments the live subscriptions equal the
+        resident copy's, and — because mutation deltas force a checkpoint —
+        they stay in force for every epoch the log will accumulate.
+        """
+        clients = context.clients[state.start : state.stop]
+        state.replay_subscriptions = [client.subscriptions for client in clients]
+
+    def _fast_forward(self, context: EpochContext, shard_index: int) -> None:
+        """Replay the logged epochs on the parent's checkpoint copy.
+
+        After this the parent's live clients for the shard carry exactly the
+        RNG/keystream state the worker-resident copy had after its last acked
+        epoch — see the module docstring for why replay is exact.  Replay
+        runs under the pinned ``replay_subscriptions``: a subscription change
+        whose checkpoint ack never landed (mutation epoch lost to a worker
+        death) postdates every logged epoch, and replaying with it applied
+        would skip or alter draws the worker actually made.  Table content
+        needs no such pinning — draw counts are content-independent.
+        """
+        state = self._residency(shard_index)
+        if not state.replay_log:
+            return
+        clients = context.clients[state.start : state.stop]
+        live_subscriptions = None
+        if state.replay_subscriptions is not None:
+            live_subscriptions = [client.subscriptions for client in clients]
+            for client, pinned in zip(clients, state.replay_subscriptions):
+                self._apply_subscriptions(client, pinned)
+        for epoch, query_ids in state.replay_log:
+            answer_shard(clients, query_ids, epoch)
+        if live_subscriptions is not None:
+            for client, current in zip(clients, live_subscriptions):
+                self._apply_subscriptions(client, current)
+        state.replay_log.clear()
+        state.epochs_since_checkpoint = 0
+
+    def _heal_workers(self, context: EpochContext) -> None:
+        """Replace dead workers; recover their shards' state parent-side."""
+        router = self._ensure_router()
+        for slot in router.dead_slots():
+            router.replace(slot)
+            for shard_index, state in self._shards.items():
+                if state.resident and router.slot_for(shard_index) == slot:
+                    self._fast_forward(context, shard_index)
+                    state.resident = False
+
+    def _sync_shards(self, context: EpochContext, shard_indices: list[int]) -> int:
+        """Pull full state back from workers for the given resident shards.
+
+        Sends sync deltas (no answering, ``want_state``), grafts the exported
+        RNG/keystream state onto the parent's live clients, and marks the
+        shards non-resident (the callers either re-bootstrap them under new
+        boundaries or are shutting down).  Shards whose worker cannot serve
+        the sync (died, fingerprint mismatch) fall back to checkpoint replay.
+        Returns the wire bytes moved.
+        """
+        router = self._ensure_router()
+        router.drain_stale()
+        wire_bytes = 0
+        pending: dict[int, _ShardResidency] = {}
+        for shard_index in shard_indices:
+            state = self._residency(shard_index)
+            frame = encode_shard_delta(
+                ShardDelta(
+                    shard_index=shard_index,
+                    epoch=-1,
+                    query_ids=(),
+                    deltas=(),
+                    expected_fingerprint=state.fingerprint,
+                    want_state=True,
+                )
+            )
+            self.sync_frames += 1
+            wire_bytes += len(frame)
+            router.send(shard_index, frame)
+            pending[shard_index] = state
+        while pending:
+            for shard_index in list(pending):
+                if not router.worker_alive(router.slot_for(shard_index)):
+                    state = pending.pop(shard_index)
+                    self._fast_forward(context, shard_index)
+                    state.resident = False
+            if not pending:
+                break
+            try:
+                blob = router.recv(timeout=_RECV_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            wire_bytes += len(blob)
+            ack = decode_shard_ack(blob)
+            state = pending.get(ack.shard_index)
+            if state is None or ack.epoch != -1:
+                continue  # stale ack from an earlier, failed round
+            del pending[ack.shard_index]
+            if ack.error is None and not ack.bootstrap_required and ack.client_states:
+                clients = context.clients[state.start : state.stop]
+                for client, snapshot in zip(clients, ack.client_states):
+                    client.adopt_rng_state(snapshot)
+                state.replay_log.clear()
+                state.epochs_since_checkpoint = 0
+                self._capture_replay_subscriptions(context, state)
+            else:
+                self._fast_forward(context, ack.shard_index)
+            state.resident = False
+        return wire_bytes
+
+    def _migrate_moved_shards(self, context: EpochContext, shards: list[Shard]) -> int:
+        """Sync back every resident shard whose boundaries are about to move.
+
+        Adaptive re-sharding keeps shard ids stable but moves their client
+        ranges; the resident copies are keyed to the old ranges, so exactly
+        the moved shards are exported and later re-bootstrapped.  Returns the
+        sync wire bytes.
+        """
+        moved = [
+            shard.index
+            for shard in shards
+            if self._shards.get(shard.index) is not None
+            and self._shards[shard.index].resident
+            and shard_span(shard) != (
+                self._shards[shard.index].start,
+                self._shards[shard.index].stop,
+            )
+        ]
+        if not moved:
+            return 0
+        return self._sync_shards(context, moved)
+
+    # -- framing -------------------------------------------------------------
+
+    def _bootstrap_frame(
+        self, context: EpochContext, shard: Shard, epoch: int, query_ids: tuple
+    ) -> bytes:
+        """Fast-forward the parent copy and frame a full bootstrap."""
+        state = self._residency(shard.index)
+        self._fast_forward(context, shard.index)
+        clients = context.clients[shard.as_slice()]
+        frame = encode_shard_bootstrap(
+            ShardBootstrap(
+                shard_index=shard.index,
+                epoch=epoch,
+                query_ids=query_ids,
+                client_states=tuple(client.export_state() for client in clients),
+            )
+        )
+        state.resident = True
+        state.start, state.stop = shard.start, shard.stop
+        state.fingerprint = b""
+        state.replay_log.clear()
+        state.baseline = [_client_baseline(client) for client in clients]
+        state.epochs_since_checkpoint = 0
+        self._capture_replay_subscriptions(context, state)
+        self.bootstrap_frames += 1
+        return frame
+
+    def _frame_for(
+        self, context: EpochContext, shard: Shard, epoch: int, query_ids: tuple
+    ) -> bytes:
+        """The next frame for one occupied shard: delta if possible, else bootstrap."""
+        state = self._residency(shard.index)
+        if state.resident and (state.start, state.stop) == shard_span(shard):
+            clients = context.clients[shard.as_slice()]
+            deltas = []
+            dirty = False
+            for client, baseline in zip(clients, state.baseline):
+                delta, client_dirty = _delta_since(client, baseline)
+                if client_dirty:
+                    dirty = True
+                    break
+                deltas.append(delta)
+            if not dirty:
+                mutated = any(delta is not None for delta in deltas)
+                want_state = mutated or (
+                    self.checkpoint_every > 0
+                    and state.epochs_since_checkpoint + 1 >= self.checkpoint_every
+                )
+                frame = encode_shard_delta(
+                    ShardDelta(
+                        shard_index=shard.index,
+                        epoch=epoch,
+                        query_ids=query_ids,
+                        deltas=tuple(deltas),
+                        expected_fingerprint=state.fingerprint,
+                        want_state=want_state,
+                    )
+                )
+                if mutated:
+                    state.baseline = [_client_baseline(client) for client in clients]
+                self.delta_frames += 1
+                return frame
+            # A non-append mutation: pull the worker's stream state back so
+            # the bootstrap below ships current RNG state with the new tables.
+            self._sync_shards(context, [shard.index])
+        return self._bootstrap_frame(context, shard, epoch, query_ids)
+
+    def _plan_boundaries(self, num_clients: int) -> list[Shard]:
+        """Plan shard boundaries with re-sharding hysteresis.
+
+        While the recorded boundaries tile the population, the adaptive plan
+        is adopted only when it shrinks the predicted bottleneck shard by
+        more than ``_RESHARD_IMBALANCE_THRESHOLD`` and the cooldown window
+        since the last move has passed.  The recorded spans are kept even for
+        shards that just lost residency (a replaced worker): moving *their*
+        boundary would needlessly invalidate their still-resident neighbors —
+        exactly the lost shards re-bootstrap, nothing else.  A first epoch or
+        a population change takes the plan as-is.
+        """
+        self._epochs_since_reshard += 1
+        if not self.adaptive:
+            return plan_shards(num_clients, self.num_shards)
+        proposed = self._sizer.plan(num_clients)
+        current: list[Shard] = []
+        position = 0
+        for index in range(self.num_shards):
+            state = self._shards.get(index)
+            if state is None or state.start != position:
+                return proposed
+            current.append(Shard(index=index, start=state.start, stop=state.stop))
+            position = state.stop
+        if position != num_clients:
+            return proposed
+        if self._epochs_since_reshard < _RESHARD_COOLDOWN_EPOCHS:
+            return current
+        costs = self._sizer.cost_estimates(num_clients)
+        if costs is None:
+            return current
+        prefix = [0.0]
+        for cost in costs:
+            prefix.append(prefix[-1] + cost)
+        current_max = max(prefix[s.stop] - prefix[s.start] for s in current)
+        proposed_max = max(prefix[s.stop] - prefix[s.start] for s in proposed)
+        if proposed_max > 0.0 and current_max > _RESHARD_IMBALANCE_THRESHOLD * proposed_max:
+            self._epochs_since_reshard = 0
+            return proposed
+        return current
+
+    # -- epoch execution -----------------------------------------------------
+
+    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
+        self._last_context = context
+        router = self._ensure_router()
+        router.drain_stale()
+        self._heal_workers(context)
+
+        num_clients = len(context.clients)
+        shards = self._plan_boundaries(num_clients)
+        wire_bytes = self._migrate_moved_shards(context, shards)
+        occupied = [shard for shard in shards if shard.num_items > 0]
+        consumers = self._consumers_for(context)
+        query_ids = tuple(context.query_ids)
+
+        responses_by_shard: list[list | None] = [None] * len(shards)
+        wall_seconds: dict[int, float] = {}
+        answered: queue.Queue = queue.Queue(maxsize=self.queue_depth)
+        transmitted: queue.Queue = queue.Queue()
+        wire_box = [wire_bytes]
+
+        # Frames are all built *before* any is sent: _frame_for may need a
+        # synchronous state sync (dirty tables → export + bootstrap), which is
+        # only safe while no epoch acks are in flight on the result queue.
+        pending: dict[int, Shard] = {}
+        try:
+            frames = [
+                (shard, self._frame_for(context, shard, epoch, query_ids))
+                for shard in occupied
+            ]
+            for shard, frame in frames:
+                wire_box[0] += len(frame)
+                router.send(shard.index, frame)
+                pending[shard.index] = shard
+        except Exception:
+            # Workers already holding this epoch's frames may answer them and
+            # advance state the parent never logged; residency cannot be
+            # trusted for any shard this epoch touched, so every occupied
+            # shard re-bootstraps (from checkpoint + replay) next epoch.
+            for shard in occupied:
+                self._residency(shard.index).resident = False
+            self.epoch_wire_bytes[epoch] = wire_box[0]
+            raise
+
+        collector = threading.Thread(
+            target=self._collect_acks,
+            args=(
+                context,
+                epoch,
+                query_ids,
+                pending,
+                responses_by_shard,
+                wall_seconds,
+                answered,
+                wire_box,
+            ),
+            name="privapprox-resident-collect",
+            daemon=True,
+        )
+        collector.start()
+        transmitter = threading.Thread(
+            target=_transmit_stage,
+            args=(context, len(occupied), responses_by_shard, answered, transmitted),
+            name="privapprox-resident-transmit",
+            daemon=True,
+        )
+        transmitter.start()
+        window_results, error = _ingest_stage(context, consumers, epoch, transmitted)
+        transmitter.join()
+        collector.join()
+
+        if self.adaptive and wall_seconds:
+            self._sizer.record(shards, wall_seconds)
+        self.epoch_wire_bytes[epoch] = wire_box[0]
+        if error is not None:
+            raise error
+
+        per_query = []
+        for index, query in enumerate(context.queries):
+            responses: list = []
+            for shard in shards:
+                shard_responses = responses_by_shard[shard.index]
+                if shard_responses:
+                    responses.extend(shard_responses[index])
+            per_query.append(
+                QueryEpochOutcome(
+                    query_id=query.query_id,
+                    responses=tuple(responses),
+                    window_results=tuple(window_results[index]),
+                )
+            )
+        return EpochOutcome(per_query=tuple(per_query))
+
+    def _collect_acks(
+        self,
+        context: EpochContext,
+        epoch: int,
+        query_ids: tuple,
+        pending: dict[int, Shard],
+        responses_by_shard: list,
+        wall_seconds: dict[int, float],
+        answered: queue.Queue,
+        wire_box: list,
+    ) -> None:
+        """Decode acks, adopt checkpoints, fall back to bootstrap on demand.
+
+        Runs in a parent thread.  Always enqueues exactly one
+        ``(shard_index, error)`` item per pending shard — success, worker
+        error, or worker death — so the transmitter's expected-item count
+        never hangs.  A ``bootstrap_required`` ack re-sends a bootstrap frame
+        for the same epoch (the shard stays pending), bounded by
+        ``_MAX_REBOOTSTRAPS_PER_EPOCH``.
+        """
+        router = self._router
+        rebootstraps: dict[int, int] = {}
+
+        def fail(shard: Shard, exc: Exception) -> None:
+            responses_by_shard[shard.index] = [[] for _ in context.queries]
+            self._residency(shard.index).resident = False
+            answered.put((shard.index, exc))
+
+        while pending:
+            for shard_index in list(pending):
+                if not router.worker_alive(router.slot_for(shard_index)):
+                    shard = pending.pop(shard_index)
+                    # The resident copy died with the worker; the replay log
+                    # still reaches the last *acked* epoch, so the next epoch
+                    # re-bootstraps from checkpoint + replay.
+                    fail(
+                        shard,
+                        ResidentWorkerError(
+                            f"worker pinned to shard {shard_index} died mid-epoch"
+                        ),
+                    )
+            if not pending:
+                return
+            try:
+                blob = router.recv(timeout=_RECV_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            wire_box[0] += len(blob)
+            try:
+                ack = decode_shard_ack(blob)
+            except WireError as exc:
+                for shard in list(pending.values()):
+                    fail(shard, exc)
+                pending.clear()
+                return
+            if ack.shard_index == -1 and ack.error is not None:
+                # The worker could not even decode the frame enough to name a
+                # shard; nothing can be attributed, so the epoch fails whole.
+                exc = ResidentWorkerError(f"{ack.error[0]}: {ack.error[1]}")
+                for shard in list(pending.values()):
+                    fail(shard, exc)
+                pending.clear()
+                return
+            shard = pending.get(ack.shard_index)
+            if shard is None or ack.epoch != epoch:
+                continue  # stale ack from an earlier, failed epoch
+            state = self._residency(shard.index)
+            if ack.error is not None:
+                # The worker invalidated its cache before acking.
+                del pending[shard.index]
+                fail(shard, ResidentWorkerError(f"{ack.error[0]}: {ack.error[1]}"))
+                continue
+            if ack.bootstrap_required:
+                count = rebootstraps.get(shard.index, 0) + 1
+                rebootstraps[shard.index] = count
+                self.rebootstraps += 1
+                state.resident = False
+                if count > _MAX_REBOOTSTRAPS_PER_EPOCH:
+                    del pending[shard.index]
+                    fail(
+                        shard,
+                        ResidentWorkerError(
+                            f"shard {shard.index} still required a bootstrap "
+                            f"after {count - 1} attempts"
+                        ),
+                    )
+                    continue
+                try:
+                    frame = self._bootstrap_frame(context, shard, epoch, query_ids)
+                    wire_box[0] += len(frame)
+                    router.send(shard.index, frame)
+                except Exception as exc:  # unpicklable state, dead worker, ...
+                    del pending[shard.index]
+                    fail(shard, exc)
+                continue
+            # Success: adopt the fingerprint (and checkpoint, if present).
+            del pending[shard.index]
+            responses_by_shard[shard.index] = [
+                list(responses) for responses in ack.responses
+            ]
+            wall_seconds[shard.index] = ack.wall_seconds
+            state.fingerprint = ack.fingerprint
+            if ack.client_states is not None:
+                clients = context.clients[state.start : state.stop]
+                for client, snapshot in zip(clients, ack.client_states):
+                    client.adopt_rng_state(snapshot)
+                state.replay_log.clear()
+                state.epochs_since_checkpoint = 0
+                self._capture_replay_subscriptions(context, state)
+            else:
+                state.replay_log.append((epoch, query_ids))
+                state.epochs_since_checkpoint += 1
+            answered.put((shard.index, None))

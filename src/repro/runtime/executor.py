@@ -313,6 +313,8 @@ def make_executor(
     workers: int = 4,
     shards: int | None = None,
     pool: str = "thread",
+    resident: bool = False,
+    checkpoint_every: int = 4,
 ) -> EpochExecutor:
     """Build an executor from configuration values.
 
@@ -332,12 +334,26 @@ def make_executor(
         therefore only runs on threads, and the ``"process"`` executor is a
         process pool by construction (its workers answer from serialized
         shard tasks; see :mod:`repro.runtime.process_pool`).
+    resident:
+        Process executor only: keep client state *resident* in pinned worker
+        processes (sticky shard→worker affinity, bootstrap-once /
+        delta-thereafter wire traffic; :mod:`repro.runtime.affinity`) instead
+        of round-tripping full snapshots every epoch.
+    checkpoint_every:
+        Resident mode only: refresh the parent's authoritative state copy
+        every this many epochs per shard (``0`` = only on demand/shutdown).
     """
+    from repro.runtime.affinity import ResidentProcessExecutor
     from repro.runtime.pipelined import PipelinedExecutor
     from repro.runtime.process_pool import ProcessPoolEpochExecutor
     from repro.runtime.serial import SerialExecutor
     from repro.runtime.sharded import ShardedExecutor
 
+    if resident and name != "process":
+        raise ValueError(
+            "resident client state requires the 'process' executor "
+            f"(got {name!r}): only its workers outlive an epoch"
+        )
     if name == "serial":
         return SerialExecutor()
     if name == "sharded":
@@ -350,5 +366,11 @@ def make_executor(
             )
         return PipelinedExecutor(num_workers=workers, num_shards=shards)
     if name == "process":
+        if resident:
+            return ResidentProcessExecutor(
+                num_workers=workers,
+                num_shards=shards,
+                checkpoint_every=checkpoint_every,
+            )
         return ProcessPoolEpochExecutor(num_workers=workers, num_shards=shards)
     raise ValueError(f"unknown executor {name!r} (expected one of {EXECUTOR_KINDS})")

@@ -130,6 +130,25 @@ class AdaptiveShardSizer:
             return plan_shards(num_items, self.num_shards)
         return plan_weighted_shards(costs, self.num_shards)
 
+    def cost_estimates(self, num_items: int) -> list[float] | None:
+        """The current per-client cost EWMA, or ``None`` if not (yet) usable.
+
+        The resident-state executor consults this to decide whether moving
+        boundaries is worth invalidating worker-resident shards.
+        """
+        costs = self._cost_per_client
+        if costs is None or len(costs) != num_items:
+            return None
+        return list(costs)
+
+    def prime(self, costs: list[float]) -> None:
+        """Seed the per-client cost estimates directly.
+
+        Lets tests (and deployments with offline profiles) force a specific
+        re-sharding decision instead of waiting for wall-clock feedback.
+        """
+        self._cost_per_client = list(costs)
+
     def record(self, shards: list[Shard], wall_seconds: dict[int, float]) -> None:
         """Fold one epoch's per-shard timings into the per-client estimates.
 
@@ -185,6 +204,11 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
         )
         self.adaptive = adaptive
         self._sizer = AdaptiveShardSizer(self.num_shards)
+        # Frame bytes that crossed the process border per epoch (tasks
+        # submitted + batches returned) — the state-shipping cost the
+        # resident-state executor (repro.runtime.affinity) exists to cut;
+        # benchmarks compare the two.
+        self.epoch_wire_bytes: dict[int, int] = {}
 
     def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.num_workers)
@@ -221,6 +245,7 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
         # transmitted, no parent state has changed, and the next epoch can
         # run as if this one never started.
         futures: dict[Future, Shard] = {}
+        wire_box = [0]
         try:
             for shard in occupied:
                 blob = encode_shard_task(
@@ -234,6 +259,7 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
                         ),
                     )
                 )
+                wire_box[0] += len(blob)
                 futures[pool.submit(answer_shard_task, blob)] = shard
         except Exception as exc:
             for future in futures:
@@ -244,7 +270,7 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
 
         collector = threading.Thread(
             target=_collect_stage,
-            args=(context, futures, responses_by_shard, wall_seconds, answered),
+            args=(context, futures, responses_by_shard, wall_seconds, answered, wire_box),
             name="privapprox-process-collect",
             daemon=True,
         )
@@ -262,6 +288,7 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
 
         if self.adaptive and wall_seconds:
             self._sizer.record(shards, wall_seconds)
+        self.epoch_wire_bytes[epoch] = wire_box[0]
         if error is not None:
             if isinstance(error, BrokenProcessPool):
                 self._discard_pool()
@@ -290,20 +317,26 @@ def _collect_stage(
     responses_by_shard: list,
     wall_seconds: dict[int, float],
     answered: queue.Queue,
+    wire_box: list | None = None,
 ) -> None:
     """Decode finished shard batches and adopt the advanced client state.
 
     Runs in a parent thread.  Always enqueues exactly one
     ``(shard_index, error)`` item per submitted shard — success or failure —
     so the transmitter's expected-item count never hangs, even when the whole
-    pool breaks and every pending future fails at once.
+    pool breaks and every pending future fails at once.  ``wire_box`` (a
+    one-element list) accumulates returned frame bytes for the executor's
+    per-epoch wire accounting.
     """
     from repro.core.client import Client  # deferred: repro.core <-> repro.runtime
 
     for future in as_completed(futures):
         shard = futures[future]
         try:
-            batch = decode_shard_batch(future.result())
+            blob = future.result()
+            if wire_box is not None:
+                wire_box[0] += len(blob)
+            batch = decode_shard_batch(blob)
             # Adopt the advanced snapshots so epoch t+1 continues the exact
             # RNG/keystream sequences the serial reference would.
             context.clients[shard.as_slice()] = [

@@ -31,6 +31,19 @@ class Shard:
         return slice(self.start, self.stop)
 
 
+def shard_span(shard: Shard) -> tuple[int, int]:
+    """The ``(start, stop)`` range of a shard — its boundary identity.
+
+    Both planners emit *stable* shard ids ``0..num_shards-1`` every epoch;
+    only the spans move when :func:`plan_weighted_shards` rebalances.  The
+    sticky shard→worker affinity of :mod:`repro.runtime.affinity` keys
+    residency on the shard id and compares spans to decide whether a resident
+    copy still covers the same clients — a moved span invalidates the copy,
+    a stable one keeps the pinned worker's state live.
+    """
+    return (shard.start, shard.stop)
+
+
 def plan_shards(num_items: int, num_shards: int) -> list[Shard]:
     """Split ``num_items`` into ``num_shards`` balanced contiguous shards.
 

@@ -24,7 +24,8 @@ executor would place *whole simulated clients* on remote machines (each
 remote worker is a stand-in for a fleet of devices), never relay client
 plaintext through an untrusted hop.
 
-Two message kinds exist:
+Two message families exist.  The *snapshot-shipping* pair (version 2) round
+trips full client state every epoch:
 
 * :class:`ShardTask` — parent → worker.  A self-contained description of one
   contiguous client shard for one epoch: the query ids served by this
@@ -40,6 +41,32 @@ Two message kinds exist:
   client snapshots the parent must adopt so the next epoch continues the
   same random streams; and the shard's answering wall-clock, which feeds the
   adaptive shard sizer.
+
+The *resident-state* triple (version 3) replaces the per-epoch snapshot round
+trip with worker-resident client state behind sticky shard→worker affinity
+(:mod:`repro.runtime.affinity`):
+
+* :class:`ShardBootstrap` — parent → worker, sent once per shard (and again
+  on cache miss, worker replacement or shard migration): full client
+  snapshots plus the epoch to answer right after installing them.
+* :class:`ShardDelta` — parent → worker, the steady-state frame: the epoch
+  and query ids to answer, one optional :class:`ClientDelta` per client
+  (subscription changes, appended stream rows), the fingerprint the parent
+  expects the worker's resident state to carry, and whether the ack should
+  return full snapshots (a *checkpoint*).  An empty ``query_ids`` tuple makes
+  the frame a pure state-sync request (no answering).
+* :class:`ShardAck` — worker → parent: the responses, a cheap state
+  fingerprint (digest of every resident client's RNG/keystream state) in
+  place of full advanced snapshots, full snapshots only when the delta asked
+  for a checkpoint, and ``bootstrap_required`` when the worker cannot serve
+  the delta (cache miss or fingerprint mismatch) so the parent falls back to
+  a bootstrap frame.
+
+Version negotiation: frames are emitted at version 3, but version-2 bytes
+still decode for the two version-2 kinds — a parent upgraded mid-deployment
+keeps understanding batches from not-yet-upgraded workers.  The resident
+kinds require version 3; version-1 frames and unknown future versions are
+rejected.
 
 The frame is ``magic ("PAWF") + version + kind + payload length + payload``;
 the payload is a pickle of the dataclass (pickle because the snapshots carry
@@ -61,13 +88,28 @@ from dataclasses import dataclass
 from repro.pubsub import payload_size
 
 WIRE_MAGIC = b"PAWF"
-# Version 2: multi-query epochs — tasks carry query id *tuples* and batches
-# one response tuple per query.  Version-1 (single query id) frames are
+# Version 3: worker-resident client state — bootstrap/delta/ack frames carry
+# state once and tiny per-epoch deltas afterwards.  Version 2 (multi-query
+# snapshot shipping: query id *tuples*, one response tuple per query) is
+# still decoded for its two kinds; version-1 (single query id) frames are
 # rejected rather than silently misread.
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
 _KIND_SHARD_TASK = 1
 _KIND_SHARD_BATCH = 2
+_KIND_SHARD_BOOTSTRAP = 3
+_KIND_SHARD_DELTA = 4
+_KIND_SHARD_ACK = 5
+
+# The oldest frame version each kind can be decoded from: the snapshot pair
+# predates residency, the resident triple has never existed below version 3.
+_MIN_VERSION_BY_KIND = {
+    _KIND_SHARD_TASK: 2,
+    _KIND_SHARD_BATCH: 2,
+    _KIND_SHARD_BOOTSTRAP: 3,
+    _KIND_SHARD_DELTA: 3,
+    _KIND_SHARD_ACK: 3,
+}
 
 # magic, version, kind, payload length
 _FRAME_FORMAT = ">4sBBI"
@@ -144,6 +186,106 @@ class ShardBatch:
         )
 
 
+@dataclass(frozen=True)
+class ClientDelta:
+    """What changed on one client, parent-side, since the last frame.
+
+    ``subscribe`` holds ``(query, parameters)`` pairs to (re)subscribe — new
+    queries and re-tuned parameters alike; ``unsubscribe`` holds query ids to
+    drop; ``append_rows`` holds ``(table_name, columns, rows)`` triples of
+    stream rows appended to local tables (the table is created from
+    ``columns`` if the resident client does not have it yet).  Applied by
+    :meth:`repro.core.client.Client.apply_delta`.
+    """
+
+    subscribe: tuple = ()
+    unsubscribe: tuple = ()
+    append_rows: tuple = ()
+
+    def is_empty(self) -> bool:
+        return not (self.subscribe or self.unsubscribe or self.append_rows)
+
+
+@dataclass(frozen=True)
+class ShardBootstrap:
+    """Full client snapshots for one shard, plus the epoch to answer.
+
+    Sent once per (shard, worker) pairing — and again whenever the parent
+    cannot trust or reuse the worker-resident copy: cache miss, fingerprint
+    mismatch, worker replacement, or shard boundaries moved under adaptive
+    re-sharding.  An empty ``query_ids`` installs state without answering.
+    """
+
+    shard_index: int
+    epoch: int
+    query_ids: tuple
+    client_states: tuple
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.client_states)
+
+
+@dataclass(frozen=True)
+class ShardDelta:
+    """The steady-state parent → worker frame: answer an epoch from residency.
+
+    ``deltas`` holds one :class:`ClientDelta` or ``None`` per resident client
+    (client order); ``expected_fingerprint`` is the shard fingerprint the
+    parent recorded from the last ack — the worker refuses (with
+    ``bootstrap_required``) rather than answer from state the parent no
+    longer vouches for.  ``want_state`` asks the ack to carry full advanced
+    snapshots (a checkpoint).  An empty ``query_ids`` tuple is a pure sync:
+    apply deltas / export state, answer nothing.
+    """
+
+    shard_index: int
+    epoch: int
+    query_ids: tuple
+    deltas: tuple
+    expected_fingerprint: bytes
+    want_state: bool = False
+
+
+@dataclass(frozen=True)
+class ShardAck:
+    """The worker's reply to a bootstrap or delta frame.
+
+    ``responses`` holds one tuple of participating responses per frame query
+    (empty for sync frames); ``fingerprint`` digests every resident client's
+    RNG/keystream state after answering, standing in for the full advanced
+    snapshots the snapshot-shipping executor would return; ``client_states``
+    is populated only when the frame asked for a checkpoint.
+    ``bootstrap_required`` reports a cache miss or fingerprint mismatch (no
+    answering happened); ``error`` carries ``(type_name, message)`` of a
+    worker-side exception so the parent can surface it without the worker
+    process dying.
+    """
+
+    shard_index: int
+    epoch: int
+    wall_seconds: float = 0.0
+    responses: tuple = ()
+    fingerprint: bytes = b""
+    client_states: tuple | None = None
+    bootstrap_required: bool = False
+    error: tuple | None = None
+
+    def share_rows(self, query_index: int = 0) -> list[list]:
+        """One query's shares, one row per response — the transmit-stage input."""
+        return [
+            list(response.encrypted.shares)
+            for response in self.responses[query_index]
+        ]
+
+    def size_bytes(self) -> int:
+        """Logical wire size of the relayed shares (pub/sub record sizing)."""
+        return sum(
+            payload_size(self.share_rows(index))
+            for index in range(len(self.responses))
+        )
+
+
 def _encode(obj, kind: int) -> bytes:
     try:
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
@@ -152,16 +294,33 @@ def _encode(obj, kind: int) -> bytes:
     return struct.pack(_FRAME_FORMAT, WIRE_MAGIC, WIRE_VERSION, kind, len(payload)) + payload
 
 
-def _decode(data: bytes, kind: int, expected_type: type):
+def _decode_header(data: bytes) -> tuple[int, int, int]:
+    """Validate the frame header; return ``(version, kind, payload length)``.
+
+    Version negotiation lives here: a frame is accepted when its version is
+    no newer than ours and no older than its kind's introduction version, so
+    version-2 snapshot frames keep decoding while resident-state kinds (and
+    version-1 leftovers) are rejected.
+    """
     if len(data) < _FRAME_SIZE:
         raise WireError(f"frame too short: {len(data)} bytes")
     magic, version, frame_kind, length = struct.unpack(_FRAME_FORMAT, data[:_FRAME_SIZE])
     if magic != WIRE_MAGIC:
         raise WireError(f"bad magic {magic!r}: not a runtime wire frame")
-    if version != WIRE_VERSION:
-        raise WireError(f"unsupported wire version {version} (expected {WIRE_VERSION})")
-    if frame_kind != kind:
-        raise WireError(f"unexpected frame kind {frame_kind} (expected {kind})")
+    if version > WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version} (expected <= {WIRE_VERSION})")
+    min_version = _MIN_VERSION_BY_KIND.get(frame_kind)
+    if min_version is None:
+        raise WireError(f"unknown frame kind {frame_kind}")
+    if version < min_version:
+        raise WireError(
+            f"unsupported wire version {version} for frame kind {frame_kind} "
+            f"(requires >= {min_version})"
+        )
+    return version, frame_kind, length
+
+
+def _decode_payload(data: bytes, length: int, expected_type: type):
     payload = data[_FRAME_SIZE:]
     if len(payload) != length:
         raise WireError(f"frame declares {length} payload bytes, got {len(payload)}")
@@ -174,6 +333,13 @@ def _decode(data: bytes, kind: int, expected_type: type):
             f"frame payload is {type(obj).__name__}, expected {expected_type.__name__}"
         )
     return obj
+
+
+def _decode(data: bytes, kind: int, expected_type: type):
+    _, frame_kind, length = _decode_header(data)
+    if frame_kind != kind:
+        raise WireError(f"unexpected frame kind {frame_kind} (expected {kind})")
+    return _decode_payload(data, length, expected_type)
 
 
 def encode_shard_task(task: ShardTask) -> bytes:
@@ -194,3 +360,53 @@ def encode_shard_batch(batch: ShardBatch) -> bytes:
 def decode_shard_batch(data: bytes) -> ShardBatch:
     """Decode bytes produced by :func:`encode_shard_batch`."""
     return _decode(data, _KIND_SHARD_BATCH, ShardBatch)
+
+
+def encode_shard_bootstrap(bootstrap: ShardBootstrap) -> bytes:
+    """Frame one shard bootstrap (full snapshots) into bytes."""
+    return _encode(bootstrap, _KIND_SHARD_BOOTSTRAP)
+
+
+def decode_shard_bootstrap(data: bytes) -> ShardBootstrap:
+    """Decode bytes produced by :func:`encode_shard_bootstrap`."""
+    return _decode(data, _KIND_SHARD_BOOTSTRAP, ShardBootstrap)
+
+
+def encode_shard_delta(delta: ShardDelta) -> bytes:
+    """Frame one shard delta (steady-state epoch work) into bytes."""
+    return _encode(delta, _KIND_SHARD_DELTA)
+
+
+def decode_shard_delta(data: bytes) -> ShardDelta:
+    """Decode bytes produced by :func:`encode_shard_delta`."""
+    return _decode(data, _KIND_SHARD_DELTA, ShardDelta)
+
+
+def encode_shard_ack(ack: ShardAck) -> bytes:
+    """Frame one shard ack (a resident worker's reply) into bytes."""
+    return _encode(ack, _KIND_SHARD_ACK)
+
+
+def decode_shard_ack(data: bytes) -> ShardAck:
+    """Decode bytes produced by :func:`encode_shard_ack`."""
+    return _decode(data, _KIND_SHARD_ACK, ShardAck)
+
+
+_TYPE_BY_KIND = {
+    _KIND_SHARD_TASK: ShardTask,
+    _KIND_SHARD_BATCH: ShardBatch,
+    _KIND_SHARD_BOOTSTRAP: ShardBootstrap,
+    _KIND_SHARD_DELTA: ShardDelta,
+    _KIND_SHARD_ACK: ShardAck,
+}
+
+
+def decode_frame(data: bytes):
+    """Decode any runtime wire frame, dispatching on its header kind.
+
+    The resident worker loop serves bootstrap and delta frames from one task
+    queue; this is its single entry point.  Raises :class:`WireError` exactly
+    like the kind-specific decoders (the header is parsed and validated once).
+    """
+    _, frame_kind, length = _decode_header(data)
+    return _decode_payload(data, length, _TYPE_BY_KIND[frame_kind])

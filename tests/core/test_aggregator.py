@@ -182,3 +182,62 @@ class TestSlidingWindows:
         results = aggregator.flush()
         starts = [r.window.start for r in results]
         assert starts == sorted(starts)
+
+
+class TestBatchedDecryptMatchesReference:
+    """The shard-batched XOR decrypt must keep the per-record path's bytes.
+
+    ``ingest_shares(batched=True)`` now decrypts the whole grouped batch in
+    one vectorized pass (``join_shares_batch``); its decoded answers,
+    window results and malformed counters must equal the per-record
+    reference path on the same shares — corrupted groups included.
+    """
+
+    def _window_bytes(self, results):
+        return [
+            (r.window.start, r.window.end, r.num_answers,
+             tuple((b.estimate, b.error_bound) for b in r.histogram.buckets))
+            for r in results
+        ]
+
+    def _run(self, shares_by_epoch, batched):
+        aggregator = Aggregator(query=make_query(), parameters=NOISELESS, total_clients=8)
+        emitted = []
+        for epoch, shares in enumerate(shares_by_epoch):
+            emitted.extend(aggregator.ingest_shares(shares, epoch=epoch, batched=batched))
+        emitted.extend(aggregator.flush())
+        return aggregator, emitted
+
+    def test_clean_multi_epoch_stream(self):
+        shares_by_epoch = [
+            encrypt_answers([[1, 0, 0], [0, 1, 0], [0, 0, 1]], epoch=0),
+            encrypt_answers([[1, 1, 0], [0, 0, 0]], epoch=1),
+        ]
+        reference, ref_results = self._run(shares_by_epoch, batched=False)
+        batched, batch_results = self._run(shares_by_epoch, batched=True)
+        assert self._window_bytes(batch_results) == self._window_bytes(ref_results)
+        assert batched.answers_processed == reference.answers_processed
+        assert batched.malformed_messages == reference.malformed_messages == 0
+
+    def test_corrupted_group_counts_identically(self):
+        clean = encrypt_answers([[1, 0, 0], [0, 1, 0]], epoch=0)
+        # Corrupt one message's payload bytes: the group still joins (equal
+        # lengths, same MID) but decodes to garbage -> malformed on both paths.
+        bad = encrypt_answers([[0, 0, 1]], epoch=0)
+        from repro.crypto.xor import MessageShare
+        corrupted = [
+            MessageShare(
+                message_id=share.message_id,
+                payload=bytes(b ^ 0xFF for b in share.payload),
+                index=share.index,
+            )
+            if share.index == 0
+            else share
+            for share in bad
+        ]
+        shares_by_epoch = [clean + corrupted]
+        reference, ref_results = self._run(shares_by_epoch, batched=False)
+        batched, batch_results = self._run(shares_by_epoch, batched=True)
+        assert self._window_bytes(batch_results) == self._window_bytes(ref_results)
+        assert batched.malformed_messages == reference.malformed_messages == 1
+        assert batched.answers_processed == reference.answers_processed == 2

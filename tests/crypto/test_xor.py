@@ -8,6 +8,7 @@ from repro.crypto.xor import (
     MessageShare,
     XorCipher,
     join_shares,
+    join_shares_batch,
     split_message,
     xor_bytes,
     xor_many,
@@ -125,3 +126,75 @@ class TestSplitJoinHelpers:
         )
         assert len(shares) == num_proxies
         assert join_shares(shares) == message
+
+
+class TestJoinSharesBatch:
+    """The batched shard-decrypt path must match join_shares group-for-group."""
+
+    def make_groups(self, num_groups: int, num_proxies: int = 2) -> list:
+        keystream = KeystreamGenerator(seed=b"batch")
+        return [
+            split_message(
+                f"answer-{index:04d}".encode(), num_proxies=num_proxies, keystream=keystream
+            )
+            for index in range(num_groups)
+        ]
+
+    def test_matches_scalar_reference(self):
+        groups = self.make_groups(17)
+        assert join_shares_batch(groups) == [join_shares(g) for g in groups]
+
+    def test_matches_reference_across_share_counts(self):
+        """Groups of different proxy counts coexist in one batch."""
+        groups = self.make_groups(5, num_proxies=2) + self.make_groups(5, num_proxies=4)
+        assert join_shares_batch(groups) == [join_shares(g) for g in groups]
+
+    def test_mixed_lengths_bucket_separately(self):
+        keystream = KeystreamGenerator(seed=b"mixed")
+        groups = [
+            split_message(b"short", num_proxies=2, keystream=keystream),
+            split_message(b"a much longer message body", num_proxies=2, keystream=keystream),
+            split_message(b"short", num_proxies=2, keystream=keystream),
+        ]
+        assert join_shares_batch(groups) == [join_shares(g) for g in groups]
+
+    def test_malformed_groups_yield_none_not_poison(self):
+        """Where join_shares raises, the batch yields None — in place."""
+        good = self.make_groups(3)
+        lone = [MessageShare(message_id="m", payload=b"abc", index=0)]
+        mixed_ids = [
+            MessageShare(message_id="m1", payload=b"abc", index=0),
+            MessageShare(message_id="m2", payload=b"abc", index=1),
+        ]
+        unequal = [
+            MessageShare(message_id="m", payload=b"abc", index=0),
+            MessageShare(message_id="m", payload=b"abcd", index=1),
+        ]
+        groups = [good[0], lone, good[1], mixed_ids, unequal, good[2]]
+        batch = join_shares_batch(groups)
+        assert batch[0] == join_shares(good[0])
+        assert batch[2] == join_shares(good[1])
+        assert batch[5] == join_shares(good[2])
+        assert batch[1] is None and batch[3] is None and batch[4] is None
+        for bad in (lone, mixed_ids, unequal):
+            with pytest.raises(ValueError):
+                join_shares(bad)
+
+    def test_empty_payloads_and_empty_batch(self):
+        assert join_shares_batch([]) == []
+        empty = split_message(b"", num_proxies=3, keystream=KeystreamGenerator(seed=b"e"))
+        assert join_shares_batch([empty, empty]) == [b"", b""]
+
+    @given(
+        num_groups=st.integers(min_value=1, max_value=12),
+        num_proxies=st.integers(min_value=2, max_value=5),
+        seed=st.binary(min_size=1, max_size=8),
+    )
+    def test_batch_equals_reference_property(self, num_groups, num_proxies, seed):
+        keystream = KeystreamGenerator(seed=seed)
+        groups = [
+            split_message(bytes([index]) * (index + 1), num_proxies=num_proxies,
+                          keystream=keystream)
+            for index in range(num_groups)
+        ]
+        assert join_shares_batch(groups) == [join_shares(g) for g in groups]

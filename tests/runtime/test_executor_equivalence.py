@@ -48,6 +48,8 @@ def run_deployment(
     sampling_fraction: float = 0.8,
     num_epochs: int = 2,
     seed: int = SEED,
+    resident: bool = False,
+    checkpoint_every: int = 4,
 ):
     """Run a small deployment end-to-end and return its observable outputs."""
     config = SystemConfig(
@@ -58,6 +60,8 @@ def run_deployment(
         executor_workers=workers,
         executor_shards=shards,
         executor_pool=pool,
+        executor_resident=resident,
+        executor_checkpoint_every=checkpoint_every,
     )
     system = PrivApproxSystem(config)
     rng = random.Random(seed)
@@ -207,6 +211,8 @@ def run_multi_deployment(
     num_epochs: int = 2,
     seed: int = SEED,
     single_query_epochs: bool = False,
+    resident: bool = False,
+    checkpoint_every: int = 4,
 ):
     """Run N concurrent queries end-to-end and return per-query outputs.
 
@@ -222,6 +228,8 @@ def run_multi_deployment(
         executor=executor,
         executor_workers=workers,
         executor_shards=shards,
+        executor_resident=resident,
+        executor_checkpoint_every=checkpoint_every,
     )
     system = PrivApproxSystem(config)
     rng = random.Random(seed)
@@ -406,6 +414,69 @@ class TestMultiQueryFailureIsolation:
         assert failing.shares_received - before[0] == 12 * 2
         assert healthy.shares_received - before[1] == 12 * 2
         system.close()
+
+
+class TestResidentStateMatchesSerial:
+    """Worker-resident state (wire v3) is byte-invisible: residency on ≡ off.
+
+    The resident process executor keeps client state inside pinned workers
+    and ships deltas/fingerprints instead of snapshots; for a fixed seed its
+    outputs must equal the serial reference — across checkpoint cadences
+    (every epoch, periodic, on-demand only), multi-epoch runs whose streams
+    resume from resident state, and multi-query epochs.
+    """
+
+    @pytest.mark.parametrize("checkpoint_every", [0, 1, 3])
+    def test_identical_outputs_across_checkpoint_cadences(self, checkpoint_every):
+        _, serial_results, serial_responses = run_deployment(30, num_epochs=4)
+        _, resident_results, resident_responses = run_deployment(
+            30,
+            executor="process",
+            workers=2,
+            shards=5,
+            num_epochs=4,
+            resident=True,
+            checkpoint_every=checkpoint_every,
+        )
+        assert serialize_responses(serial_responses) == serialize_responses(
+            resident_responses
+        )
+        assert serialize_results(serial_results) == serialize_results(resident_results)
+
+    def test_residency_on_equals_residency_off(self):
+        """Same executor kind, residency toggled: byte-identical either way."""
+        snapshot = run_deployment(
+            25, executor="process", workers=2, shards=4, num_epochs=3
+        )
+        resident = run_deployment(
+            25, executor="process", workers=2, shards=4, num_epochs=3, resident=True
+        )
+        assert serialize_responses(snapshot[2]) == serialize_responses(resident[2])
+        assert serialize_results(snapshot[1]) == serialize_results(resident[1])
+
+    def test_multi_query_epochs_with_residency(self):
+        serial = run_multi_deployment(20, 3, num_epochs=3)
+        resident = run_multi_deployment(
+            20, 3, executor="process", workers=2, shards=4, num_epochs=3, resident=True
+        )
+        assert resident == serial
+
+    def test_sparse_participation_with_residency(self):
+        serial = run_multi_deployment(
+            15, 2, sampling_fraction=0.05, num_epochs=3
+        )
+        resident = run_multi_deployment(
+            15,
+            2,
+            executor="process",
+            workers=2,
+            shards=6,
+            sampling_fraction=0.05,
+            num_epochs=3,
+            resident=True,
+            checkpoint_every=2,
+        )
+        assert resident == serial
 
 
 @pytest.mark.slow

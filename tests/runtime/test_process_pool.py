@@ -331,3 +331,305 @@ class TestConfiguration:
         executor.run_epoch(make_context(4), epoch=0)
         executor.close()
         executor.close()
+
+
+def make_resident_system(
+    num_clients: int = 12,
+    shards: int | None = 4,
+    checkpoint_every: int = 4,
+    num_queries: int = 1,
+) -> tuple:
+    """A resident-state deployment plus a serial twin for byte comparison."""
+    config = SystemConfig(
+        num_clients=num_clients,
+        seed=868,
+        executor="process",
+        executor_workers=2,
+        executor_shards=shards,
+        executor_resident=True,
+        executor_checkpoint_every=checkpoint_every,
+    )
+    system = PrivApproxSystem(config)
+    system.provision_clients([("value", "REAL")], lambda i: [{"value": float(i % 8)}])
+    analyst = Analyst("resident-failure")
+    query_ids = []
+    for index in range(num_queries):
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(
+                buckets=RangeBuckets.uniform(0.0, 8.0, 4 + index, open_ended=True),
+                value_column="value",
+            ),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        system.submit_query(analyst, query, QueryBudget(), parameters=PARAMS)
+        query_ids.append(query.query_id)
+    return system, query_ids
+
+
+def run_serial_twin(num_clients: int, num_epochs: int, num_queries: int = 1) -> dict:
+    config = SystemConfig(num_clients=num_clients, seed=868, executor="serial")
+    system = PrivApproxSystem(config)
+    system.provision_clients([("value", "REAL")], lambda i: [{"value": float(i % 8)}])
+    analyst = Analyst("resident-failure")
+    query_ids = []
+    for index in range(num_queries):
+        query = analyst.create_query(
+            "SELECT value FROM private_data",
+            AnswerSpec(
+                buckets=RangeBuckets.uniform(0.0, 8.0, 4 + index, open_ended=True),
+                value_column="value",
+            ),
+            frequency_seconds=60.0,
+            window_seconds=60.0,
+            slide_seconds=60.0,
+        )
+        system.submit_query(analyst, query, QueryBudget(), parameters=PARAMS)
+        query_ids.append(query.query_id)
+    for epoch in range(num_epochs):
+        system.run_epoch_all(epoch) if num_queries > 1 else system.run_epoch(
+            query_ids[0], epoch
+        )
+    out = {
+        query_id: serialize_responses(system.responses_log(query_id))
+        for query_id in query_ids
+    }
+    system.close()
+    return out
+
+
+def serialize_responses(responses) -> list[tuple]:
+    return [
+        (
+            r.client_id,
+            r.epoch,
+            r.truthful_bits,
+            r.randomized_bits,
+            tuple(share.payload for share in r.encrypted.shares),
+        )
+        for r in responses
+    ]
+
+
+class TestResidentFailureInjection:
+    """Worker death and poisoned fingerprints must re-bootstrap, not corrupt.
+
+    The parent holds a checkpoint (live clients' last grafted streams) plus a
+    replay log; killing a pinned worker or poisoning the expected fingerprint
+    must fall back to checkpoint + replay + bootstrap for exactly the
+    affected shards, with every subsequent byte equal to the serial
+    reference — and the run must terminate (an un-acked shard would
+    otherwise hang the collector).
+    """
+
+    def test_killed_worker_rebootstraps_byte_identically(self):
+        system, (query_id,) = make_resident_system(num_clients=12, shards=4)
+        executor = system.executor
+        system.run_epoch(query_id, 0)
+        system.run_epoch(query_id, 1)
+        bootstraps_before = executor.bootstrap_frames
+        replaced_before = executor._router.workers_replaced
+        # Kill the worker pinned to shards 0 and 2 between epochs.
+        victim = executor._router._workers[executor._router.slot_for(0)].process
+        victim.kill()
+        victim.join(timeout=5.0)
+        system.run_epoch(query_id, 2)
+        system.run_epoch(query_id, 3)
+        assert executor._router.workers_replaced == replaced_before + 1
+        # Exactly the dead worker's shards re-bootstrapped (2 of 4 shards).
+        assert executor.bootstrap_frames == bootstraps_before + 2
+        resident = serialize_responses(system.responses_log(query_id))
+        system.close()
+        assert run_serial_twin(12, 4)[query_id] == resident
+
+    def test_killed_worker_with_stale_checkpoint_replays_exactly(self):
+        """checkpoint_every=0: recovery must replay the whole epoch log."""
+        system, (query_id,) = make_resident_system(
+            num_clients=10, shards=2, checkpoint_every=0
+        )
+        executor = system.executor
+        for epoch in range(3):
+            system.run_epoch(query_id, epoch)
+        victim = executor._router._workers[0].process
+        victim.kill()
+        victim.join(timeout=5.0)
+        for epoch in range(3, 5):
+            system.run_epoch(query_id, epoch)
+        resident = serialize_responses(system.responses_log(query_id))
+        system.close()
+        assert run_serial_twin(10, 5)[query_id] == resident
+
+    def test_poisoned_fingerprint_triggers_rebootstrap(self):
+        """A fingerprint mismatch makes the worker refuse; the parent recovers."""
+        system, (query_id,) = make_resident_system(num_clients=12, shards=4)
+        executor = system.executor
+        system.run_epoch(query_id, 0)
+        system.run_epoch(query_id, 1)
+        assert executor.rebootstraps == 0
+        # Simulate a poisoned ShardAck: the recorded fingerprint no longer
+        # matches the worker-resident state.
+        executor._shards[1].fingerprint = b"poisoned" * 4
+        system.run_epoch(query_id, 2)
+        assert executor.rebootstraps == 1
+        system.run_epoch(query_id, 3)
+        resident = serialize_responses(system.responses_log(query_id))
+        system.close()
+        assert run_serial_twin(12, 4)[query_id] == resident
+
+    def test_mid_run_reshard_migrates_and_stays_byte_identical(self):
+        """Forced boundary moves sync state back and re-bootstrap moved shards."""
+        system, query_ids = make_resident_system(
+            num_clients=12, shards=3, num_queries=2
+        )
+        executor = system.executor
+        system.run_epoch_all(0)
+        system.run_epoch_all(1)
+        # Prime the sizer with a spreadable heavy skew (three heavy clients
+        # bunched into shard 0) so the cooldown-guarded replan moves the
+        # boundaries mid-run.
+        executor._sizer.prime([6.0] * 3 + [0.1] * 9)
+        system.run_epoch_all(2)
+        system.run_epoch_all(3)
+        assert executor.bootstrap_frames > 3  # moved shards re-bootstrapped
+        resident = {
+            query_id: serialize_responses(system.responses_log(query_id))
+            for query_id in query_ids
+        }
+        system.close()
+        assert run_serial_twin(12, 4, num_queries=2) == resident
+
+    def test_worker_exception_surfaces_and_recovers(self):
+        """A worker-side failure arrives as an error ack, not a hang."""
+        from repro.runtime import ResidentWorkerError
+
+        system, (query_id,) = make_resident_system(num_clients=8, shards=4)
+        system.run_epoch(query_id, 0)
+        client = system.clients[5]
+        client.database.drop_table("private_data")
+        with pytest.raises(ResidentWorkerError, match="private_data"):
+            system.run_epoch(query_id, 1)
+        client.create_table([("value", "REAL")])
+        client.ingest([{"value": 5.0}])
+        report = system.run_epoch(query_id, 2)
+        assert report.num_participants == 8
+        system.close()
+
+    def test_unpicklable_client_state_raises_wire_error(self):
+        system, (query_id,) = make_resident_system(num_clients=6, shards=3)
+        table = system.clients[1].database.table("private_data")
+        table.rows.append((lambda: None,))  # lambdas cannot pickle
+        with pytest.raises(WireError, match="serialize"):
+            system.run_epoch(query_id, 0)
+        del table.rows[-1]
+        report = system.run_epoch(query_id, 1)
+        assert report.num_participants == 6
+        system.close()
+
+    def test_close_exports_resident_state_to_live_clients(self):
+        """Shutdown is an export-on-demand point: parent clients end current."""
+        system, (query_id,) = make_resident_system(
+            num_clients=6, shards=2, checkpoint_every=0
+        )
+        for epoch in range(3):
+            system.run_epoch(query_id, epoch)
+        fingerprints = {
+            index: state.fingerprint
+            for index, state in system.executor._shards.items()
+        }
+        executor = system.executor
+        shard_states = dict(executor._shards)
+        system.close()
+        from repro.runtime import shard_fingerprint
+
+        for index, state in shard_states.items():
+            clients = system.clients[state.start : state.stop]
+            assert shard_fingerprint(clients) == fingerprints[index]
+
+
+class TestResidentParentSideMutations:
+    """Parent-side mutations the delta protocol must not lose.
+
+    Two regressions: an in-place row edit that keeps the table length (a
+    count-only baseline would ship no delta and leave the worker reading
+    stale rows), and a subscription change whose checkpoint ack never lands
+    because the pinned worker dies (recovery replay must run under the
+    subscriptions the logged epochs actually used).
+    """
+
+    def _run_lockstep(self, executor_kind, num_epochs, actions):
+        """Run epochs with per-epoch mutation callbacks; return the byte log.
+
+        ``actions`` maps epoch → callback(system, resident) applied *after*
+        that epoch; callbacks receive whether this is the resident run so
+        worker-kill steps can no-op on the serial twin.
+        """
+        resident = executor_kind == "resident"
+        if resident:
+            system, (query_id,) = make_resident_system(
+                num_clients=10, shards=2, checkpoint_every=0
+            )
+        else:
+            config = SystemConfig(num_clients=10, seed=868, executor="serial")
+            system = PrivApproxSystem(config)
+            system.provision_clients(
+                [("value", "REAL")], lambda i: [{"value": float(i % 8)}]
+            )
+            analyst = Analyst("resident-failure")
+            query = analyst.create_query(
+                "SELECT value FROM private_data",
+                AnswerSpec(
+                    buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+                    value_column="value",
+                ),
+                frequency_seconds=60.0,
+                window_seconds=60.0,
+                slide_seconds=60.0,
+            )
+            system.submit_query(analyst, query, QueryBudget(), parameters=PARAMS)
+            query_id = query.query_id
+        for epoch in range(num_epochs):
+            system.run_epoch(query_id, epoch)
+            action = actions.get(epoch)
+            if action is not None:
+                action(system, resident)
+        log = serialize_responses(system.responses_log(query_id))
+        executor = system.executor
+        system.close()
+        return log, executor
+
+    def test_in_place_row_edit_reaches_the_worker(self):
+        """Same-length content changes must dirty the shard, not go stale."""
+
+        def edit_row(system, resident):
+            table = system.clients[3].database.table("private_data")
+            table.rows[0] = (7.25,)
+
+        actions = {1: edit_row}
+        serial_log, _ = self._run_lockstep("serial", 4, actions)
+        resident_log, executor = self._run_lockstep("resident", 4, actions)
+        assert resident_log == serial_log
+        # The edited shard was synced back and re-bootstrapped (2 initial + 1).
+        assert executor.bootstrap_frames == 3
+
+    def test_unacked_unsubscribe_survives_worker_death(self):
+        """Recovery replay runs under the subscriptions the log ran under."""
+
+        def unsubscribe_and_kill(system, resident):
+            query_id = system.clients[0].subscribed_query_ids[0]
+            system.clients[0].unsubscribe(query_id)
+            if resident:
+                router = system.executor._router
+                victim = router._workers[router.slot_for(0)].process
+                victim.kill()
+                victim.join(timeout=5.0)
+
+        def resubscribe(system, resident):
+            query_id = next(iter(system._queries))
+            system.clients[0].subscribe(system._queries[query_id], PARAMS)
+
+        actions = {1: unsubscribe_and_kill, 2: resubscribe}
+        serial_log, _ = self._run_lockstep("serial", 5, actions)
+        resident_log, _ = self._run_lockstep("resident", 5, actions)
+        assert resident_log == serial_log

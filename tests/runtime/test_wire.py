@@ -23,14 +23,26 @@ from repro.core.client import Client, ClientConfig
 from repro.crypto.prng import KeystreamGenerator
 from repro.pubsub import payload_size
 from repro.runtime import (
+    ClientDelta,
+    ShardAck,
     ShardBatch,
+    ShardBootstrap,
+    ShardDelta,
     ShardTask,
     WireError,
+    decode_frame,
+    decode_shard_ack,
     decode_shard_batch,
+    decode_shard_bootstrap,
+    decode_shard_delta,
     decode_shard_task,
+    encode_shard_ack,
     encode_shard_batch,
+    encode_shard_bootstrap,
+    encode_shard_delta,
     encode_shard_task,
 )
+from repro.runtime.wire import WIRE_VERSION
 
 PARAMS = ExecutionParameters(sampling_fraction=0.8, p=0.9, q=0.5)
 
@@ -190,3 +202,238 @@ class TestFraming:
         corrupted = header[:6] + len(b"junk!").to_bytes(4, "big") + b"junk!"
         with pytest.raises(WireError, match="deserialize"):
             decode_shard_task(corrupted)
+
+
+def make_resident_client(seed: int = 99) -> Client:
+    client = make_client(seed=seed)
+    client.answer_query(client.subscribed_query_ids[0], epoch=0)  # warm the streams
+    return client
+
+
+class TestWireV3Framing:
+    """Round trips and rejection behavior of the resident-state frames."""
+
+    def make_bootstrap(self) -> ShardBootstrap:
+        client = make_resident_client()
+        return ShardBootstrap(
+            shard_index=2,
+            epoch=4,
+            query_ids=(client.subscribed_query_ids[0],),
+            client_states=(client.export_state(),),
+        )
+
+    def make_delta(self) -> ShardDelta:
+        client = make_resident_client()
+        query, params = client.subscriptions[client.subscribed_query_ids[0]]
+        return ShardDelta(
+            shard_index=2,
+            epoch=5,
+            query_ids=(query.query_id,),
+            deltas=(
+                ClientDelta(
+                    subscribe=((query, params),),
+                    unsubscribe=("gone-query",),
+                    append_rows=(("private_data", (("value", "REAL"),), ((1.5,),)),),
+                ),
+                None,
+            ),
+            expected_fingerprint=client.state_fingerprint(),
+            want_state=True,
+        )
+
+    def make_ack(self) -> ShardAck:
+        client = make_resident_client(seed=7)
+        query_id = client.subscribed_query_ids[0]
+        responses = [
+            response
+            for epoch in range(1, 5)
+            if (response := client.answer_query(query_id, epoch=epoch)) is not None
+        ]
+        return ShardAck(
+            shard_index=2,
+            epoch=5,
+            wall_seconds=0.125,
+            responses=(tuple(responses),),
+            fingerprint=client.state_fingerprint(),
+            client_states=(client.export_state(),),
+        )
+
+    def test_bootstrap_round_trip(self):
+        bootstrap = self.make_bootstrap()
+        decoded = decode_shard_bootstrap(encode_shard_bootstrap(bootstrap))
+        assert decoded.shard_index == bootstrap.shard_index
+        assert decoded.epoch == bootstrap.epoch
+        assert decoded.query_ids == bootstrap.query_ids
+        assert decoded.num_clients == 1
+        restored = Client.from_state(decoded.client_states[0])
+        assert restored.state_fingerprint() == Client.from_state(
+            bootstrap.client_states[0]
+        ).state_fingerprint()
+
+    def test_delta_round_trip(self):
+        delta = self.make_delta()
+        decoded = decode_shard_delta(encode_shard_delta(delta))
+        assert decoded.expected_fingerprint == delta.expected_fingerprint
+        assert decoded.want_state is True
+        assert decoded.deltas[1] is None
+        assert decoded.deltas[0].unsubscribe == ("gone-query",)
+        assert decoded.deltas[0].append_rows == delta.deltas[0].append_rows
+        assert not decoded.deltas[0].is_empty()
+        assert ClientDelta().is_empty()
+
+    def test_ack_round_trip(self):
+        ack = self.make_ack()
+        decoded = decode_shard_ack(encode_shard_ack(ack))
+        assert decoded.fingerprint == ack.fingerprint
+        assert decoded.responses == ack.responses
+        assert decoded.share_rows() == ack.share_rows()
+        assert decoded.size_bytes() == payload_size(ack.share_rows(0))
+        assert decoded.bootstrap_required is False
+        assert decoded.error is None
+
+    def test_decode_frame_dispatches_on_kind(self):
+        bootstrap_blob = encode_shard_bootstrap(self.make_bootstrap())
+        delta_blob = encode_shard_delta(self.make_delta())
+        ack_blob = encode_shard_ack(self.make_ack())
+        assert isinstance(decode_frame(bootstrap_blob), ShardBootstrap)
+        assert isinstance(decode_frame(delta_blob), ShardDelta)
+        assert isinstance(decode_frame(ack_blob), ShardAck)
+
+    def test_kind_mismatch_rejected(self):
+        delta_blob = encode_shard_delta(self.make_delta())
+        with pytest.raises(WireError, match="kind"):
+            decode_shard_bootstrap(delta_blob)
+        with pytest.raises(WireError, match="kind"):
+            decode_shard_ack(delta_blob)
+
+    def test_truncated_and_garbage_frames_raise_not_hang(self):
+        blob = encode_shard_delta(self.make_delta())
+        with pytest.raises(WireError, match="too short"):
+            decode_shard_delta(blob[:3])
+        with pytest.raises(WireError, match="payload bytes"):
+            decode_shard_delta(blob[:-5])
+        header = blob[:6] + len(b"junk!").to_bytes(4, "big") + b"junk!"
+        with pytest.raises(WireError, match="deserialize"):
+            decode_shard_delta(header)
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(b"NOPE" + blob[4:])
+
+
+class TestVersionNegotiation:
+    """Frames are emitted at v3; v2 bytes still decode for the v2 kinds."""
+
+    def make_task_blob(self) -> bytes:
+        client = make_client()
+        return encode_shard_task(
+            ShardTask(
+                shard_index=0,
+                epoch=0,
+                query_ids=(client.subscribed_query_ids[0],),
+                client_states=(client.export_state(),),
+            )
+        )
+
+    def test_frames_are_emitted_at_version_3(self):
+        blob = self.make_task_blob()
+        assert blob[4] == WIRE_VERSION == 3
+
+    def test_version_2_snapshot_frames_still_decode(self):
+        blob = self.make_task_blob()
+        downgraded = blob[:4] + bytes([2]) + blob[5:]
+        decoded = decode_shard_task(downgraded)
+        assert decoded.shard_index == 0
+        assert isinstance(decode_frame(downgraded), ShardTask)
+
+    def test_version_1_frames_are_rejected(self):
+        blob = self.make_task_blob()
+        ancient = blob[:4] + bytes([1]) + blob[5:]
+        with pytest.raises(WireError, match="version 1"):
+            decode_shard_task(ancient)
+
+    def test_future_versions_are_rejected(self):
+        blob = self.make_task_blob()
+        future = blob[:4] + bytes([9]) + blob[5:]
+        with pytest.raises(WireError, match="version 9"):
+            decode_shard_task(future)
+
+    def test_resident_kinds_require_version_3(self):
+        client = make_resident_client()
+        blob = encode_shard_delta(
+            ShardDelta(
+                shard_index=0,
+                epoch=0,
+                query_ids=(),
+                deltas=(),
+                expected_fingerprint=client.state_fingerprint(),
+            )
+        )
+        downgraded = blob[:4] + bytes([2]) + blob[5:]
+        with pytest.raises(WireError, match="requires >= 3"):
+            decode_shard_delta(downgraded)
+
+    def test_unknown_kind_rejected(self):
+        blob = self.make_task_blob()
+        mutated = blob[:5] + bytes([77]) + blob[6:]
+        with pytest.raises(WireError, match="unknown frame kind"):
+            decode_frame(mutated)
+
+
+class TestStateFingerprint:
+    """The cheap digest must move with the streams and nothing else."""
+
+    def test_equal_states_equal_fingerprints(self):
+        a, b = make_resident_client(3), make_resident_client(3)
+        assert a.state_fingerprint() == b.state_fingerprint()
+
+    def test_answering_changes_the_fingerprint(self):
+        client = make_resident_client(3)
+        before = client.state_fingerprint()
+        client.answer_query(client.subscribed_query_ids[0], epoch=1)
+        assert client.state_fingerprint() != before
+
+    def test_restored_snapshot_preserves_the_fingerprint(self):
+        client = make_resident_client(3)
+        restored = Client.from_state(pickle.loads(pickle.dumps(client.export_state())))
+        assert restored.state_fingerprint() == client.state_fingerprint()
+
+    def test_table_appends_do_not_change_the_fingerprint(self):
+        """Tables are parent-authoritative: shipped as deltas, not vouched for."""
+        client = make_resident_client(3)
+        before = client.state_fingerprint()
+        client.ingest([{"value": 9.75}])
+        assert client.state_fingerprint() == before
+
+    def test_adopt_rng_state_grafts_streams_only(self):
+        donor = make_resident_client(3)
+        donor.answer_query(donor.subscribed_query_ids[0], epoch=1)
+        receiver = make_resident_client(3)
+        receiver.ingest([{"value": 4.25}])  # parent-side mutation to preserve
+        rows_before = receiver.local_row_count()
+        receiver.adopt_rng_state(donor.export_state())
+        assert receiver.state_fingerprint() == donor.state_fingerprint()
+        assert receiver.local_row_count() == rows_before
+
+
+class TestClientDeltaApply:
+    def test_append_rows_and_resubscribe(self):
+        client = make_resident_client(11)
+        query, params = client.subscriptions[client.subscribed_query_ids[0]]
+        retuned = ExecutionParameters(sampling_fraction=0.5, p=0.8, q=0.4)
+        delta = ClientDelta(
+            subscribe=((query, retuned),),
+            append_rows=(
+                ("private_data", (("value", "REAL"),), ((7.5,), (2.25,))),
+                ("side_channel", (("reading", "REAL"),), ((1.0,),)),
+            ),
+        )
+        rows_before = client.local_row_count()
+        client.apply_delta(delta)
+        assert client.local_row_count() == rows_before + 2
+        assert client.local_row_count("side_channel") == 1
+        assert client.subscriptions[query.query_id][1] == retuned
+
+    def test_unsubscribe(self):
+        client = make_resident_client(11)
+        query_id = client.subscribed_query_ids[0]
+        client.apply_delta(ClientDelta(unsubscribe=(query_id,)))
+        assert client.subscribed_query_ids == []
