@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Scenario sweep driver: the hostile-environment grid across every executor.
+
+Runs the seeded scenario grid of :mod:`repro.runtime.scenario` — client
+join/leave churn, Zipf-skewed participation and table sizes,
+duplicate/byzantine answer injection, epoch deadlines against the netsim
+latency models — across all five executor configurations (serial, sharded,
+pipelined, process, process+resident) and writes one
+``results/BENCH_scenarios.json`` trajectory: per scenario and executor the
+wall-clock, wire bytes, dropped-late-answer counts, admission rejections and
+estimate error versus the exact answer.
+
+Two hard assertions ride along, so the sweep doubles as an acceptance gate:
+
+* every scenario's response log, window results and late-drop ledger must be
+  **byte-identical across executors** (compared via sha256 digest) — the
+  seeded-equivalence contract extended to hostile environments;
+* a scenario that arms a deadline or injects duplicates must show the
+  corresponding drops/rejections on every executor, so a silently disabled
+  defense cannot pass.
+
+Usage::
+
+    python benchmarks/run_scenarios.py                 # full grid (>= 12 scenarios)
+    python benchmarks/run_scenarios.py --grid smoke    # 4-scenario CI smoke (~15 s)
+    python benchmarks/run_scenarios.py --output /tmp/out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime.scenario import run_scenario, scenario_grid  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# The five executor configurations under test; worker/shard counts are kept
+# small so the full sweep stays laptop- and CI-friendly.
+EXECUTOR_CONFIGS = [
+    {"label": "serial", "executor": "serial"},
+    {"label": "sharded", "executor": "sharded", "workers": 2, "shards": 4},
+    {"label": "pipelined", "executor": "pipelined", "workers": 2, "shards": 4},
+    {"label": "process", "executor": "process", "workers": 2, "shards": 4},
+    {
+        "label": "process-resident",
+        "executor": "process",
+        "workers": 2,
+        "shards": 4,
+        "resident": True,
+        "checkpoint_every": 2,
+    },
+]
+
+
+def sweep(grid: str) -> dict:
+    specs = scenario_grid(grid)
+    scenarios = []
+    failures = []
+    for spec in specs:
+        runs = []
+        for config in EXECUTOR_CONFIGS:
+            kwargs = {k: v for k, v in config.items() if k != "label"}
+            run = run_scenario(spec, **kwargs)
+            runs.append(run)
+            print(
+                f"  {spec.name:<20} {run.executor_label:<16}"
+                f" wall={run.total_wall_seconds:7.3f}s"
+                f" wire={run.total_wire_bytes:>9}B"
+                f" late={run.total_late_dropped:>3}"
+                f" rej={run.total_rejections:>3}"
+                f" loss={run.mean_accuracy_loss if run.mean_accuracy_loss is None else round(run.mean_accuracy_loss, 4)}"
+            )
+        digests = {run.executor_label: run.digest for run in runs}
+        if len(set(digests.values())) != 1:
+            failures.append((spec.name, digests))
+        if spec.deadline_seconds is not None and spec.name in ("deadline-tight",):
+            if any(run.total_late_dropped == 0 for run in runs):
+                failures.append((spec.name, "deadline armed but nothing dropped"))
+        if spec.duplicate_rate > 0 and any(run.total_rejections == 0 for run in runs):
+            failures.append((spec.name, "duplicates injected but nothing rejected"))
+        scenarios.append(
+            {
+                "spec": spec.to_dict(),
+                "digest": runs[0].digest,
+                "runs": [run.to_dict() for run in runs],
+            }
+        )
+    return {"grid": grid, "scenarios": scenarios, "failures": failures}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--grid",
+        choices=("full", "smoke"),
+        default="full",
+        help="scenario grid to sweep (smoke = the 4-scenario CI subset)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(RESULTS_DIR, "BENCH_scenarios.json"),
+        help="where to write the JSON trajectory",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"scenario sweep: grid={args.grid}")
+    result = sweep(args.grid)
+    failures = result.pop("failures")
+
+    os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.output} ({len(result['scenarios'])} scenarios)")
+
+    if failures:
+        for name, detail in failures:
+            print(f"FAIL {name}: {detail}", file=sys.stderr)
+        return 1
+    print(
+        "all scenarios byte-identical across "
+        f"{len(EXECUTOR_CONFIGS)} executor configurations"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -124,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("-p", type=float, default=0.9)
     simulate.add_argument("-q", type=float, default=0.6)
     simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run a named hostile-environment scenario from the seeded grid "
+             "(repro.runtime.scenario) on the selected executor instead of "
+             "the plain synthetic deployment; 'list' prints the grid",
+    )
     _add_executor_arguments(simulate)
 
     taxi = subparsers.add_parser("taxi", help="run the NYC-taxi case study")
@@ -178,7 +184,59 @@ def _print_histogram(labels, estimates, bounds, exact) -> None:
         print(f"{label:>16}  {estimate:>10.1f}  ±{bound:>11.1f}  {truth:>7d}")
 
 
+def _cmd_simulate_scenario(args: argparse.Namespace) -> int:
+    """``simulate --scenario``: one grid scenario on the selected executor."""
+    from repro.runtime.scenario import find_scenario, run_scenario, scenario_grid
+
+    if args.scenario == "list":
+        for spec in scenario_grid("full"):
+            churn = f"join={spec.join_rate} leave={spec.leave_rate}"
+            deadline = (
+                f"deadline={spec.deadline_seconds}s"
+                if spec.deadline_seconds is not None
+                else "no deadline"
+            )
+            print(
+                f"{spec.name:<20} clients={spec.num_clients:<3} "
+                f"epochs={spec.num_epochs} {churn} zipf={spec.zipf_exponent} "
+                f"dupes={spec.duplicate_rate} {deadline}"
+            )
+        return 0
+    try:
+        spec = find_scenario(args.scenario)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from exc
+    run = run_scenario(
+        spec,
+        executor=args.executor,
+        workers=args.workers,
+        shards=args.shards,
+        resident=args.resident_state,
+        checkpoint_every=args.checkpoint_every,
+    )
+    print(f"scenario {spec.name} on executor {run.executor_label}")
+    print(f"  digest            {run.digest}")
+    print(f"  wall-clock        {run.total_wall_seconds:.3f} s")
+    print(f"  wire bytes        {run.total_wire_bytes}")
+    print(f"  late drops        {run.total_late_dropped}")
+    print(f"  admission rejects {run.total_rejections}")
+    loss = run.mean_accuracy_loss
+    print(
+        "  accuracy loss     "
+        + (f"{100 * loss:.2f}%" if loss is not None else "n/a (no exact answers)")
+    )
+    for stats in run.epochs:
+        print(
+            f"  epoch {stats.epoch}: active={stats.active_clients} "
+            f"(+{stats.joins}/-{stats.leaves}) responses={stats.responses} "
+            f"late={len(stats.late_clients)} dupes_rej={stats.duplicates_rejected}"
+        )
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        return _cmd_simulate_scenario(args)
     if args.queries < 1:
         raise SystemExit("--queries must be at least 1")
     system = PrivApproxSystem(_system_config(args))

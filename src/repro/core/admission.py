@@ -153,3 +153,11 @@ class AnswerAdmissionController:
 
     def tracked_epochs(self) -> int:
         return len(self._seen)
+
+    def metrics(self) -> dict[str, int]:
+        """A snapshot of the rejection counters (scenario accounting)."""
+        return {
+            "duplicates_rejected": self.duplicates_rejected,
+            "rate_limited": self.rate_limited,
+            "tracked_epochs": self.tracked_epochs(),
+        }

@@ -272,6 +272,16 @@ class Client:
     def unsubscribe(self, query_id: str) -> None:
         self._subscriptions.pop(query_id, None)
 
+    def is_subscribed(self, query_id: str) -> bool:
+        """Whether this client currently holds the query.
+
+        An unsubscribed client is indistinguishable from an absent device —
+        it answers nothing and draws nothing — which is what lets the
+        scenario layer model churn as subscription churn over a fixed
+        client universe.
+        """
+        return query_id in self._subscriptions
+
     @property
     def subscribed_query_ids(self) -> list[str]:
         return sorted(self._subscriptions)

@@ -120,13 +120,19 @@ class SystemConfig:
 
 @dataclass(frozen=True)
 class EpochReport:
-    """Summary of one answering epoch."""
+    """Summary of one answering epoch.
+
+    ``late_drops`` names the clients whose answers the epoch's deadline gate
+    (``PrivApproxSystem.epoch_deadline``) dropped for this query, sorted;
+    empty when no deadline was armed.
+    """
 
     epoch: int
     num_participants: int
     num_clients: int
     window_results: tuple
     parameters: ExecutionParameters
+    late_drops: tuple = ()
 
     @property
     def participation_rate(self) -> float:
@@ -181,6 +187,11 @@ class PrivApproxSystem:
         # other's records.  Single-query deployments never allocate them.
         self._scoped_consumers: dict[str, list] = {}
         self._responses_log: dict[str, list[ClientResponse]] = {}
+        # Optional epoch-deadline gate (duck-typed; see
+        # repro.runtime.scenario.EpochDeadline) handed to the executor with
+        # each epoch context.  Scenario runs arm a fresh gate per epoch;
+        # ``None`` (the default) disables deadline enforcement entirely.
+        self.epoch_deadline = None
 
     # -- provisioning -------------------------------------------------------
 
@@ -281,6 +292,60 @@ class PrivApproxSystem:
             raise KeyError(f"unknown query {query_id}")
         return self._aggregators[query_id]
 
+    def query_for(self, query_id: str) -> Query:
+        if query_id not in self._queries:
+            raise KeyError(f"unknown query {query_id}")
+        return self._queries[query_id]
+
+    def query_ids(self) -> list[str]:
+        """All submitted query ids, in submission order."""
+        return list(self._queries)
+
+    # -- population churn -----------------------------------------------------
+
+    def set_active_clients(
+        self, active_indices: Sequence[int], query_ids: Sequence[str] | None = None
+    ) -> None:
+        """Set which clients participate from the next epoch on.
+
+        Churn is modeled as *subscription* churn over the fixed client
+        universe: a client outside ``active_indices`` is unsubscribed from
+        the given queries (all submitted queries by default) and becomes
+        indistinguishable from an absent device — it answers nothing and
+        draws nothing from its RNG streams — while a client rejoining is
+        re-subscribed with the query's current parameters.  The client list
+        itself never changes shape, which is what keeps shard boundaries,
+        resident-worker slices and the seeded-equivalence contract intact;
+        under the resident executor these edits flow to the pinned workers
+        as ``ClientDelta`` subscription changes inside the next epoch's
+        ``ShardDelta`` frames.
+
+        Each query's aggregator is rescaled to the new population
+        (``total_clients = max(1, len(active))``) so estimate inversion
+        reflects who could actually have answered.
+        """
+        ids = list(query_ids) if query_ids is not None else list(self._queries)
+        for query_id in ids:
+            if query_id not in self._queries:
+                raise KeyError(f"unknown query {query_id}")
+        active = set(active_indices)
+        for index in active:
+            if not 0 <= index < len(self.clients):
+                raise IndexError(
+                    f"active client index {index} outside the universe "
+                    f"[0, {len(self.clients)})"
+                )
+        for query_id in ids:
+            query = self._queries[query_id]
+            params = self._parameters[query_id]
+            for index, client in enumerate(self.clients):
+                subscribed = client.is_subscribed(query_id)
+                if index in active and not subscribed:
+                    client.subscribe(query, params)
+                elif index not in active and subscribed:
+                    client.unsubscribe(query_id)
+            self._aggregators[query_id].total_clients = max(1, len(active))
+
     # -- epoch execution ------------------------------------------------------------
 
     def run_epoch(self, query_id: str, epoch: int) -> EpochReport:
@@ -300,6 +365,7 @@ class PrivApproxSystem:
                 aggregator=self._aggregators[query_id],
                 consumers=self._consumers[query_id],
                 query_id=query_id,
+                deadline=self.epoch_deadline,
             ),
             epoch,
         )
@@ -345,6 +411,7 @@ class PrivApproxSystem:
                     )
                     for query_id in ids
                 ),
+                deadline=self.epoch_deadline,
             ),
             epoch,
         )
@@ -389,6 +456,7 @@ class PrivApproxSystem:
             num_clients=self.config.num_clients,
             window_results=tuple(window_results),
             parameters=self._parameters[query_id],
+            late_drops=getattr(outcome, "late_drops", ()),
         )
 
     def run_epochs(self, query_id: str, num_epochs: int) -> list[EpochReport]:
@@ -414,15 +482,19 @@ class PrivApproxSystem:
     # -- evaluation helpers ------------------------------------------------------------
 
     def exact_bucket_counts(self, query_id: str) -> list[int]:
-        """The exact per-bucket counts over *all* clients (no sampling, no noise).
+        """The exact per-bucket counts over the subscribed clients (no noise).
 
         This is the ground truth the evaluation compares estimates against; it
         reads each client's truthful answer directly and is only available in
-        the simulation, not in a real deployment.
+        the simulation, not in a real deployment.  Clients churned out via
+        :meth:`set_active_clients` hold no subscription and are skipped — the
+        ground truth tracks who could actually have answered.
         """
         query = self._queries[query_id]
         counts = [0] * query.num_buckets
         for client in self.clients:
+            if not client.is_subscribed(query_id):
+                continue
             bits = client.truthful_answer(query_id)
             for index, bit in enumerate(bits):
                 counts[index] += bit
@@ -460,7 +532,11 @@ class PrivApproxSystem:
                 params = new_params
                 self._parameters[query_id] = new_params
                 for client in self.clients:
-                    client.subscribe(self._queries[query_id], new_params)
+                    # Only refresh clients that currently hold the query: a
+                    # churned-out (unsubscribed) client must not be silently
+                    # resurrected by a parameter re-tune.
+                    if client.is_subscribed(query_id):
+                        client.subscribe(self._queries[query_id], new_params)
                 # The aggregator keeps the original estimator for already
                 # ingested epochs; new epochs use the re-tuned parameters.
                 self._aggregators[query_id].parameters = new_params

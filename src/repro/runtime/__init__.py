@@ -36,7 +36,24 @@ from repro.runtime.executor import (
     EpochOutcome,
     QueryContext,
     QueryEpochOutcome,
+    apply_deadline,
+    late_drops_for,
     make_executor,
+)
+from repro.runtime.scenario import (
+    EpochDeadline,
+    EpochPlan,
+    EpochStats,
+    InjectionPlan,
+    ScenarioPlan,
+    ScenarioRun,
+    ScenarioSpec,
+    build_plan,
+    client_latency_seconds,
+    epoch_deadline_for,
+    find_scenario,
+    run_scenario,
+    scenario_grid,
 )
 from repro.runtime.pipelined import PipelinedExecutor
 from repro.runtime.process_pool import (
@@ -73,13 +90,20 @@ __all__ = [
     "AdaptiveShardSizer",
     "ClientDelta",
     "EpochContext",
+    "EpochDeadline",
     "EpochExecutor",
     "EpochOutcome",
+    "EpochPlan",
+    "EpochStats",
+    "InjectionPlan",
     "PipelinedExecutor",
     "ProcessPoolEpochExecutor",
     "QueryContext",
     "QueryEpochOutcome",
     "ResidentProcessExecutor",
+    "ScenarioPlan",
+    "ScenarioRun",
+    "ScenarioSpec",
     "ResidentShardCache",
     "ResidentWorkerError",
     "SerialExecutor",
@@ -94,6 +118,9 @@ __all__ = [
     "WireError",
     "answer_shard",
     "answer_shard_task",
+    "apply_deadline",
+    "build_plan",
+    "client_latency_seconds",
     "decode_frame",
     "decode_shard_ack",
     "decode_shard_batch",
@@ -105,9 +132,14 @@ __all__ = [
     "encode_shard_bootstrap",
     "encode_shard_delta",
     "encode_shard_task",
+    "epoch_deadline_for",
+    "find_scenario",
+    "late_drops_for",
     "make_executor",
     "plan_shards",
     "plan_weighted_shards",
+    "run_scenario",
+    "scenario_grid",
     "shard_fingerprint",
     "shard_span",
 ]

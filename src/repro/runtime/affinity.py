@@ -61,6 +61,8 @@ from repro.runtime.executor import (
     EpochOutcome,
     PooledEpochExecutor,
     QueryEpochOutcome,
+    apply_deadline,
+    late_drops_for,
 )
 from repro.runtime.pipelined import _ingest_stage, _transmit_stage
 from repro.runtime.process_pool import AdaptiveShardSizer
@@ -886,6 +888,7 @@ class ResidentProcessExecutor(PooledEpochExecutor):
                     query_id=query.query_id,
                     responses=tuple(responses),
                     window_results=tuple(window_results[index]),
+                    late_drops=late_drops_for(context, query.query_id),
                 )
             )
         return EpochOutcome(per_query=tuple(per_query))
@@ -987,9 +990,13 @@ class ResidentProcessExecutor(PooledEpochExecutor):
                 continue
             # Success: adopt the fingerprint (and checkpoint, if present).
             del pending[shard.index]
-            responses_by_shard[shard.index] = [
-                list(responses) for responses in ack.responses
-            ]
+            # Deadline-gate the acked responses before hand-off: the resident
+            # workers answered (and advanced their resident state), but late
+            # answers never reach the transmitter.
+            responses_by_shard[shard.index] = apply_deadline(
+                context.deadline,
+                [list(responses) for responses in ack.responses],
+            )
             wall_seconds[shard.index] = ack.wall_seconds
             state.fingerprint = ack.fingerprint
             if ack.client_states is not None:

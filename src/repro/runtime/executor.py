@@ -95,6 +95,7 @@ class EpochContext:
         aggregator: "Aggregator | None" = None,
         consumers: Sequence["Consumer"] | None = None,
         query_id: str | None = None,
+        deadline=None,
     ):
         if queries is None:
             if aggregator is None or consumers is None or query_id is None:
@@ -116,6 +117,13 @@ class EpochContext:
         self.clients = clients
         self.proxies = proxies
         self.queries = tuple(queries)
+        # Optional epoch-deadline gate (duck-typed; see
+        # repro.runtime.scenario.EpochDeadline).  Executors consult it at
+        # the transmit boundary: a response whose client the gate marks late
+        # is produced (RNG streams advance) but never transmitted, and the
+        # drop is recorded per query.  Because the gate decides from modeled
+        # latency, never wall-clock, every executor drops the same answers.
+        self.deadline = deadline
 
     @property
     def query_ids(self) -> list[str]:
@@ -150,11 +158,14 @@ class QueryEpochOutcome:
     ``responses`` holds the query's participating responses in client order
     (the deterministic merge of per-shard logs); ``window_results`` holds the
     window results the query's aggregator emitted while ingesting the epoch.
+    ``late_drops`` names the clients whose answers the epoch's deadline gate
+    dropped for this query, sorted — empty when no deadline was armed.
     """
 
     query_id: str
     responses: tuple
     window_results: tuple
+    late_drops: tuple = ()
 
     @property
     def num_participants(self) -> int:
@@ -188,6 +199,31 @@ class EpochOutcome:
     @property
     def num_participants(self) -> int:
         return self._single().num_participants
+
+
+def apply_deadline(deadline, responses_per_query: list[list]) -> list[list]:
+    """Filter late clients' responses out of one shard's answer lists.
+
+    The shared deadline hook for the shard-shaped executors: called on each
+    shard's per-query response lists before they are transmitted, so a late
+    answer never reaches the proxies (it was still *produced*, advancing the
+    client's RNG streams exactly as under the serial reference).  Thread-safe
+    as long as the gate's ``should_drop`` is (the scenario layer's gate
+    locks); a ``None`` deadline passes everything through untouched.
+    """
+    if deadline is None:
+        return responses_per_query
+    return [
+        [response for response in responses if not deadline.should_drop(response)]
+        for responses in responses_per_query
+    ]
+
+
+def late_drops_for(context: EpochContext, query_id: str) -> tuple:
+    """One query's recorded deadline drops, or ``()`` without a gate."""
+    if context.deadline is None:
+        return ()
+    return context.deadline.drops_for(query_id)
 
 
 # The canonical registry of executor kinds make_executor understands;

@@ -60,6 +60,8 @@ from repro.runtime.executor import (
     EpochOutcome,
     PooledEpochExecutor,
     QueryEpochOutcome,
+    apply_deadline,
+    late_drops_for,
 )
 from repro.runtime.sharded import answer_shard
 from repro.runtime.sharding import plan_shards
@@ -137,6 +139,7 @@ class PipelinedExecutor(PooledEpochExecutor):
                     query_id=query.query_id,
                     responses=tuple(responses),
                     window_results=tuple(window_results[index]),
+                    late_drops=late_drops_for(context, query.query_id),
                 )
             )
         return EpochOutcome(per_query=tuple(per_query))
@@ -158,6 +161,10 @@ def _answer_stage(
         responses, _ = answer_shard(
             context.clients[shard.as_slice()], context.query_ids, epoch
         )
+        # Deadline-gate before hand-off: a late answer never reaches the
+        # transmitter.  The gate locks internally, so concurrent answer
+        # stages record drops safely.
+        responses = apply_deadline(context.deadline, responses)
     except Exception as exc:  # surfaced from run_epoch, never swallowed
         responses_by_shard[shard.index] = [[] for _ in context.queries]
         answered.put((shard.index, exc))

@@ -60,6 +60,8 @@ from repro.runtime.executor import (
     EpochOutcome,
     PooledEpochExecutor,
     QueryEpochOutcome,
+    apply_deadline,
+    late_drops_for,
 )
 from repro.runtime.pipelined import _ingest_stage, _transmit_stage
 from repro.runtime.sharded import answer_shard
@@ -306,6 +308,7 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
                     query_id=query.query_id,
                     responses=tuple(responses),
                     window_results=tuple(window_results[index]),
+                    late_drops=late_drops_for(context, query.query_id),
                 )
             )
         return EpochOutcome(per_query=tuple(per_query))
@@ -342,9 +345,13 @@ def _collect_stage(
             context.clients[shard.as_slice()] = [
                 Client.from_state(state) for state in batch.client_states
             ]
-            responses_by_shard[shard.index] = [
-                list(responses) for responses in batch.responses
-            ]
+            # Deadline-gate the decoded responses before hand-off: workers
+            # answered (and advanced client state) but late answers never
+            # reach the transmitter.
+            responses_by_shard[shard.index] = apply_deadline(
+                context.deadline,
+                [list(responses) for responses in batch.responses],
+            )
             wall_seconds[shard.index] = batch.wall_seconds
         except Exception as exc:  # surfaced from run_epoch, never swallowed
             responses_by_shard[shard.index] = [[] for _ in context.queries]

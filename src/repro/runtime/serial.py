@@ -21,6 +21,7 @@ from repro.runtime.executor import (
     EpochExecutor,
     EpochOutcome,
     QueryEpochOutcome,
+    late_drops_for,
 )
 
 
@@ -30,11 +31,14 @@ class SerialExecutor(EpochExecutor):
     def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
         queries = context.queries
         query_ids = context.query_ids
+        deadline = context.deadline
         responses_per_query: list[list] = [[] for _ in queries]
         for client in context.clients:
             for index, response in enumerate(client.answer(query_ids, epoch=epoch)):
                 if response is None:
                     continue
+                if deadline is not None and deadline.should_drop(response):
+                    continue  # produced (RNG advanced) but missed the deadline
                 responses_per_query[index].append(response)
                 context.proxies.transmit(
                     list(response.encrypted.shares), channel=queries[index].channel
@@ -49,6 +53,7 @@ class SerialExecutor(EpochExecutor):
                     query_id=query.query_id,
                     responses=tuple(responses_per_query[index]),
                     window_results=tuple(window_results),
+                    late_drops=late_drops_for(context, query.query_id),
                 )
             )
         return EpochOutcome(per_query=tuple(per_query))

@@ -36,6 +36,8 @@ from repro.runtime.executor import (
     EpochExecutor,
     EpochOutcome,
     QueryEpochOutcome,
+    apply_deadline,
+    late_drops_for,
 )
 from repro.runtime.sharding import plan_shards
 
@@ -143,6 +145,7 @@ class ShardedExecutor(EpochExecutor):
                 # Adopt the advanced client state so epoch t+1 continues the
                 # same RNG/keystream sequences the serial reference would.
                 context.clients[shard.as_slice()] = shard_clients
+            shard_responses = apply_deadline(context.deadline, shard_responses)
             for index, query in enumerate(queries):
                 responses_per_query[index].extend(shard_responses[index])
                 context.proxies.transmit_batch(
@@ -162,6 +165,7 @@ class ShardedExecutor(EpochExecutor):
                     query_id=query.query_id,
                     responses=tuple(responses_per_query[index]),
                     window_results=tuple(window_results),
+                    late_drops=late_drops_for(context, query.query_id),
                 )
             )
         return EpochOutcome(per_query=tuple(per_query))

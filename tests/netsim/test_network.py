@@ -92,3 +92,48 @@ class TestLatencyModel:
         taxi = model.latency(1_000_000, 0.6, answer_bits=88)
         electricity = model.latency(1_000_000, 0.6, answer_bits=56)
         assert electricity.total_seconds <= taxi.total_seconds
+
+
+class TestRuntimeDeadlineEdges:
+    """Edge cases the runtime's scenario deadline gate now depends on.
+
+    The scenario layer (repro.runtime.scenario) charges every client a
+    per-answer latency of device-pipeline time plus
+    ``NetworkModel.latency(1, 1.0, answer_bits)`` and compares it to an epoch
+    deadline.  These pin the model behaviors that comparison leans on.
+    """
+
+    def test_zero_workload_has_zero_latency(self):
+        """An empty participation epoch costs nothing on the wire."""
+        report = NetworkModel().latency(0, 1.0, 16)
+        assert report.transfer_seconds == 0
+        assert report.total_seconds == 0
+        assert NetworkModel().traffic(0, 1.0, 16).total_bytes == 0
+
+    def test_zero_sampling_is_a_zero_latency_model(self):
+        """sampling_fraction=0 rounds every workload down to nothing."""
+        model = NetworkModel()
+        report = model.latency(1_000_000, 0.0, 88)
+        assert report.total_seconds == 0
+        assert model.traffic(1_000_000, 0.0, 88).num_answers_sampled == 0
+
+    def test_single_answer_latency_is_positive_and_finite(self):
+        """The per-client charge the deadline gate uses is a real number."""
+        report = NetworkModel().latency(1, 1.0, 16)
+        assert 0 < report.total_seconds < float("inf")
+
+    def test_single_answer_latency_scales_with_bandwidth(self):
+        """A starved network can push one answer past any fixed deadline."""
+        fast = NetworkModel(bandwidth_bytes_per_sec=125e6).latency(1, 1.0, 16)
+        slow = NetworkModel(bandwidth_bytes_per_sec=1_000.0).latency(1, 1.0, 16)
+        assert slow.transfer_seconds > fast.transfer_seconds
+        assert slow.transfer_seconds == pytest.approx(
+            fast.transfer_seconds * 125e6 / 1_000.0
+        )
+
+    def test_deadline_below_single_answer_latency_exists(self):
+        """There is always a deadline no client can meet — the gate's floor."""
+        minimum = NetworkModel(bandwidth_bytes_per_sec=4_000.0).latency(
+            1, 1.0, 16
+        ).total_seconds
+        assert minimum > 0.01  # the deadline-slow-net grid scenario's deadline

@@ -1,0 +1,330 @@
+"""Tests for the scenario sweep layer (repro.runtime.scenario).
+
+Four properties carry the layer:
+
+* **Plan determinism** — the same :class:`ScenarioSpec` expands to the same
+  epoch-by-epoch churn/participation/injection plan on every call, and after
+  a round trip through its serialized form.  Everything downstream (churn,
+  deadlines, injections) inherits determinism from this.
+* **Deadline fault injection** — a deliberately slow client population
+  (modeled latency above the epoch deadline) is dropped on *every* executor
+  without deadlocking, and the outcome records exactly which clients were
+  late.
+* **Byzantine duplicate accounting** — injected forged answers are admitted
+  exactly once each; every extra copy is rejected as a duplicate, with
+  counts that are executor-invariant.
+* **Hostile edge cases** — empty participation epochs, deadlines below the
+  minimum modeled latency, and zero-latency networks neither hang nor skew
+  any executor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.network import NetworkModel
+from repro.runtime.scenario import (
+    EpochDeadline,
+    ScenarioSpec,
+    build_plan,
+    client_latency_seconds,
+    epoch_deadline_for,
+    find_scenario,
+    run_scenario,
+    scenario_grid,
+)
+
+# The five executor configurations the acceptance criteria range over.
+ALL_EXECUTOR_CONFIGS = [
+    ("serial", False),
+    ("sharded", False),
+    ("pipelined", False),
+    ("process", False),
+    ("process", True),
+]
+CONFIG_IDS = [f"{e}{'-resident' if r else ''}" for e, r in ALL_EXECUTOR_CONFIGS]
+
+
+def _run(spec, executor, resident):
+    return run_scenario(
+        spec,
+        executor=executor,
+        workers=2,
+        shards=3,
+        resident=resident,
+        checkpoint_every=2,
+    )
+
+
+# -- plan determinism ---------------------------------------------------------
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plan(self):
+        """Two generations from one spec are identical, field for field."""
+        for spec in scenario_grid("full"):
+            assert build_plan(spec) == build_plan(spec), spec.name
+
+    def test_plan_survives_spec_round_trip(self):
+        """Serializing and re-hydrating the spec changes nothing."""
+        for spec in scenario_grid("full"):
+            revived = ScenarioSpec.from_dict(spec.to_dict())
+            assert revived == spec
+            assert build_plan(revived) == build_plan(spec), spec.name
+
+    def test_different_seeds_diverge(self):
+        spec = find_scenario("churn-heavy")
+        other = ScenarioSpec.from_dict({**spec.to_dict(), "seed": spec.seed + 1})
+        assert build_plan(other).epochs != build_plan(spec).epochs
+
+    def test_plan_invariants(self):
+        """Rosters are sorted, churn edits are consistent, rows are bounded."""
+        for spec in scenario_grid("full"):
+            plan = build_plan(spec)
+            assert len(plan.rows_per_client) == spec.num_clients
+            assert all(
+                1 <= rows <= spec.max_rows_per_client for rows in plan.rows_per_client
+            )
+            previous = set(plan.initial_active)
+            for epoch_plan in plan.epochs:
+                active = set(epoch_plan.active)
+                assert list(epoch_plan.active) == sorted(active)
+                assert not set(epoch_plan.joins) & set(epoch_plan.leaves)
+                assert set(epoch_plan.joins) <= active
+                assert not set(epoch_plan.leaves) & active
+                assert active == (previous - set(epoch_plan.leaves)) | set(
+                    epoch_plan.joins
+                )
+                previous = active
+
+    def test_zipf_skews_rows_toward_the_head(self):
+        plan = build_plan(find_scenario("zipf-tables"))
+        assert plan.rows_per_client[0] == max(plan.rows_per_client)
+        assert plan.rows_per_client[-1] == 1
+
+    def test_grid_contract(self):
+        """The acceptance grid: >= 12 uniquely named scenarios, smoke subset."""
+        full = scenario_grid("full")
+        assert len(full) >= 12
+        names = [spec.name for spec in full]
+        assert len(set(names)) == len(names)
+        assert any(s.join_rate > 0 for s in full)
+        assert any(s.zipf_exponent > 0 for s in full)
+        assert any(s.duplicate_rate > 0 for s in full)
+        assert any(s.deadline_seconds is not None for s in full)
+        smoke = scenario_grid("smoke")
+        assert {s.name for s in smoke} <= set(names)
+        with pytest.raises(ValueError):
+            scenario_grid("bogus")
+        with pytest.raises(KeyError):
+            find_scenario("no-such-scenario")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", seed=1, num_clients=0, num_epochs=1)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", seed=1, num_clients=4, num_epochs=1, join_rate=1.5)
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", seed=1, num_clients=4, num_epochs=1, deadline_seconds=-1.0
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", seed=1, num_clients=4, num_epochs=1, duplicate_copies=0
+            )
+
+
+# -- the deadline gate --------------------------------------------------------
+
+
+class _FakeResponse:
+    def __init__(self, client_id, query_id):
+        self.client_id = client_id
+        self.query_id = query_id
+
+
+class TestEpochDeadline:
+    def test_gate_decides_from_the_latency_map(self):
+        gate = EpochDeadline(0, 0.5, {"a": 0.1, "b": 0.9})
+        assert not gate.is_late("a")
+        assert gate.is_late("b")
+        assert gate.is_late("unknown") is False  # unmodeled clients pass
+
+    def test_should_drop_records_per_query(self):
+        gate = EpochDeadline(0, 0.5, {"a": 0.1, "b": 0.9, "c": 2.0})
+        assert not gate.should_drop(_FakeResponse("a", "q1"))
+        assert gate.should_drop(_FakeResponse("c", "q1"))
+        assert gate.should_drop(_FakeResponse("b", "q1"))
+        assert gate.should_drop(_FakeResponse("b", "q2"))
+        assert gate.drops_for("q1") == ("b", "c")  # sorted, order-canonical
+        assert gate.drops_for("q2") == ("b",)
+        assert gate.drops_for("q3") == ()
+        assert gate.total_dropped() == 3
+
+    def test_modeled_latency_is_deterministic(self):
+        spec = find_scenario("deadline-tight")
+        plan = build_plan(spec)
+        network = NetworkModel(bandwidth_bytes_per_sec=spec.bandwidth_bytes_per_sec)
+        for index in range(spec.num_clients):
+            first = client_latency_seconds(plan, index, 1, network)
+            assert first == client_latency_seconds(plan, index, 1, network)
+            assert first > 0.0
+
+    def test_no_deadline_means_no_gate(self):
+        plan = build_plan(find_scenario("steady-state"))
+        assert epoch_deadline_for(plan, 0) is None
+
+
+# -- deadline fault injection across every executor ---------------------------
+
+# Full participation (sampling_fraction=1.0) makes the late set exact: every
+# active client answers, so the drop ledger must equal the model's late set —
+# not merely be contained in it.
+SLOW_SPEC = ScenarioSpec(
+    name="test-slow-clients",
+    seed=4242,
+    num_clients=18,
+    num_epochs=2,
+    initial_active_fraction=1.0,
+    max_rows_per_client=4,
+    deadline_seconds=0.002,
+    sampling_fraction=1.0,
+    p=0.9,
+    q=0.5,
+)
+
+
+def _expected_late(spec) -> dict[int, tuple[str, ...]]:
+    plan = build_plan(spec)
+    network = NetworkModel(bandwidth_bytes_per_sec=spec.bandwidth_bytes_per_sec)
+    return {
+        epoch_plan.epoch: tuple(
+            sorted(
+                f"client-{index:06d}"
+                for index in epoch_plan.active
+                if client_latency_seconds(plan, index, epoch_plan.epoch, network)
+                > spec.deadline_seconds
+            )
+        )
+        for epoch_plan in plan.epochs
+    }
+
+
+class TestDeadlineFaultInjection:
+    def test_slow_spec_is_discriminating(self):
+        """Some clients are late and some are not, so the test means something."""
+        expected = _expected_late(SLOW_SPEC)
+        for epoch, late in expected.items():
+            assert 0 < len(late) < SLOW_SPEC.num_clients, (epoch, late)
+
+    @pytest.mark.parametrize("executor,resident", ALL_EXECUTOR_CONFIGS, ids=CONFIG_IDS)
+    def test_slow_clients_dropped_and_recorded(self, executor, resident):
+        """Every executor drops exactly the modeled-late clients, no deadlock."""
+        expected = _expected_late(SLOW_SPEC)
+        run = _run(SLOW_SPEC, executor, resident)
+        assert len(run.epochs) == SLOW_SPEC.num_epochs  # completed, didn't hang
+        for stats in run.epochs:
+            assert stats.late_clients == expected[stats.epoch]
+            # Active and answering at s=1.0, minus the late: nobody vanished.
+            assert stats.responses == stats.active_clients - len(stats.late_clients)
+
+    def test_deadline_run_digest_is_executor_invariant(self):
+        digests = {
+            f"{e}{'-r' if r else ''}": _run(SLOW_SPEC, e, r).digest
+            for e, r in ALL_EXECUTOR_CONFIGS
+        }
+        assert len(set(digests.values())) == 1, digests
+
+
+# -- byzantine duplicate injection -------------------------------------------
+
+
+class TestDuplicateInjection:
+    @pytest.mark.parametrize(
+        "executor,resident",
+        [("serial", False), ("pipelined", False), ("process", True)],
+        ids=["serial", "pipelined", "process-resident"],
+    )
+    def test_copies_rejected_exactly_once_admitted(self, executor, resident):
+        spec = find_scenario("byzantine-dupes")
+        plan = build_plan(spec)
+        run = _run(spec, executor, resident)
+        for stats, epoch_plan in zip(run.epochs, plan.epochs):
+            injections = len(epoch_plan.injections)
+            assert injections > 0  # the scenario actually injects
+            # Each injection sends `copies` identically-tokened answers per
+            # query: one is admitted, the rest bounce off admission control.
+            expected_rejected = injections * (spec.duplicate_copies - 1) * spec.num_queries
+            assert stats.duplicates_rejected == expected_rejected
+            assert stats.answers_admitted == stats.responses + injections * spec.num_queries
+            assert stats.invalid_answers == 0  # forged answers are well-formed
+
+    def test_injection_is_executor_invariant(self):
+        spec = find_scenario("byzantine-churn")
+        digests = {
+            f"{e}{'-r' if r else ''}": _run(spec, e, r).digest
+            for e, r in ALL_EXECUTOR_CONFIGS
+        }
+        assert len(set(digests.values())) == 1, digests
+
+
+# -- hostile edge cases -------------------------------------------------------
+
+
+class TestHostileEdgeCases:
+    @pytest.mark.parametrize("executor,resident", ALL_EXECUTOR_CONFIGS, ids=CONFIG_IDS)
+    def test_empty_participation_epoch(self, executor, resident):
+        """Zero active clients: epochs complete with no answers and no hang."""
+        spec = find_scenario("ghost-town")
+        run = _run(spec, executor, resident)
+        assert all(stats.active_clients == 0 for stats in run.epochs)
+        assert all(stats.responses == 0 for stats in run.epochs)
+        assert run.mean_accuracy_loss is None
+
+    def test_deadline_below_minimum_latency_drops_everyone(self):
+        """A deadline no modeled client can meet empties every epoch."""
+        spec = find_scenario("deadline-slow-net")
+        plan = build_plan(spec)
+        network = NetworkModel(bandwidth_bytes_per_sec=spec.bandwidth_bytes_per_sec)
+        minimum = min(
+            client_latency_seconds(plan, index, 0, network)
+            for index in range(spec.num_clients)
+        )
+        assert spec.deadline_seconds < minimum
+        for executor, resident in (("serial", False), ("process", True)):
+            run = _run(spec, executor, resident)
+            # Every produced answer was dropped (the sampling coin keeps some
+            # clients silent, so the drop ledger tracks participants, not the
+            # whole roster) and nothing was delivered.
+            assert all(stats.responses == 0 for stats in run.epochs)
+            assert all(
+                0 < len(stats.late_clients) <= stats.active_clients
+                for stats in run.epochs
+            )
+
+    def test_zero_latency_network_never_drops(self):
+        """An effectively zero-latency network with no jitter misses nothing."""
+        spec = ScenarioSpec(
+            name="test-fast-net",
+            seed=77,
+            num_clients=10,
+            num_epochs=1,
+            deadline_seconds=10.0,
+            jitter_seconds=0.0,
+            bandwidth_bytes_per_sec=1e15,
+            p=0.9,
+            q=0.5,
+        )
+        run = _run(spec, "serial", False)
+        assert run.total_late_dropped == 0
+
+    def test_churned_out_clients_are_absent_from_ground_truth(self):
+        """The population rescale and exact counts track the live roster."""
+        spec = find_scenario("mass-exodus")
+        plan = build_plan(spec)
+        run = _run(spec, "serial", False)
+        sizes = [len(epoch_plan.active) for epoch_plan in plan.epochs]
+        assert sizes == sorted(sizes, reverse=True) and sizes[-1] < sizes[0]
+        for stats, expected in zip(run.epochs, sizes):
+            assert stats.active_clients == expected
+            assert stats.responses <= expected

@@ -236,3 +236,60 @@ def test_scenario_generation_is_deterministic():
     assert ("process", True) in executors_covered
     assert any(s.reshard_after_epoch is not None for s in SCENARIOS)
     assert any(s.num_queries > 1 for s in SCENARIOS)
+
+
+# -- churn torture: the hostile-environment grid vs. the serial reference -----
+#
+# The scenarios above fuzz executor *configuration* over a well-behaved
+# population.  These drag every executor through hostile *environments* from
+# the seeded grid of repro.runtime.scenario — per-epoch join/leave churn,
+# Zipf skew, byzantine duplicate injection, epoch deadlines — and demand the
+# same byte-identity with the serial reference (compared via the run digest,
+# which covers the response log, window results and late-drop ledger).
+
+from repro.runtime.scenario import run_scenario as run_env_scenario  # noqa: E402
+from repro.runtime.scenario import scenario_grid  # noqa: E402
+
+CHURN_SCENARIO_NAMES = ("churn-mild", "churn-heavy", "zipf-churn", "kitchen-sink")
+CHURN_SPECS = [
+    spec for spec in scenario_grid("full") if spec.name in CHURN_SCENARIO_NAMES
+]
+CHURN_EXECUTOR_CONFIGS = [
+    ("sharded", False),
+    ("pipelined", False),
+    ("process", False),
+    ("process", True),
+]
+
+_serial_digests: dict[str, str] = {}
+
+
+def _serial_churn_digest(spec) -> str:
+    digest = _serial_digests.get(spec.name)
+    if digest is None:
+        digest = _serial_digests[spec.name] = run_env_scenario(
+            spec, executor="serial"
+        ).digest
+    return digest
+
+
+@pytest.mark.parametrize(
+    "executor,resident",
+    CHURN_EXECUTOR_CONFIGS,
+    ids=[f"{e}{'-resident' if r else ''}" for e, r in CHURN_EXECUTOR_CONFIGS],
+)
+@pytest.mark.parametrize("spec", CHURN_SPECS, ids=[s.name for s in CHURN_SPECS])
+def test_churn_scenario_matches_serial_reference(spec, executor, resident):
+    """Seeded join/leave churn between epochs is executor-invariant."""
+    assert spec.join_rate > 0 and spec.leave_rate > 0  # really a churn scenario
+    run = run_env_scenario(
+        spec,
+        executor=executor,
+        workers=2,
+        shards=3,
+        resident=resident,
+        checkpoint_every=2,
+    )
+    assert run.digest == _serial_churn_digest(spec), (
+        f"{spec.name} on {run.executor_label} diverged from the serial reference"
+    )
