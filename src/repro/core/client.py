@@ -130,6 +130,12 @@ class Client:
         of the original, which is what keeps the process-pool epoch runtime
         byte-identical to the serial reference (``repro.runtime.wire`` frames
         these snapshots into shard tasks).
+
+        Columnar mirrors and secondary indexes are deliberately *not*
+        shipped: they are derived state, lazily rebuilt from raw rows on the
+        restored side and incrementally maintained from then on — and the
+        differential suite asserts the rebuilt and incrementally-maintained
+        lifecycles answer identically.
         """
         tables = []
         for name in self.database.table_names():
@@ -176,7 +182,7 @@ class Client:
         client._token_secret = state["token_secret"]
         for name, columns, rows in state["tables"]:
             client.database.create_table(name, list(columns))
-            client.database.table(name).rows.extend(rows)
+            client.database.table(name).append_rows(rows)
         for query, parameters in state["subscriptions"]:
             client.subscribe(query, parameters)
         return client
@@ -248,7 +254,7 @@ class Client:
         for table_name, columns, rows in delta.append_rows:
             if table_name not in self.database.table_names():
                 self.database.create_table(table_name, list(columns))
-            self.database.table(table_name).rows.extend(rows)
+            self.database.table(table_name).append_rows(rows)
 
     # -- local data management ------------------------------------------------
 

@@ -224,6 +224,11 @@ def resident_worker_main(task_queue, result_queue) -> None:
                     for client, delta in zip(clients, message.deltas):
                         if delta is not None:
                             client.apply_delta(delta)
+                            # Delta-driven index maintenance: fold the
+                            # appended rows into any live columnar mirrors
+                            # now, at ingest, keeping the rebuild/append
+                            # work off the answer critical path.
+                            client.database.sync_columnar()
                     ack = _answer_from_residency(
                         cache,
                         shard_index,

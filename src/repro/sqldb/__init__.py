@@ -14,16 +14,32 @@ The engine is deliberately small but fully functional and tested; its purpose
 is to let the client-side "query answering" module run real SQL over local
 rows, and to let Table 3's "database read" cost be measured on a real code
 path rather than a stub.
+
+SELECTs run on an index-backed columnar fast path by default — typed
+parallel arrays per table (:mod:`repro.sqldb.columnar`) with hash/B+Tree
+indexes (:mod:`repro.sqldb.indexes`) probed by compiled predicates
+(:mod:`repro.sqldb.compile`).  The original row-scan interpreter remains
+the frozen reference; set ``SQLDB_FORCE_SCAN=1`` to pin it.
 """
 
+from repro.sqldb.columnar import ColumnStore, ColumnVector
+from repro.sqldb.compile import CompiledSelect, CompileFallback, plan_for
 from repro.sqldb.engine import Database
-from repro.sqldb.table import Table, Column
-from repro.sqldb.errors import SqlError, ParseError, SchemaError, ExecutionError
+from repro.sqldb.errors import ExecutionError, ParseError, SchemaError, SqlError
+from repro.sqldb.indexes import BPlusTreeIndex, HashIndex
+from repro.sqldb.table import Column, Table
 
 __all__ = [
     "Database",
     "Table",
     "Column",
+    "ColumnStore",
+    "ColumnVector",
+    "HashIndex",
+    "BPlusTreeIndex",
+    "CompiledSelect",
+    "CompileFallback",
+    "plan_for",
     "SqlError",
     "ParseError",
     "SchemaError",

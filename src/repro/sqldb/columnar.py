@@ -1,0 +1,241 @@
+"""Columnar table layout backing the compiled answer path.
+
+The row-scan engine materializes one dict per row per query
+(:meth:`repro.sqldb.table.Table.scan`); at 10⁵–10⁶ clients × multi-query
+epochs that dict churn dominates the answer stage.  A
+:class:`ColumnStore` keeps the same table as typed parallel arrays — one
+:class:`ColumnVector` per column — plus on-demand secondary indexes
+(:mod:`repro.sqldb.indexes`) on predicate columns.
+
+**Incremental by construction.**  The store records which row list (by
+identity), its in-place mutation counter (``Table.rows`` is a
+``_RowList`` that counts every non-append edit), and how many rows it
+was built from.  :meth:`ColumnStore.sync` is O(1) when nothing changed,
+appends only the new tail when rows were appended (the only mutation the
+streaming ingest and the resident runtime's
+:class:`~repro.runtime.wire.ShardDelta` frames ever perform), and
+rebuilds from scratch when the row list shrank, was replaced (DELETE),
+or had existing rows edited in place.  Secondary indexes ride along: appends insert into every live
+index, rebuilds drop them to be lazily rebuilt on next probe.
+
+**Typed arrays.**  INTEGER columns live in ``array('q')`` and REAL
+columns in ``array('d')`` while their values fit (no NULLs, no
+out-of-range ints); a column silently *demotes* to a plain Python list
+the first time a value cannot be stored natively.  Reads are
+value-identical either way — ``array('d')`` round-trips any Python float
+and ``array('q')`` any 64-bit int — which the differential suite
+(:mod:`tests.sqldb.test_engine_properties`) relies on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.sqldb.indexes import BPlusTreeIndex, HashIndex
+
+if TYPE_CHECKING:
+    from repro.sqldb.table import Table
+
+# SQL type → array.array typecode for the native fast path.  TEXT and
+# BOOLEAN stay as lists: strings have no fixed-width typecode, and a
+# BOOLEAN read back from a numeric array would be ``1``, not ``True`` —
+# value-equal but not identical to what the row-scan engine projects.
+_TYPECODES = {
+    "INTEGER": "q",
+    "INT": "q",
+    "REAL": "d",
+    "FLOAT": "d",
+    "DOUBLE": "d",
+}
+
+
+class ColumnVector:
+    """One column's values: a typed array while possible, a list after demotion.
+
+    Supports exactly the operations the compiled path needs — append,
+    subscript, iteration, length — so swapping the backing storage is
+    invisible to callers.  Native storage demands the exact Python type
+    (``int`` for ``'q'``, ``float`` for ``'d'``): ``array`` would happily
+    coerce ``True`` to ``1`` or ``3`` to ``3.0``, and a coerced read-back
+    would no longer be identical to what the row-scan engine projects.
+    """
+
+    __slots__ = ("_data", "_pytype", "typed")
+
+    def __init__(self, sql_type: str):
+        typecode = _TYPECODES.get(sql_type.upper())
+        self.typed = typecode is not None
+        self._pytype = int if typecode == "q" else float
+        self._data: Any = array(typecode) if self.typed else []
+
+    def append(self, value: Any) -> None:
+        if self.typed:
+            if type(value) is self._pytype:
+                try:
+                    self._data.append(value)
+                    return
+                except OverflowError:  # an int outside 64 bits
+                    pass
+            # NULL, a foreign type, or an overflow: demote to a plain list.
+            self._data = list(self._data)
+            self.typed = False
+        self._data.append(value)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._data[index]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class ColumnStore:
+    """Columnar mirror of one :class:`~repro.sqldb.table.Table` plus indexes.
+
+    Derived state: nothing here is part of a client snapshot
+    (:meth:`repro.core.client.Client.export_state` ships raw rows only) —
+    a restored client's store rebuilds lazily on first query and then
+    maintains itself incrementally, and the differential suite asserts
+    the two lifecycles answer probes identically.
+    """
+
+    __slots__ = (
+        "_names",
+        "_types",
+        "_vectors",
+        "_rows_ref",
+        "_mutations",
+        "_count",
+        "_hash",
+        "_trees",
+        "rebuilds",
+        "appended_rows",
+    )
+
+    def __init__(self, table: "Table"):
+        self._names = [column.name for column in table.columns]
+        self._types = [column.sql_type for column in table.columns]
+        self._vectors: dict[str, ColumnVector] = {}
+        self._rows_ref: list | None = None
+        self._mutations = 0
+        self._count = 0
+        self._hash: dict[str, HashIndex] = {}
+        self._trees: dict[str, BPlusTreeIndex] = {}
+        # Observability: the maintenance tests pin that append streams
+        # never trigger a rebuild.
+        self.rebuilds = 0
+        self.appended_rows = 0
+        self._rebuild(table)
+
+    # -- maintenance ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of rows currently mirrored."""
+        return self._count
+
+    def sync(self, table: "Table") -> None:
+        """Bring the store up to date with the table's row list.
+
+        O(1) when clean.  Appends (same list object, untouched mutation
+        counter, larger) extend the vectors and live indexes
+        incrementally; anything else — the list replaced (DELETE),
+        shrunk, or edited in place (the ``_RowList`` mutation counter
+        moved) — rebuilds from scratch.
+        """
+        rows = table.rows
+        if rows is self._rows_ref and getattr(rows, "mutations", 0) == self._mutations:
+            if len(rows) == self._count:
+                return
+            if len(rows) > self._count:
+                self._append(rows, self._count)
+                return
+        self._rebuild(table)
+
+    def _rebuild(self, table: "Table") -> None:
+        self._vectors = {
+            name: ColumnVector(sql_type)
+            for name, sql_type in zip(self._names, self._types)
+        }
+        # Indexes are dropped, not replayed: the next probe rebuilds them
+        # from the fresh vectors in one pass.
+        self._hash.clear()
+        self._trees.clear()
+        self._rows_ref = table.rows
+        self._mutations = getattr(table.rows, "mutations", 0)
+        self._count = 0
+        self.rebuilds += 1
+        self._append(table.rows, 0)
+
+    def _append(self, rows: list, start: int) -> None:
+        vectors = [self._vectors[name] for name in self._names]
+        columns = [
+            (index, name)
+            for index, name in enumerate(self._names)
+            if name in self._hash or name in self._trees
+        ]
+        for row_id in range(start, len(rows)):
+            row = rows[row_id]
+            for vector, value in zip(vectors, row):
+                vector.append(value)
+            for column_index, name in columns:
+                value = row[column_index]
+                hash_index = self._hash.get(name)
+                if hash_index is not None:
+                    hash_index.insert(value, row_id)
+                tree = self._trees.get(name)
+                if tree is not None:
+                    tree.insert(value, row_id)
+        self.appended_rows += len(rows) - start
+        self._count = len(rows)
+
+    # -- columnar access -----------------------------------------------------
+
+    def column(self, name: str) -> ColumnVector:
+        """The parallel array of one column (exact name)."""
+        return self._vectors[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._vectors
+
+    def arrays(self) -> dict[str, ColumnVector]:
+        """Column name → vector, the namespace compiled closures evaluate in."""
+        return self._vectors
+
+    # -- secondary indexes ---------------------------------------------------
+
+    def hash_index(self, name: str) -> HashIndex:
+        """The column's hash index, built from the vectors on first use."""
+        index = self._hash.get(name)
+        if index is None:
+            index = HashIndex()
+            for row_id, value in enumerate(self._vectors[name]):
+                index.insert(value, row_id)
+            self._hash[name] = index
+        return index
+
+    def tree_index(self, name: str) -> BPlusTreeIndex:
+        """The column's B+Tree index, built from the vectors on first use."""
+        tree = self._trees.get(name)
+        if tree is None:
+            tree = BPlusTreeIndex()
+            for row_id, value in enumerate(self._vectors[name]):
+                tree.insert(value, row_id)
+            self._trees[name] = tree
+        return tree
+
+    def index_stats(self) -> dict[str, tuple[int, int]]:
+        """Column → (hash entries, tree size); observability for tests."""
+        out: dict[str, tuple[int, int]] = {}
+        for name in self._names:
+            hash_index = self._hash.get(name)
+            tree = self._trees.get(name)
+            if hash_index is not None or tree is not None:
+                out[name] = (
+                    len(hash_index) if hash_index is not None else 0,
+                    len(tree) if tree is not None else 0,
+                )
+        return out

@@ -1,0 +1,456 @@
+"""Predicate compiler: lowers a SELECT's WHERE clause once per process.
+
+The row-scan engine re-walks the WHERE AST per row per query per client
+(:func:`repro.sqldb.engine._evaluate`); a deployment answering N clients
+× Q queries per epoch pays that interpretation N×Q times for the same
+statement.  This module lowers each statement *once* into a
+:class:`CompiledSelect` — an index probe plan plus a residual closure —
+cached globally by ``(statement, schema)``, so every client sharing a
+schema (all of them, in a PrivApprox deployment) reuses one compilation.
+This is the same batch-vs-scalar-reference discipline used for
+``randomize_vector`` and ``join_shares_batch``: the scan engine stays the
+frozen reference, and the differential suite proves the compiled path
+equal row-for-row.
+
+**Probe selection.**  The WHERE clause is split into its top-level AND
+conjuncts (the parser builds left-deep trees, so conjunct order equals
+the scan engine's short-circuit evaluation order).  Only the *first*
+conjunct may become an index probe: the scan engine stops evaluating a
+row at its first false conjunct, so skipping later conjuncts for rows
+the probe rejects is exactly what the reference does — whereas probing a
+*later* conjunct would skip evaluations the reference performs (and
+with them any per-row errors it would raise).  Probes:
+
+* ``col = literal`` / ``literal = col`` → :class:`HashIndex` lookup
+* ``col IN (...)`` → hash lookups unioned (``NULL`` choices match NULL
+  rows, as ``value in choices`` does under the scan engine)
+* ``col < | <= | > | >= literal`` and ``col BETWEEN lit AND lit`` →
+  :class:`BPlusTreeIndex` range scan, only when the literal's type is
+  comparable with the column's declared type — a mismatched pair must
+  fall through to the residual closure so it raises the same
+  ``TypeError`` the reference raises
+
+Everything else — the remaining conjuncts, or the whole clause when the
+first conjunct is not probeable — compiles to nested closures over the
+columnar arrays with *identical* semantics to the scan evaluator,
+``NULL`` propagation, unknown-column errors and all.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import operator
+from typing import Any, Callable, Sequence
+
+from repro.sqldb import ast
+from repro.sqldb.columnar import ColumnStore
+from repro.sqldb.errors import ExecutionError
+
+
+class CompileFallback(Exception):
+    """The statement cannot be compiled; the caller must use the row scan."""
+
+
+_COMPARISONS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+# Operator flips for ``literal op column`` probes: ``5 < x`` is ``x > 5``.
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!=", "<>": "<>"}
+
+_NUMERIC_TYPES = frozenset({"INTEGER", "INT", "REAL", "FLOAT", "DOUBLE", "BOOLEAN", "BOOL"})
+_TEXT_TYPES = frozenset({"TEXT", "VARCHAR"})
+
+# fn(arrays, row_id) -> value, the compiled form of one AST expression.
+ValueFn = Callable[[dict, int], Any]
+
+
+class _SchemaView:
+    """Column resolution for one schema, mirroring the scan engine's rules.
+
+    A row dict's keys are the exact column names; ``ColumnRef`` lookup
+    tries the exact name first, then a lowercased map where the *last*
+    declaration wins (``{k.lower(): v for k, v in row.items()}`` keeps
+    the final duplicate) — both reproduced here so compiled resolution
+    agrees with the reference on every edge.
+    """
+
+    def __init__(self, schema: Sequence[tuple[str, str]]):
+        self.names = [name for name, _ in schema]
+        self.types = {name: sql_type for name, sql_type in schema}
+        self._exact = set(self.names)
+        self._lowered = {name.lower(): name for name in self.names}
+
+    def resolve(self, name: str) -> str | None:
+        """Storage name for a ColumnRef, or None when unknown."""
+        if name in self._exact:
+            return name
+        return self._lowered.get(name.lower())
+
+    def sql_type(self, storage_name: str) -> str:
+        return self.types[storage_name].upper()
+
+
+def _literal_comparable(sql_type: str, value: Any) -> bool:
+    """Whether ordering ``column-value op literal`` can never raise.
+
+    Range probes skip the scan engine's per-row evaluation entirely, so
+    they are only legal when that evaluation is provably exception-free:
+    the column's declared type and the literal must order under Python
+    without a ``TypeError``.  (Equality and ``IN`` never raise, so they
+    need no gate.)  NaN literals cannot be produced by the SQL lexer.
+    """
+    if sql_type in _NUMERIC_TYPES:
+        return isinstance(value, (int, float))
+    if sql_type in _TEXT_TYPES:
+        return isinstance(value, str)
+    return False
+
+
+# -- expression lowering -------------------------------------------------------
+
+
+def _unknown_column(name: str) -> ValueFn:
+    def raise_unknown(arrays: dict, row_id: int) -> Any:
+        raise ExecutionError(f"unknown column in expression: {name}")
+
+    return raise_unknown
+
+
+def _compile_value(node: Any, schema: _SchemaView) -> ValueFn:
+    """Lower one expression node into a closure over the columnar arrays.
+
+    Each closure reproduces :func:`repro.sqldb.engine._evaluate_value` on
+    one row exactly — including evaluation order, NULL propagation, and
+    errors raised mid-row — with the row dict replaced by positional
+    reads from the parallel arrays.
+    """
+    if isinstance(node, ast.Literal):
+        value = node.value
+        return lambda arrays, row_id: value
+    if isinstance(node, ast.ColumnRef):
+        storage = schema.resolve(node.name)
+        if storage is None:
+            return _unknown_column(node.name)
+        return lambda arrays, row_id: arrays[storage][row_id]
+    if isinstance(node, ast.Comparison):
+        compare = _COMPARISONS.get(node.operator)
+        if compare is None:
+            raise CompileFallback(f"unsupported comparison operator: {node.operator}")
+        left = _compile_value(node.left, schema)
+        right = _compile_value(node.right, schema)
+
+        def compiled_comparison(arrays: dict, row_id: int) -> bool:
+            left_value = left(arrays, row_id)
+            right_value = right(arrays, row_id)
+            if left_value is None or right_value is None:
+                return False
+            return compare(left_value, right_value)
+
+        return compiled_comparison
+    if isinstance(node, ast.BooleanOp):
+        left = _compile_value(node.left, schema)
+        right = _compile_value(node.right, schema)
+        if node.operator == "AND":
+            return lambda arrays, row_id: (
+                bool(left(arrays, row_id)) and bool(right(arrays, row_id))
+            )
+        return lambda arrays, row_id: (
+            bool(left(arrays, row_id)) or bool(right(arrays, row_id))
+        )
+    if isinstance(node, ast.NotOp):
+        operand = _compile_value(node.operand, schema)
+        return lambda arrays, row_id: not bool(operand(arrays, row_id))
+    if isinstance(node, ast.BetweenOp):
+        value_fn = _compile_value(node.operand, schema)
+        low_fn = _compile_value(node.low, schema)
+        high_fn = _compile_value(node.high, schema)
+
+        def compiled_between(arrays: dict, row_id: int) -> bool:
+            # Evaluation order matches the scan engine: operand, low,
+            # high are all evaluated before the NULL check, so an
+            # unknown-column error in a bound surfaces even for NULL rows.
+            value = value_fn(arrays, row_id)
+            low = low_fn(arrays, row_id)
+            high = high_fn(arrays, row_id)
+            if value is None:
+                return False
+            return low <= value <= high
+
+        return compiled_between
+    if isinstance(node, ast.InOp):
+        value_fn = _compile_value(node.operand, schema)
+        choices = node.choices
+        return lambda arrays, row_id: value_fn(arrays, row_id) in choices
+    if isinstance(node, ast.IsNullOp):
+        value_fn = _compile_value(node.operand, schema)
+        if node.negated:
+            return lambda arrays, row_id: value_fn(arrays, row_id) is not None
+        return lambda arrays, row_id: value_fn(arrays, row_id) is None
+    if isinstance(node, ast.LikeOp):
+        value_fn = _compile_value(node.operand, schema)
+        pattern = node.pattern.replace("%", "*").replace("_", "?")
+
+        def compiled_like(arrays: dict, row_id: int) -> bool:
+            value = value_fn(arrays, row_id)
+            if value is None:
+                return False
+            # Same call as the reference (not a pre-translated regex):
+            # fnmatch's platform case-folding must match exactly.
+            return fnmatch.fnmatch(str(value), pattern)
+
+        return compiled_like
+    raise CompileFallback(f"unsupported expression node: {type(node).__name__}")
+
+
+# -- index probes -------------------------------------------------------------
+
+
+class _EmptyProbe:
+    """A probe that can never match (e.g. ``col = NULL``)."""
+
+    def ids(self, store: ColumnStore) -> list[int]:
+        return []
+
+    def describe(self) -> str:
+        return "empty"
+
+
+class _EqProbe:
+    """``col = literal`` via the column's hash index."""
+
+    def __init__(self, column: str, value: Any):
+        self.column = column
+        self.value = value
+
+    def ids(self, store: ColumnStore) -> list[int]:
+        return store.hash_index(self.column).lookup(self.value)
+
+    def describe(self) -> str:
+        return f"hash-eq({self.column})"
+
+
+class _InProbe:
+    """``col IN (...)`` via unioned hash lookups."""
+
+    def __init__(self, column: str, choices: tuple):
+        self.column = column
+        self.choices = choices
+
+    def ids(self, store: ColumnStore) -> list[int]:
+        index = store.hash_index(self.column)
+        matched: set[int] = set()
+        for choice in self.choices:
+            matched.update(index.lookup(choice))
+        return sorted(matched)
+
+    def describe(self) -> str:
+        return f"hash-in({self.column})"
+
+
+class _RangeProbe:
+    """Range comparison / BETWEEN via the column's B+Tree index."""
+
+    def __init__(self, column, low, high, low_inclusive, high_inclusive):
+        self.column = column
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    def ids(self, store: ColumnStore) -> list[int]:
+        return store.tree_index(self.column).range_ids(
+            self.low, self.high, self.low_inclusive, self.high_inclusive
+        )
+
+    def describe(self) -> str:
+        return f"tree-range({self.column})"
+
+
+def _split_conjuncts(node: Any) -> list:
+    """Flatten a left-deep AND tree into scan-evaluation order."""
+    if isinstance(node, ast.BooleanOp) and node.operator == "AND":
+        return _split_conjuncts(node.left) + _split_conjuncts(node.right)
+    return [node]
+
+
+def _column_and_literal(node: ast.Comparison, schema: _SchemaView):
+    """Match ``col op literal`` or ``literal op col`` (operator flipped)."""
+    if isinstance(node.left, ast.ColumnRef) and isinstance(node.right, ast.Literal):
+        storage = schema.resolve(node.left.name)
+        if storage is not None:
+            return storage, node.operator, node.right.value
+    if isinstance(node.left, ast.Literal) and isinstance(node.right, ast.ColumnRef):
+        storage = schema.resolve(node.right.name)
+        if storage is not None:
+            return storage, _FLIPPED[node.operator], node.left.value
+    return None
+
+
+def _probe_for(conjunct: Any, schema: _SchemaView):
+    """An index probe equivalent to the conjunct, or None.
+
+    Soundness bar: the probe must select *exactly* the rows on which the
+    scan engine evaluates the conjunct truthy, and the scan evaluation
+    of this conjunct must be provably exception-free on every row (the
+    probe never evaluates it).
+    """
+    if isinstance(conjunct, ast.Comparison):
+        match = _column_and_literal(conjunct, schema)
+        if match is None:
+            return None
+        column, op, value = match
+        if op == "=":
+            if value is None:
+                return _EmptyProbe()  # NULL = NULL is false under _compare
+            return _EqProbe(column, value)
+        if op in ("<", "<="):
+            if not _literal_comparable(schema.sql_type(column), value):
+                return None
+            return _RangeProbe(column, None, value, True, op == "<=")
+        if op in (">", ">="):
+            if not _literal_comparable(schema.sql_type(column), value):
+                return None
+            return _RangeProbe(column, value, None, op == ">=", True)
+        return None  # != benefits nothing from an index
+    if isinstance(conjunct, ast.BetweenOp):
+        if not (
+            isinstance(conjunct.operand, ast.ColumnRef)
+            and isinstance(conjunct.low, ast.Literal)
+            and isinstance(conjunct.high, ast.Literal)
+        ):
+            return None
+        storage = schema.resolve(conjunct.operand.name)
+        if storage is None:
+            return None
+        sql_type = schema.sql_type(storage)
+        low, high = conjunct.low.value, conjunct.high.value
+        if not (
+            _literal_comparable(sql_type, low) and _literal_comparable(sql_type, high)
+        ):
+            return None
+        return _RangeProbe(storage, low, high, True, True)
+    if isinstance(conjunct, ast.InOp):
+        if not isinstance(conjunct.operand, ast.ColumnRef):
+            return None
+        storage = schema.resolve(conjunct.operand.name)
+        if storage is None:
+            return None
+        return _InProbe(storage, conjunct.choices)
+    return None
+
+
+# -- the compiled plan --------------------------------------------------------
+
+
+class CompiledSelect:
+    """One statement's lowered row-selection plan, bound to a schema.
+
+    Stateless with respect to any particular table *instance*: the plan
+    captures column names and closures only, so every client database
+    sharing the schema evaluates the same plan over its own
+    :class:`~repro.sqldb.columnar.ColumnStore`.
+    """
+
+    def __init__(self, statement: ast.SelectStatement, schema: _SchemaView):
+        self.statement = statement
+        self.schema = schema
+        self.probe = None
+        self.residual: ValueFn | None = None
+        where = statement.where
+        if where is not None:
+            conjuncts = _split_conjuncts(where)
+            self.probe = _probe_for(conjuncts[0], schema)
+            rest = conjuncts[1:] if self.probe is not None else conjuncts
+            if rest:
+                compiled = [_compile_value(conjunct, schema) for conjunct in rest]
+                if len(compiled) == 1:
+                    single = compiled[0]
+
+                    def residual(arrays: dict, row_id: int) -> bool:
+                        return bool(single(arrays, row_id))
+
+                else:
+
+                    def residual(arrays: dict, row_id: int) -> bool:
+                        # all() short-circuits left-to-right, matching the
+                        # scan engine's nested-AND evaluation order.
+                        return all(bool(fn(arrays, row_id)) for fn in compiled)
+
+                self.residual = residual
+
+    def matching_ids(self, store: ColumnStore):
+        """Row ids satisfying WHERE, ascending (row order).
+
+        Returns a ``range`` for match-all clauses; otherwise a list.  The
+        list may alias index internals when a bare probe matches — treat
+        it as read-only.
+        """
+        if self.statement.where is None:
+            return range(store.count)
+        if self.probe is not None:
+            ids = self.probe.ids(store)
+            if self.residual is None:
+                return ids
+            arrays = store.arrays()
+            residual = self.residual
+            return [row_id for row_id in ids if residual(arrays, row_id)]
+        arrays = store.arrays()
+        residual = self.residual
+        return [row_id for row_id in range(store.count) if residual(arrays, row_id)]
+
+    def describe(self) -> str:
+        """Human-readable plan shape (tests and debugging)."""
+        if self.statement.where is None:
+            return "all"
+        parts = []
+        if self.probe is not None:
+            parts.append(self.probe.describe())
+        if self.residual is not None:
+            parts.append("residual")
+        return "+".join(parts) if parts else "all"
+
+
+# One plan per (statement, schema) per process.  Bounded: a runaway
+# workload (the fuzz suite generates thousands of distinct statements)
+# must not grow the cache without limit, so it is cleared wholesale at
+# the cap — recompilation is cheap, steady-state workloads repeat a
+# handful of statements.
+_PLAN_CACHE: dict = {}
+_PLAN_CACHE_MAX = 512
+_FALLBACK = object()
+
+
+def schema_signature(columns) -> tuple:
+    """Hashable schema identity: ordered (name, declared type) pairs."""
+    return tuple((column.name, column.sql_type.upper()) for column in columns)
+
+
+def plan_for(statement: ast.SelectStatement, columns) -> CompiledSelect:
+    """The cached compiled plan for a statement against a schema.
+
+    Raises :class:`CompileFallback` when the statement cannot be
+    compiled (the negative result is cached too).
+    """
+    key = (statement, schema_signature(columns))
+    cached = _PLAN_CACHE.get(key)
+    if cached is _FALLBACK:
+        raise CompileFallback("statement previously failed to compile")
+    if cached is not None:
+        return cached
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+        _PLAN_CACHE.clear()
+    schema = _SchemaView([(column.name, column.sql_type) for column in columns])
+    try:
+        plan = CompiledSelect(statement, schema)
+    except CompileFallback:
+        _PLAN_CACHE[key] = _FALLBACK
+        raise
+    _PLAN_CACHE[key] = plan
+    return plan

@@ -1,13 +1,30 @@
-"""Execution engine for the mini SQL database."""
+"""Execution engine for the mini SQL database.
+
+Two SELECT paths share one semantics:
+
+* the **row scan** (:meth:`Database._execute_select_scan`) — the frozen
+  reference, interpreting the WHERE AST per row dict; and
+* the **compiled columnar** path (:meth:`Database._execute_select_compiled`)
+  — index probes plus closures from :mod:`repro.sqldb.compile` evaluated
+  over each table's :class:`~repro.sqldb.columnar.ColumnStore`.
+
+The compiled path is the default; ``SQLDB_FORCE_SCAN=1`` in the
+environment (or ``Database.force_scan = True``) pins the reference, and
+statements the compiler cannot lower fall back to it automatically.  The
+differential suite in ``tests/sqldb/test_engine_properties.py`` holds the
+two paths row-for-row equal.
+"""
 
 from __future__ import annotations
 
 import fnmatch
+import os
 from typing import Any
 
 from repro.sqldb import ast
+from repro.sqldb.compile import CompiledSelect, CompileFallback, plan_for
 from repro.sqldb.errors import ExecutionError, SchemaError
-from repro.sqldb.parser import parse_statement
+from repro.sqldb.parser import parse_statement, parse_statement_cached
 from repro.sqldb.table import Column, Table
 
 
@@ -50,6 +67,9 @@ class Database:
     def __init__(self, name: str = "local"):
         self.name = name
         self._tables: dict[str, Table] = {}
+        # Pins the row-scan reference path for this database regardless of
+        # the SQLDB_FORCE_SCAN environment switch.
+        self.force_scan = False
 
     # -- schema management ---------------------------------------------------
 
@@ -81,6 +101,28 @@ class Database:
             table.insert_dict(record)
         return len(records)
 
+    def sync_columnar(self) -> None:
+        """Incrementally sync every existing columnar mirror with its table.
+
+        Tables whose mirror has not been built yet are skipped — they
+        stay lazy until first queried.  The resident runtime calls this
+        after applying each ``ShardDelta`` so index maintenance happens
+        at ingest time, off the answer critical path.
+        """
+        for table in self._tables.values():
+            table.sync_store()
+
+    def _scan_forced(self) -> bool:
+        """Whether the row-scan reference path is pinned.
+
+        Checked per statement (not cached) so tests and operators can
+        flip ``SQLDB_FORCE_SCAN`` mid-process; any value other than
+        empty/``0``/``false`` pins the scan.
+        """
+        if self.force_scan:
+            return True
+        return os.environ.get("SQLDB_FORCE_SCAN", "") not in ("", "0", "false", "False")
+
     # -- statement execution ---------------------------------------------------
 
     def execute(self, sql: str) -> ResultSet | int:
@@ -89,7 +131,10 @@ class Database:
         SELECT returns a :class:`ResultSet`; INSERT/DELETE return the number of
         affected rows; CREATE/DROP return 0.
         """
-        statement = parse_statement(sql)
+        if self._scan_forced():
+            statement = parse_statement(sql)
+        else:
+            statement = parse_statement_cached(sql)
         if isinstance(statement, ast.SelectStatement):
             return self._execute_select(statement)
         if isinstance(statement, ast.InsertStatement):
@@ -115,6 +160,16 @@ class Database:
 
     def _execute_select(self, stmt: ast.SelectStatement) -> ResultSet:
         table = self.table(stmt.table)
+        if self._scan_forced():
+            return self._execute_select_scan(stmt, table)
+        try:
+            plan = plan_for(stmt, table.columns)
+        except CompileFallback:
+            return self._execute_select_scan(stmt, table)
+        return self._execute_select_compiled(stmt, plan, table)
+
+    def _execute_select_scan(self, stmt: ast.SelectStatement, table: Table) -> ResultSet:
+        """The frozen row-scan reference: one dict per row, AST walked per row."""
         rows = [row for row in table.scan() if _evaluate(stmt.where, row)]
 
         if stmt.group_by:
@@ -160,6 +215,125 @@ class Database:
         if stmt.limit is not None:
             projected = projected[: stmt.limit]
         return ResultSet(columns=out_columns, rows=projected)
+
+    def _execute_select_compiled(
+        self, stmt: ast.SelectStatement, plan: CompiledSelect, table: Table
+    ) -> ResultSet:
+        """Evaluate a compiled plan over the table's columnar store.
+
+        Every branch mirrors :meth:`_execute_select_scan` exactly —
+        including its error behavior: projection and ORDER BY read
+        columns by *exact* name from the row dict (``KeyError`` when
+        absent and rows matched), after case-insensitive validation via
+        ``column_index`` (``SchemaError`` takes precedence); aggregates
+        and GROUP BY use ``row.get`` (missing column → ``None``).
+        """
+        store = table.column_store
+        ids = plan.matching_ids(store)
+
+        if stmt.group_by:
+            return self._execute_grouped_compiled(stmt, store, ids)
+
+        has_aggregate = any(isinstance(item, ast.Aggregate) for item in stmt.items)
+        if has_aggregate:
+            if any(isinstance(item, ast.SelectItem) for item in stmt.items):
+                raise ExecutionError(
+                    "mixing plain columns and aggregates requires GROUP BY"
+                )
+            columns = [_aggregate_label(item) for item in stmt.items]
+            values = tuple(
+                _compute_aggregate_columnar(item, store, ids) for item in stmt.items
+            )
+            return ResultSet(columns=columns, rows=[values])
+
+        if stmt.select_star:
+            out_columns = table.column_names
+            # Stored row tuples are already in schema order: reuse them.
+            source_rows = table.rows
+            projected = [source_rows[i] for i in ids]
+        else:
+            out_columns = [item.alias or item.column for item in stmt.items]
+            source_columns = [item.column for item in stmt.items]
+            for column in source_columns:
+                table.column_index(column)  # validate existence
+            if ids:
+                for column in source_columns:
+                    if not store.has_column(column):
+                        raise KeyError(column)  # exact-name row access, as the scan does
+                vectors = [store.column(column) for column in source_columns]
+                projected = [tuple(vector[i] for vector in vectors) for i in ids]
+            else:
+                projected = []
+
+        if stmt.order_by is not None:
+            order_column = stmt.order_by.column
+            if stmt.select_star or order_column in out_columns:
+                if projected and not store.has_column(order_column):
+                    raise KeyError(order_column)
+                if projected:
+                    order_vector = store.column(order_column)
+                    pairs = sorted(
+                        zip(projected, ids),
+                        key=lambda pair: _sort_key(order_vector[pair[1]]),
+                        reverse=stmt.order_by.descending,
+                    )
+                    projected = [pair[0] for pair in pairs]
+            else:
+                order_vector = (
+                    store.column(order_column) if store.has_column(order_column) else None
+                )
+                pairs = sorted(
+                    zip(projected, ids),
+                    key=lambda pair: _sort_key(
+                        order_vector[pair[1]] if order_vector is not None else None
+                    ),
+                    reverse=stmt.order_by.descending,
+                )
+                projected = [pair[0] for pair in pairs]
+
+        if stmt.limit is not None:
+            projected = projected[: stmt.limit]
+        return ResultSet(columns=out_columns, rows=projected)
+
+    def _execute_grouped_compiled(
+        self, stmt: ast.SelectStatement, store, ids
+    ) -> ResultSet:
+        group_vectors = [
+            store.column(column) if store.has_column(column) else None
+            for column in stmt.group_by
+        ]
+        groups: dict[tuple, list[int]] = {}
+        for row_id in ids:
+            key = tuple(
+                vector[row_id] if vector is not None else None
+                for vector in group_vectors
+            )
+            groups.setdefault(key, []).append(row_id)
+
+        out_columns: list[str] = []
+        for item in stmt.items:
+            if isinstance(item, ast.SelectItem):
+                if item.column not in stmt.group_by:
+                    raise ExecutionError(
+                        f"column {item.column} must appear in GROUP BY"
+                    )
+                out_columns.append(item.alias or item.column)
+            else:
+                out_columns.append(_aggregate_label(item))
+
+        result_rows: list[tuple] = []
+        for key in sorted(groups, key=lambda k: tuple(_sort_key(v) for v in k)):
+            group_ids = groups[key]
+            values = []
+            for item in stmt.items:
+                if isinstance(item, ast.SelectItem):
+                    values.append(key[stmt.group_by.index(item.column)])
+                else:
+                    values.append(_compute_aggregate_columnar(item, store, group_ids))
+            result_rows.append(tuple(values))
+        if stmt.limit is not None:
+            result_rows = result_rows[: stmt.limit]
+        return ResultSet(columns=out_columns, rows=result_rows)
 
     def _execute_grouped(self, stmt: ast.SelectStatement, rows: list[dict]) -> ResultSet:
         groups: dict[tuple, list[dict]] = {}
@@ -301,6 +475,37 @@ def _aggregate_label(item: ast.Aggregate) -> str:
         return item.alias
     argument = item.argument if item.argument is not None else "*"
     return f"{item.function.lower()}({argument})"
+
+
+def _compute_aggregate_columnar(item: ast.Aggregate, store, ids) -> Any:
+    """:func:`_compute_aggregate` over a ColumnStore and matching row ids.
+
+    Mirrors the reference exactly: the argument column is read by exact
+    name (``row.get`` semantics — an unknown or case-mismatched column
+    yields ``None`` for every row, so COUNT gives 0 and the rest give
+    ``None``), values are consumed in row order, and AVG is ``sum/len``
+    for float-identical results.
+    """
+    if item.function == "COUNT" and item.argument is None:
+        return len(ids)
+    argument = item.argument
+    if argument is None or not store.has_column(argument):
+        return 0 if item.function == "COUNT" else None
+    vector = store.column(argument)
+    values = [vector[i] for i in ids if vector[i] is not None]
+    if item.function == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if item.function == "SUM":
+        return sum(values)
+    if item.function == "AVG":
+        return sum(values) / len(values)
+    if item.function == "MIN":
+        return min(values)
+    if item.function == "MAX":
+        return max(values)
+    raise ExecutionError(f"unsupported aggregate: {item.function}")
 
 
 def _compute_aggregate(item: ast.Aggregate, rows: list[dict]):

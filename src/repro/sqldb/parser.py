@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.sqldb import ast
 from repro.sqldb.errors import ParseError
 from repro.sqldb.lexer import Token, TokenType, tokenize
@@ -294,3 +296,16 @@ class Parser:
 def parse_statement(sql: str):
     """Parse a single SQL statement string into its AST node."""
     return Parser(sql).parse()
+
+
+@lru_cache(maxsize=256)
+def parse_statement_cached(sql: str):
+    """Memoized :func:`parse_statement` for the compiled answer path.
+
+    AST nodes are frozen dataclasses, so a cached statement is safe to
+    share across every client database in the process (and it doubles as
+    the plan-cache key in :mod:`repro.sqldb.compile`).  The forced-scan
+    reference path deliberately keeps calling :func:`parse_statement`:
+    its per-call cost profile stays frozen alongside its semantics.
+    """
+    return parse_statement(sql)

@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.sqldb.errors import SchemaError
+
+if TYPE_CHECKING:
+    from repro.sqldb.columnar import ColumnStore
 
 # SQL type name -> python conversion callable.
 _TYPE_CONVERTERS = {
@@ -45,6 +48,53 @@ class Column:
             ) from exc
 
 
+class _RowList(list):
+    """Row storage that makes in-place edits visible to the columnar mirror.
+
+    Pure appends (``append``/``extend``/``+=``) stay at C speed — growth
+    is detectable from the length alone — but any operation that edits,
+    reorders, or removes existing rows bumps ``mutations``, which
+    :meth:`~repro.sqldb.columnar.ColumnStore.sync` reads to know its
+    arrays and indexes are stale and must rebuild.
+    """
+
+    def __init__(self, iterable=()):
+        super().__init__(iterable)
+        self.mutations = 0
+
+    def __setitem__(self, index, value):
+        self.mutations += 1
+        super().__setitem__(index, value)
+
+    def __delitem__(self, index):
+        self.mutations += 1
+        super().__delitem__(index)
+
+    def insert(self, index, value):
+        self.mutations += 1
+        super().insert(index, value)
+
+    def pop(self, index=-1):
+        self.mutations += 1
+        return super().pop(index)
+
+    def remove(self, value):
+        self.mutations += 1
+        super().remove(value)
+
+    def sort(self, **kwargs):
+        self.mutations += 1
+        super().sort(**kwargs)
+
+    def reverse(self):
+        self.mutations += 1
+        super().reverse()
+
+    def clear(self):
+        self.mutations += 1
+        super().clear()
+
+
 @dataclass
 class Table:
     """An in-memory table: an ordered schema plus a list of row tuples."""
@@ -53,11 +103,23 @@ class Table:
     columns: list[Column]
     rows: list[tuple] = field(default_factory=list)
 
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Every row-list ever bound to the table is wrapped, so later
+        # in-place edits (``table.rows[0] = ...``) are observable by the
+        # columnar mirror's sync no matter how the list arrived.
+        if name == "rows" and not isinstance(value, _RowList):
+            value = _RowList(value)
+        super().__setattr__(name, value)
+
     def __post_init__(self) -> None:
         names = [c.name for c in self.columns]
         if len(set(names)) != len(names):
             raise SchemaError(f"duplicate column names in table {self.name}")
         self._index = {c.name: i for i, c in enumerate(self.columns)}
+        # Columnar mirror + secondary indexes, built lazily on first use by
+        # the compiled answer path (repro.sqldb.compile).  Derived state:
+        # never serialized, rebuilt on demand after snapshot restore.
+        self._store: "ColumnStore | None" = None
 
     @property
     def column_names(self) -> list[str]:
@@ -97,11 +159,63 @@ class Table:
         """Insert one row from a column-name → value mapping."""
         self.insert(list(record.values()), column_names=list(record.keys()))
 
-    def scan(self) -> Iterator[dict[str, Any]]:
-        """Yield every row as a column-name → value dict."""
+    def append_rows(self, rows: list[tuple]) -> None:
+        """Extend the row list with already-coerced tuples, in place.
+
+        The single bulk-append entry point for snapshot restore and
+        :class:`~repro.runtime.wire.ShardDelta` streams.  Appending in
+        place (rather than rebinding ``self.rows``) is what lets the
+        columnar store recognize the mutation as an incremental append
+        instead of a rebuild.
+        """
+        self.rows.extend(rows)
+
+    def scan(
+        self, columns: list[str] | None = None
+    ) -> Iterator[dict[str, Any]] | Iterator[tuple]:
+        """Yield every row as a column-name → value dict.
+
+        With ``columns``, yield a plain tuple of just those columns per
+        row instead — no per-row dict is materialized, which matters
+        when a caller reads one column from a large table (the
+        allocation regression test in ``tests/sqldb`` pins this).
+        """
+        if columns is not None:
+            indices = [self.column_index(name) for name in columns]
+            if len(indices) == 1:
+                index = indices[0]
+                for row in self.rows:
+                    yield (row[index],)
+            else:
+                for row in self.rows:
+                    yield tuple(row[i] for i in indices)
+            return
         names = self.column_names
         for row in self.rows:
             yield dict(zip(names, row))
+
+    # -- columnar mirror -----------------------------------------------------
+
+    @property
+    def column_store(self) -> "ColumnStore":
+        """The table's columnar mirror, created on first use, synced on every use."""
+        from repro.sqldb.columnar import ColumnStore
+
+        if self._store is None:
+            self._store = ColumnStore(self)
+        else:
+            self._store.sync(self)
+        return self._store
+
+    def sync_store(self) -> None:
+        """Bring an existing columnar mirror up to date (no-op when absent).
+
+        Called eagerly by the resident runtime after applying
+        ``ShardDelta`` appends, keeping index maintenance off the answer
+        critical path; the mirror stays lazy until the first query needs it.
+        """
+        if self._store is not None:
+            self._store.sync(self)
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -495,3 +495,42 @@ class TestProcessPool:
             sharded_responses
         )
         assert serialize_results(serial_results) == serialize_results(sharded_results)
+
+
+class TestIndexedAnswerPathMatchesScan:
+    """The compiled columnar answer path vs the forced row-scan reference.
+
+    The serial reference runs with ``SQLDB_FORCE_SCAN=1`` (the frozen
+    interpreter); every executor configuration then runs the same
+    deployment on the default compiled path.  Response logs and window
+    results must be byte-identical — the fast path may not be observable
+    anywhere above the SQL engine.  (The environment variable reaches
+    process-pool workers because pools fork after the test sets it.)
+    """
+
+    CONFIGS = [
+        ("serial", {}),
+        ("sharded", {"workers": 3, "shards": 5}),
+        ("pipelined", {"workers": 3, "shards": 5}),
+        ("process", {"workers": 2, "shards": 4}),
+        (
+            "process-resident",
+            {"workers": 2, "shards": 4, "resident": True, "checkpoint_every": 2},
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "label,kwargs", CONFIGS, ids=[label for label, _ in CONFIGS]
+    )
+    def test_digests_identical_to_serial_scan(self, label, kwargs, monkeypatch):
+        monkeypatch.setenv("SQLDB_FORCE_SCAN", "1")
+        _, scan_results, scan_responses = run_deployment(
+            60, executor="serial", num_epochs=3
+        )
+        monkeypatch.setenv("SQLDB_FORCE_SCAN", "0")
+        executor = "process" if label == "process-resident" else label
+        _, results, responses = run_deployment(
+            60, executor=executor, num_epochs=3, **kwargs
+        )
+        assert serialize_responses(responses) == serialize_responses(scan_responses)
+        assert serialize_results(results) == serialize_results(scan_results)

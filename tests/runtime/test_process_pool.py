@@ -427,6 +427,10 @@ class TestResidentFailureInjection:
     def test_killed_worker_rebootstraps_byte_identically(self):
         system, (query_id,) = make_resident_system(num_clients=12, shards=4)
         executor = system.executor
+        # Pin the boundaries: a wall-clock-driven adaptive re-shard would
+        # re-bootstrap moved shards and break the exact frame counts below
+        # (adaptive moves have their own test).
+        executor.adaptive = False
         system.run_epoch(query_id, 0)
         system.run_epoch(query_id, 1)
         bootstraps_before = executor.bootstrap_frames
@@ -465,6 +469,9 @@ class TestResidentFailureInjection:
         """A fingerprint mismatch makes the worker refuse; the parent recovers."""
         system, (query_id,) = make_resident_system(num_clients=12, shards=4)
         executor = system.executor
+        # Pin the boundaries: an adaptive re-shard at epoch 2 would silently
+        # re-bootstrap the poisoned shard before the mismatch could fire.
+        executor.adaptive = False
         system.run_epoch(query_id, 0)
         system.run_epoch(query_id, 1)
         assert executor.rebootstraps == 0
@@ -570,6 +577,9 @@ class TestResidentParentSideMutations:
             system, (query_id,) = make_resident_system(
                 num_clients=10, shards=2, checkpoint_every=0
             )
+            # Pin the boundaries: the mutation tests assert exact bootstrap
+            # frame counts, which an adaptive re-shard would inflate.
+            system.executor.adaptive = False
         else:
             config = SystemConfig(num_clients=10, seed=868, executor="serial")
             system = PrivApproxSystem(config)

@@ -293,3 +293,43 @@ def test_churn_scenario_matches_serial_reference(spec, executor, resident):
     assert run.digest == _serial_churn_digest(spec), (
         f"{spec.name} on {run.executor_label} diverged from the serial reference"
     )
+
+
+# -- indexed answer path: scan reference vs compiled columnar -----------------
+#
+# The sqldb differential fuzzer proves compiled == scan per query; this
+# drags one full hostile scenario (churn + skew + injections + deadlines)
+# over the compiled columnar answer path on every executor configuration
+# and demands the run digest match serial + SQLDB_FORCE_SCAN — the whole
+# pipeline, not just the SELECT, must be unable to tell the paths apart.
+
+INDEXED_PATH_CONFIGS = [
+    ("serial", False),
+    ("sharded", False),
+    ("pipelined", False),
+    ("process", False),
+    ("process", True),
+]
+
+
+@pytest.mark.parametrize(
+    "executor,resident",
+    INDEXED_PATH_CONFIGS,
+    ids=[f"{e}{'-resident' if r else ''}" for e, r in INDEXED_PATH_CONFIGS],
+)
+def test_indexed_answer_path_matches_scan_reference(executor, resident, monkeypatch):
+    spec = next(s for s in scenario_grid("full") if s.name == "kitchen-sink")
+    monkeypatch.setenv("SQLDB_FORCE_SCAN", "1")
+    reference_digest = run_env_scenario(spec, executor="serial").digest
+    monkeypatch.setenv("SQLDB_FORCE_SCAN", "0")
+    run = run_env_scenario(
+        spec,
+        executor=executor,
+        workers=2,
+        shards=3,
+        resident=resident,
+        checkpoint_every=2,
+    )
+    assert run.digest == reference_digest, (
+        f"indexed path on {run.executor_label} diverged from serial+scan"
+    )

@@ -1,0 +1,191 @@
+"""Unit tests for the columnar store: typed vectors, incremental sync,
+index maintenance, and the Table.scan projection fast path."""
+
+from repro.sqldb import ColumnVector, Database
+
+
+def _make_db(rows=200):
+    db = Database()
+    db.create_table("t", [("x", "INTEGER"), ("y", "REAL"), ("tag", "TEXT")])
+    db.insert_rows(
+        "t",
+        [{"x": i % 10, "y": float(i), "tag": "even" if i % 2 == 0 else "odd"} for i in range(rows)],
+    )
+    return db
+
+
+class TestColumnVector:
+    def test_integer_stays_typed(self):
+        vector = ColumnVector("INTEGER")
+        for value in [1, -5, 2**62]:
+            vector.append(value)
+        assert vector.typed
+        assert list(vector) == [1, -5, 2**62]
+        assert vector[1] == -5
+
+    def test_null_demotes_to_list(self):
+        vector = ColumnVector("INTEGER")
+        vector.append(7)
+        vector.append(None)
+        vector.append(8)
+        assert not vector.typed
+        assert list(vector) == [7, None, 8]
+
+    def test_bool_does_not_coerce_into_integer_array(self):
+        # array('q') would store True as 1; the read-back must stay True
+        # to match what the row-scan engine projects.
+        vector = ColumnVector("INTEGER")
+        vector.append(3)
+        vector.append(True)
+        assert not vector.typed
+        assert vector[1] is True
+
+    def test_int_does_not_coerce_into_real_array(self):
+        vector = ColumnVector("REAL")
+        vector.append(1.5)
+        vector.append(3)
+        assert not vector.typed
+        assert vector[1] == 3 and type(vector[1]) is int
+
+    def test_oversized_int_demotes(self):
+        vector = ColumnVector("INTEGER")
+        vector.append(1)
+        vector.append(2**70)
+        assert not vector.typed
+        assert vector[1] == 2**70
+
+    def test_text_and_boolean_are_plain_lists(self):
+        assert not ColumnVector("TEXT").typed
+        assert not ColumnVector("BOOLEAN").typed
+
+
+class TestColumnStoreSync:
+    def test_sync_is_noop_when_clean(self):
+        table = _make_db().table("t")
+        store = table.column_store
+        assert store.rebuilds == 1
+        before = store.appended_rows
+        table.sync_store()
+        table.sync_store()
+        assert store.rebuilds == 1 and store.appended_rows == before
+
+    def test_append_rows_extends_incrementally(self):
+        db = _make_db()
+        table = db.table("t")
+        store = table.column_store
+        table.append_rows([(1, 2.0, "a"), (2, 3.0, "bb")])
+        store = table.column_store  # property syncs
+        assert store.rebuilds == 1
+        assert store.count == len(table.rows) == 202
+        assert store.column("tag")[201] == "bb"
+
+    def test_delete_triggers_rebuild(self):
+        db = _make_db()
+        table = db.table("t")
+        store = table.column_store
+        assert store.rebuilds == 1
+        db.execute("DELETE FROM t WHERE x < 5")
+        store = table.column_store
+        assert store.rebuilds == 2
+        assert store.count == len(table.rows)
+
+    def test_in_place_row_edit_triggers_rebuild(self):
+        """Regression: a same-length in-place edit (``rows[0] = ...``, as the
+        resident runtime's parent-side mutation tests perform between epochs)
+        must not be answered from stale columnar arrays or indexes."""
+        db = _make_db()
+        table = db.table("t")
+        store = table.column_store
+        store.hash_index("x")
+        table.rows[0] = (999, -1.0, "edited")
+        store = table.column_store  # property syncs
+        assert store.rebuilds == 2
+        assert store.column("x")[0] == 999
+        assert store.index_stats() == {}  # stale indexes dropped
+        assert store.hash_index("x").lookup(999) == [0]
+        assert db.query("SELECT tag FROM t WHERE x = 999").rows == [("edited",)]
+
+    def test_row_removal_triggers_rebuild(self):
+        db = _make_db()
+        table = db.table("t")
+        store = table.column_store
+        del table.rows[3]
+        table.rows.pop()
+        store = table.column_store
+        assert store.rebuilds >= 2
+        assert store.count == len(table.rows) == 198
+
+    def test_append_maintains_live_indexes(self):
+        db = _make_db()
+        table = db.table("t")
+        store = table.column_store
+        hash_index = store.hash_index("x")
+        tree = store.tree_index("x")
+        hits_before = len(hash_index.lookup(3))
+        table.append_rows([(3, 0.0, "a")])
+        table.sync_store()
+        assert len(store.hash_index("x").lookup(3)) == hits_before + 1
+        assert store.hash_index("x") is hash_index  # maintained, not rebuilt
+        assert store.tree_index("x") is tree
+        tree.check_invariants()
+        assert store.tree_index("x").range_ids(3, 3, True, True)[-1] == 200
+
+    def test_rebuild_drops_indexes(self):
+        db = _make_db()
+        table = db.table("t")
+        store = table.column_store
+        store.hash_index("x")
+        assert "x" in store.index_stats()
+        db.execute("DELETE FROM t WHERE x = 0")
+        table.sync_store()
+        assert store.index_stats() == {}  # lazily rebuilt on next probe
+        assert store.hash_index("x").lookup(0) == []
+
+    def test_database_sync_columnar_skips_lazy_tables(self):
+        db = _make_db()
+        db.create_table("untouched", [("a", "INTEGER")])
+        db.sync_columnar()  # must not build a store for 'untouched'
+        assert db.table("untouched")._store is None
+        store = db.table("t").column_store
+        db.table("t").append_rows([(1, 1.0, "a")])
+        db.sync_columnar()
+        assert store.count == 201
+
+
+class TestScanProjection:
+    def test_projected_scan_returns_column_tuples(self):
+        table = _make_db(rows=6).table("t")
+        assert list(table.scan(columns=["x"])) == [(r[0],) for r in table.rows]
+        assert list(table.scan(columns=["tag", "x"])) == [
+            (r[2], r[0]) for r in table.rows
+        ]
+        # Case-insensitive resolution, same as column_index.
+        assert list(table.scan(columns=["TAG"]))[0] == ("even",)
+
+    def test_projected_scan_allocates_no_row_dicts(self, monkeypatch):
+        """Regression: Table.scan used to build one dict per row no matter
+        how little of the row the caller consumed.  Pin the dict allocation
+        count by shadowing ``dict`` in the table module: the full scan pays
+        one per row, the projected scan pays zero."""
+        import repro.sqldb.table as table_module
+
+        counter = {"dicts": 0}
+
+        class CountingDict(dict):
+            def __init__(self, *args, **kwargs):
+                counter["dicts"] += 1
+                super().__init__(*args, **kwargs)
+
+        # Module-global shadows the builtin inside Table.scan.
+        monkeypatch.setattr(table_module, "dict", CountingDict, raising=False)
+        table = _make_db(rows=500).table("t")
+
+        counter["dicts"] = 0
+        full = list(table.scan())
+        assert counter["dicts"] == 500  # the old path: one dict per row
+        assert len(full) == 500
+
+        counter["dicts"] = 0
+        projected = list(table.scan(columns=["x"]))
+        assert counter["dicts"] == 0  # projection materializes tuples only
+        assert len(projected) == 500

@@ -1,0 +1,160 @@
+"""Unit tests for the predicate compiler: probe selection, soundness
+gates, plan caching, and the SQLDB_FORCE_SCAN escape hatch."""
+
+import pytest
+
+from repro.sqldb import CompileFallback, Database, plan_for
+from repro.sqldb import ast
+from repro.sqldb.parser import parse_statement
+
+
+def _db():
+    db = Database()
+    db.create_table(
+        "t", [("x", "INTEGER"), ("y", "REAL"), ("tag", "TEXT"), ("ok", "BOOLEAN")]
+    )
+    db.insert_rows(
+        "t",
+        [
+            {"x": 1, "y": 1.0, "tag": "a", "ok": True},
+            {"x": 2, "y": None, "tag": "bb", "ok": False},
+            {"x": 2, "y": 3.5, "tag": None, "ok": True},
+            {"x": 9, "y": -1.0, "tag": "ccc", "ok": None},
+        ],
+    )
+    return db
+
+
+def _plan(db, sql):
+    return plan_for(parse_statement(sql), db.table("t").columns)
+
+
+class TestProbeSelection:
+    @pytest.mark.parametrize(
+        ("sql", "expected"),
+        [
+            ("SELECT * FROM t", "all"),
+            ("SELECT * FROM t WHERE x = 2", "hash-eq(x)"),
+            ("SELECT * FROM t WHERE 2 = x", "hash-eq(x)"),
+            ("SELECT * FROM t WHERE tag IN ('a', 'bb')", "hash-in(tag)"),
+            ("SELECT * FROM t WHERE x BETWEEN 1 AND 5", "tree-range(x)"),
+            ("SELECT * FROM t WHERE x > 3", "tree-range(x)"),
+            ("SELECT * FROM t WHERE 3 > x", "tree-range(x)"),
+            ("SELECT * FROM t WHERE tag < 'm'", "tree-range(tag)"),
+            ("SELECT * FROM t WHERE x = 2 AND y > 0", "hash-eq(x)+residual"),
+            ("SELECT * FROM t WHERE x != 2", "residual"),
+            ("SELECT * FROM t WHERE x IS NULL", "residual"),
+            ("SELECT * FROM t WHERE x = NULL", "empty"),
+        ],
+    )
+    def test_plan_shapes(self, sql, expected):
+        assert _plan(_db(), sql).describe() == expected
+
+    def test_only_first_conjunct_probes(self):
+        # The scan engine short-circuits conjuncts left to right; probing a
+        # later conjunct would skip evaluations (and errors) the reference
+        # performs, so only the leading conjunct may be probed.
+        db = _db()
+        assert _plan(db, "SELECT * FROM t WHERE y IS NULL AND x = 2").describe() == (
+            "residual"
+        )
+        assert _plan(db, "SELECT * FROM t WHERE x = 2 AND y IS NULL").describe() == (
+            "hash-eq(x)+residual"
+        )
+
+    def test_range_probe_requires_type_compatible_literal(self):
+        # TEXT < 5 raises TypeError row by row under the scan engine; the
+        # residual path must be the one to reproduce that, so no probe.
+        db = _db()
+        assert _plan(db, "SELECT * FROM t WHERE tag < 5").describe() == "residual"
+        assert _plan(db, "SELECT * FROM t WHERE x < 'm'").describe() == "residual"
+        # Equality never raises, so it probes regardless of literal type.
+        assert _plan(db, "SELECT * FROM t WHERE x = 'm'").describe() == "hash-eq(x)"
+
+    def test_unknown_probe_column_falls_to_residual(self):
+        assert _plan(_db(), "SELECT * FROM t WHERE nope = 1").describe() == "residual"
+
+    def test_case_insensitive_probe_column(self):
+        assert _plan(_db(), "SELECT * FROM t WHERE X = 2").describe() == "hash-eq(x)"
+
+
+class TestProbeResults:
+    def test_null_equality_probe_matches_nothing(self):
+        db = _db()
+        assert db.query("SELECT COUNT(*) FROM t WHERE tag = NULL").scalar() == 0
+
+    def test_in_with_null_choice_matches_null_rows(self):
+        # value in (None, ...) is True for NULL rows under the scan engine.
+        db = _db()
+        result = db.query("SELECT x FROM t WHERE tag IN (NULL, 'a')")
+        assert result.column("x") == [1, 2]
+
+    def test_matching_ids_are_row_ordered(self):
+        db = _db()
+        plan = _plan(db, "SELECT * FROM t WHERE x = 2")
+        ids = plan.matching_ids(db.table("t").column_store)
+        assert list(ids) == [1, 2]
+
+
+class TestPlanCache:
+    def test_same_statement_and_schema_share_a_plan(self):
+        db = _db()
+        first = _plan(db, "SELECT * FROM t WHERE x = 2")
+        second = _plan(db, "SELECT  *  FROM t WHERE x = 2")  # same AST
+        assert first is second
+
+    def test_different_schema_gets_a_different_plan(self):
+        db = _db()
+        other = Database()
+        other.create_table("t", [("x", "TEXT")])
+        statement = parse_statement("SELECT * FROM t WHERE x = 'a'")
+        assert plan_for(statement, db.table("t").columns) is not plan_for(
+            statement, other.table("t").columns
+        )
+
+    def test_fallback_is_raised_and_cached(self):
+        statement = ast.SelectStatement(
+            table="t",
+            items=(ast.SelectItem(column="x"),),
+            where=ast.Comparison(
+                left=ast.ColumnRef(name="x"),
+                operator="LOLWUT",
+                right=ast.Literal(value=1),
+            ),
+        )
+        columns = _db().table("t").columns
+        for _ in range(2):  # second hit comes from the cached fallback
+            with pytest.raises(CompileFallback):
+                plan_for(statement, columns)
+
+
+class TestForceScan:
+    def test_env_var_pins_the_scan_path(self, monkeypatch):
+        db = _db()
+        monkeypatch.setenv("SQLDB_FORCE_SCAN", "1")
+        assert db._scan_forced()
+        assert db.query("SELECT x FROM t WHERE x = 2").column("x") == [2, 2]
+        # The reference path must not have built a columnar mirror.
+        assert db.table("t")._store is None
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "False"])
+    def test_falsey_env_values_keep_the_compiled_path(self, value, monkeypatch):
+        db = _db()
+        monkeypatch.setenv("SQLDB_FORCE_SCAN", value)
+        assert not db._scan_forced()
+
+    def test_attribute_pins_per_database(self, monkeypatch):
+        monkeypatch.delenv("SQLDB_FORCE_SCAN", raising=False)
+        db = _db()
+        db.force_scan = True
+        assert db._scan_forced()
+        db.query("SELECT x FROM t WHERE x = 2")
+        assert db.table("t")._store is None
+
+    def test_both_paths_agree_mid_process_flip(self, monkeypatch):
+        db = _db()
+        monkeypatch.setenv("SQLDB_FORCE_SCAN", "1")
+        scanned = db.query("SELECT * FROM t WHERE x >= 2 ORDER BY x DESC").rows
+        monkeypatch.setenv("SQLDB_FORCE_SCAN", "0")
+        compiled = db.query("SELECT * FROM t WHERE x >= 2 ORDER BY x DESC").rows
+        assert scanned == compiled
