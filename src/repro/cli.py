@@ -8,7 +8,11 @@ The CLI exposes the most common workflows without writing Python:
 * ``simulate``   — run an end-to-end synthetic deployment and print the
                    estimated histogram next to the ground truth;
 * ``taxi`` / ``electricity`` — run the two case studies;
-* ``crypto-table`` — print the Table 2 device-calibrated crypto comparison.
+* ``crypto-table`` — print the Table 2 device-calibrated crypto comparison;
+* ``worker``     — serve shards as a remote resident worker over TCP
+                   (``--listen HOST:PORT --key-file KEYS``); a coordinator
+                   points at it with ``simulate --workers host:port,...``.
+                   See ``docs/OPERATIONS.md`` for the full runbook.
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
 """
@@ -52,8 +56,16 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
              "the GIL; serialized shard tasks, adaptive shard sizing)",
     )
     parser.add_argument(
-        "--workers", type=int, default=4,
-        help="worker pool size for the sharded/pipelined executors (default: 4)",
+        "--workers", default="4",
+        help="worker pool size for the sharded/pipelined executors "
+             "(default: 4) — or a comma-separated list of host:port "
+             "addresses of separately launched TCP workers (requires "
+             "--executor process and --key-file; see the 'worker' command)",
+    )
+    parser.add_argument(
+        "--key-file", default=None, metavar="PATH",
+        help="with host:port --workers: pre-shared HMAC keys, one hex key "
+             "per line (line i keys worker i, or a single shared key)",
     )
     parser.add_argument(
         "--shards", type=int, default=None,
@@ -75,16 +87,57 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_workers(value: str) -> tuple[int, tuple[str, ...] | None]:
+    """Interpret ``--workers``: a pool size, or remote ``host:port`` addresses.
+
+    Returns ``(pool_size, remote_addresses)``; remote addresses are ``None``
+    for the plain integer form.  With addresses the pool size is their count.
+    """
+    if ":" not in value:
+        try:
+            return int(value), None
+        except ValueError:
+            raise SystemExit(
+                f"--workers expects an integer pool size or host:port "
+                f"addresses, got {value!r}"
+            ) from None
+    addresses = tuple(part.strip() for part in value.split(",") if part.strip())
+    if not addresses:
+        raise SystemExit("--workers names no addresses")
+    from repro.runtime.remote import parse_address
+
+    for address in addresses:
+        try:
+            parse_address(address)
+        except ValueError as exc:
+            raise SystemExit(f"--workers: {exc}") from None
+    return len(addresses), addresses
+
+
 def _system_config(args: argparse.Namespace, **overrides) -> SystemConfig:
     """Build a SystemConfig from the common CLI arguments."""
+    pool_size, remote = _parse_workers(args.workers)
+    if remote is not None:
+        if args.key_file is None:
+            raise SystemExit(
+                "--workers with host:port addresses requires --key-file"
+            )
+        if args.executor != "process":
+            raise SystemExit(
+                "--workers with host:port addresses requires --executor process"
+            )
+    elif args.key_file is not None:
+        raise SystemExit("--key-file only applies with host:port --workers")
     return SystemConfig(
         num_clients=args.clients,
         seed=args.seed,
         executor=args.executor,
-        executor_workers=args.workers,
+        executor_workers=pool_size,
         executor_shards=args.shards,
         executor_resident=args.resident_state,
         executor_checkpoint_every=args.checkpoint_every,
+        executor_remote_workers=remote,
+        executor_key_file=args.key_file if remote is not None else None,
         **overrides,
     )
 
@@ -149,6 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_arguments(electricity)
 
     subparsers.add_parser("crypto-table", help="print the Table 2 crypto comparison")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="serve shards as a remote resident worker over TCP "
+             "(coordinators connect via simulate --workers host:port,...)",
+    )
+    worker.add_argument(
+        "--listen", required=True, metavar="HOST:PORT",
+        help="address to bind (port 0 picks a free port; the bound address "
+             "is printed as 'worker listening on HOST:PORT')",
+    )
+    worker.add_argument(
+        "--key-file", required=True, metavar="PATH",
+        help="pre-shared HMAC key, one hex line (this worker's key)",
+    )
+    worker.add_argument(
+        "--max-sessions", type=int, default=None, metavar="N",
+        help="exit after N coordinator sessions have ended (default: serve "
+             "until interrupted; used by tests and the CI smoke)",
+    )
     return parser
 
 
@@ -206,13 +279,20 @@ def _cmd_simulate_scenario(args: argparse.Namespace) -> int:
         spec = find_scenario(args.scenario)
     except KeyError as exc:
         raise SystemExit(str(exc)) from exc
+    pool_size, remote = _parse_workers(args.workers)
+    if remote is not None and args.key_file is None:
+        raise SystemExit("--workers with host:port addresses requires --key-file")
+    if remote is None and args.key_file is not None:
+        raise SystemExit("--key-file only applies with host:port --workers")
     run = run_scenario(
         spec,
         executor=args.executor,
-        workers=args.workers,
+        workers=pool_size,
         shards=args.shards,
         resident=args.resident_state,
         checkpoint_every=args.checkpoint_every,
+        remote_workers=remote,
+        key_file=args.key_file,
     )
     print(f"scenario {spec.name} on executor {run.executor_label}")
     print(f"  digest            {run.digest}")
@@ -338,6 +418,40 @@ def cmd_electricity(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run one remote resident worker until interrupted (or --max-sessions)."""
+    from repro.runtime.remote import RemoteWorkerServer, load_keys, parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        raise SystemExit(f"--listen: {exc}") from None
+    keys = load_keys(args.key_file)
+    if len(keys) != 1:
+        raise SystemExit(
+            f"a worker's key file must hold exactly one key, found {len(keys)} "
+            f"in {args.key_file} (per-worker files; see docs/OPERATIONS.md)"
+        )
+    server = RemoteWorkerServer(host, port, keys[0], max_sessions=args.max_sessions)
+    bound_host, bound_port = server.address
+    # Parents (tests, the CI smoke, operators scripting --listen :0) parse
+    # this line to learn the bound port; keep its shape stable.
+    print(f"worker listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(
+        f"worker done: {server.sessions_served} sessions, "
+        f"{server.frames_served} frames, {server.failed_sessions} failed, "
+        f"{server.rejected_connections} rejected",
+        flush=True,
+    )
+    return 0
+
+
 def cmd_crypto_table(_: argparse.Namespace) -> int:
     devices = DeviceProfile.all_devices()
     schemes = [
@@ -360,6 +474,7 @@ _COMMANDS = {
     "taxi": cmd_taxi,
     "electricity": cmd_electricity,
     "crypto-table": cmd_crypto_table,
+    "worker": cmd_worker,
 }
 
 

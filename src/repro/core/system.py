@@ -75,6 +75,14 @@ class SystemConfig:
     trips; ``executor_checkpoint_every`` controls how often the parent's
     authoritative copy is refreshed (``0`` = only on demand/shutdown).
     Residency changes nothing observable: results stay byte-identical.
+
+    ``executor_remote_workers`` replaces the pinned worker *processes* with
+    separately launched TCP workers (:mod:`repro.runtime.remote`): a tuple
+    of ``host:port`` addresses (one slot per worker; ``executor_workers`` is
+    ignored) plus ``executor_key_file`` naming the pre-shared HMAC keys —
+    one hex key per line, line *i* keying worker *i*.  Remote workers imply
+    residency and require ``executor='process'``.  The transport changes
+    nothing observable either: digests stay byte-identical to serial.
     """
 
     num_clients: int = 100
@@ -91,6 +99,8 @@ class SystemConfig:
     executor_pool: str = "thread"
     executor_resident: bool = False
     executor_checkpoint_every: int = 4
+    executor_remote_workers: tuple[str, ...] | None = None
+    executor_key_file: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -116,6 +126,30 @@ class SystemConfig:
             )
         if self.executor_checkpoint_every < 0:
             raise ValueError("executor_checkpoint_every must be non-negative")
+        if self.executor_remote_workers is not None:
+            if not self.executor_remote_workers:
+                raise ValueError(
+                    "executor_remote_workers must name at least one "
+                    "host:port address when given"
+                )
+            if self.executor != "process":
+                raise ValueError(
+                    "executor_remote_workers requires executor='process' "
+                    "(the remote transport speaks the resident protocol)"
+                )
+            if self.executor_key_file is None:
+                raise ValueError(
+                    "executor_remote_workers requires executor_key_file "
+                    "(pre-shared HMAC keys, one hex key per line)"
+                )
+            from repro.runtime.remote import parse_address
+
+            for address in self.executor_remote_workers:
+                parse_address(address)  # raises ValueError on malformed input
+        elif self.executor_key_file is not None:
+            raise ValueError(
+                "executor_key_file only applies with executor_remote_workers"
+            )
 
 
 @dataclass(frozen=True)
@@ -169,6 +203,8 @@ class PrivApproxSystem:
             pool=config.executor_pool,
             resident=config.executor_resident,
             checkpoint_every=config.executor_checkpoint_every,
+            remote_workers=config.executor_remote_workers,
+            key_file=config.executor_key_file,
         )
         self.analyst: Analyst | None = None
         self.historical_store = HistoricalStore() if config.keep_historical else None

@@ -27,7 +27,17 @@ from repro.runtime.affinity import (
     ResidentShardCache,
     ResidentWorkerError,
     StickyShardRouter,
+    serve_resident_frame,
     shard_fingerprint,
+)
+from repro.runtime.remote import (
+    RemoteProtocolError,
+    RemoteResidentExecutor,
+    RemoteWorkerServer,
+    RemoteWorkerTransport,
+    RemoteWorkerUnavailable,
+    load_keys,
+    parse_address,
 )
 from repro.runtime.executor import (
     EXECUTOR_KINDS,
@@ -100,6 +110,11 @@ __all__ = [
     "ProcessPoolEpochExecutor",
     "QueryContext",
     "QueryEpochOutcome",
+    "RemoteProtocolError",
+    "RemoteResidentExecutor",
+    "RemoteWorkerServer",
+    "RemoteWorkerTransport",
+    "RemoteWorkerUnavailable",
     "ResidentProcessExecutor",
     "ScenarioPlan",
     "ScenarioRun",
@@ -135,11 +150,14 @@ __all__ = [
     "epoch_deadline_for",
     "find_scenario",
     "late_drops_for",
+    "load_keys",
     "make_executor",
+    "parse_address",
     "plan_shards",
     "plan_weighted_shards",
     "run_scenario",
     "scenario_grid",
+    "serve_resident_frame",
     "shard_fingerprint",
     "shard_span",
 ]

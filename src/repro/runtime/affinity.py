@@ -183,72 +183,85 @@ def _answer_from_residency(
     )
 
 
-def resident_worker_main(task_queue, result_queue) -> None:
-    """The pinned worker loop: bootstrap/delta frames in, ack frames out.
+def serve_resident_frame(cache: ResidentShardCache, frame: bytes) -> bytes:
+    """Serve one bootstrap/delta frame against a resident cache.
 
-    Runs in a dedicated process until it receives the ``None`` sentinel.
-    Every frame produces exactly one ack — success, ``bootstrap_required``,
-    or a captured worker-side error — so the parent's collector never counts
-    itself into a hang.  State lives in a :class:`ResidentShardCache` for the
-    life of the process; an exception while answering invalidates the shard
-    (its clients may be half-advanced) so the parent re-bootstraps it.
+    The single protocol step both worker front-ends share — the in-process
+    pinned worker loop (:func:`resident_worker_main`) and the TCP worker
+    server (:mod:`repro.runtime.remote`): decode the frame, install or look
+    up the shard's resident clients, answer, and return the encoded
+    :class:`~repro.runtime.wire.ShardAck`.  Every frame produces exactly one
+    ack — success, ``bootstrap_required``, or a captured worker-side error —
+    so the parent's collector never counts itself into a hang.  An exception
+    while answering invalidates the shard (its clients may be half-advanced)
+    so the parent re-bootstraps it.
     """
     # Imported here: repro.core imports repro.runtime at package level, so a
     # module-level import would be cyclic.
     from repro.core.client import Client
 
+    shard_index = -1
+    epoch = -1
+    try:
+        message = decode_frame(frame)
+        shard_index = message.shard_index
+        epoch = message.epoch
+        if isinstance(message, ShardBootstrap):
+            clients = [Client.from_state(state) for state in message.client_states]
+            cache.install(shard_index, clients)
+            ack = _answer_from_residency(
+                cache, shard_index, epoch, message.query_ids, False, clients
+            )
+        elif isinstance(message, ShardDelta):
+            clients = cache.lookup(shard_index, message.expected_fingerprint)
+            if clients is None:
+                ack = ShardAck(
+                    shard_index=shard_index, epoch=epoch, bootstrap_required=True
+                )
+            else:
+                for client, delta in zip(clients, message.deltas):
+                    if delta is not None:
+                        client.apply_delta(delta)
+                        # Delta-driven index maintenance: fold the
+                        # appended rows into any live columnar mirrors
+                        # now, at ingest, keeping the rebuild/append
+                        # work off the answer critical path.
+                        client.database.sync_columnar()
+                ack = _answer_from_residency(
+                    cache,
+                    shard_index,
+                    epoch,
+                    message.query_ids,
+                    message.want_state,
+                    clients,
+                )
+        else:
+            raise WireError(
+                f"resident worker cannot serve {type(message).__name__} frames"
+            )
+    except Exception as exc:  # noqa: BLE001 — every failure must become an ack
+        cache.invalidate(shard_index)
+        ack = ShardAck(
+            shard_index=shard_index,
+            epoch=epoch,
+            error=(type(exc).__name__, str(exc)),
+        )
+    return encode_shard_ack(ack)
+
+
+def resident_worker_main(task_queue, result_queue) -> None:
+    """The pinned worker loop: bootstrap/delta frames in, ack frames out.
+
+    Runs in a dedicated process until it receives the ``None`` sentinel.
+    State lives in a :class:`ResidentShardCache` for the life of the
+    process; each frame is served by :func:`serve_resident_frame`.
+    """
     cache = ResidentShardCache()
     while True:
         frame = task_queue.get()
         if frame is None:
             return
-        shard_index = -1
-        epoch = -1
-        try:
-            message = decode_frame(frame)
-            shard_index = message.shard_index
-            epoch = message.epoch
-            if isinstance(message, ShardBootstrap):
-                clients = [Client.from_state(state) for state in message.client_states]
-                cache.install(shard_index, clients)
-                ack = _answer_from_residency(
-                    cache, shard_index, epoch, message.query_ids, False, clients
-                )
-            elif isinstance(message, ShardDelta):
-                clients = cache.lookup(shard_index, message.expected_fingerprint)
-                if clients is None:
-                    ack = ShardAck(
-                        shard_index=shard_index, epoch=epoch, bootstrap_required=True
-                    )
-                else:
-                    for client, delta in zip(clients, message.deltas):
-                        if delta is not None:
-                            client.apply_delta(delta)
-                            # Delta-driven index maintenance: fold the
-                            # appended rows into any live columnar mirrors
-                            # now, at ingest, keeping the rebuild/append
-                            # work off the answer critical path.
-                            client.database.sync_columnar()
-                    ack = _answer_from_residency(
-                        cache,
-                        shard_index,
-                        epoch,
-                        message.query_ids,
-                        message.want_state,
-                        clients,
-                    )
-            else:
-                raise WireError(
-                    f"resident worker cannot serve {type(message).__name__} frames"
-                )
-        except Exception as exc:  # noqa: BLE001 — every failure must become an ack
-            cache.invalidate(shard_index)
-            ack = ShardAck(
-                shard_index=shard_index,
-                epoch=epoch,
-                error=(type(exc).__name__, str(exc)),
-            )
-        result_queue.put(encode_shard_ack(ack))
+        result_queue.put(serve_resident_frame(cache, frame))
 
 
 class _WorkerHandle:

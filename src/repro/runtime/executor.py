@@ -351,6 +351,8 @@ def make_executor(
     pool: str = "thread",
     resident: bool = False,
     checkpoint_every: int = 4,
+    remote_workers: Sequence[str] | None = None,
+    key_file: str | None = None,
 ) -> EpochExecutor:
     """Build an executor from configuration values.
 
@@ -378,6 +380,15 @@ def make_executor(
     checkpoint_every:
         Resident mode only: refresh the parent's authoritative state copy
         every this many epochs per shard (``0`` = only on demand/shutdown).
+    remote_workers:
+        ``host:port`` addresses of separately launched TCP workers
+        (:mod:`repro.runtime.remote`).  Implies residency (the remote
+        protocol *is* the resident protocol over sockets) and requires the
+        ``"process"`` executor kind and a ``key_file``.  The pool size is
+        the number of addresses; ``workers`` is ignored.
+    key_file:
+        Path to the pre-shared HMAC keys for ``remote_workers`` — one hex
+        key per line (line *i* keys worker *i*), or a single shared key.
     """
     from repro.runtime.affinity import ResidentProcessExecutor
     from repro.runtime.pipelined import PipelinedExecutor
@@ -390,6 +401,28 @@ def make_executor(
             "resident client state requires the 'process' executor "
             f"(got {name!r}): only its workers outlive an epoch"
         )
+    if remote_workers:
+        from repro.runtime.remote import RemoteResidentExecutor, load_keys
+
+        if name != "process":
+            raise ValueError(
+                "remote workers require the 'process' executor "
+                f"(got {name!r}): the remote transport speaks the resident "
+                "protocol"
+            )
+        if key_file is None:
+            raise ValueError(
+                "remote workers require a key file (one hex HMAC key per "
+                "line; see docs/OPERATIONS.md)"
+            )
+        return RemoteResidentExecutor(
+            list(remote_workers),
+            load_keys(key_file),
+            num_shards=shards,
+            checkpoint_every=checkpoint_every,
+        )
+    if key_file is not None:
+        raise ValueError("key_file only applies with remote_workers")
     if name == "serial":
         return SerialExecutor()
     if name == "sharded":

@@ -544,6 +544,8 @@ def run_scenario(
     shards: int | None = None,
     resident: bool = False,
     checkpoint_every: int = 2,
+    remote_workers: Sequence[str] | None = None,
+    key_file: str | None = None,
 ) -> ScenarioRun:
     """Execute one scenario end-to-end on one executor configuration.
 
@@ -551,6 +553,11 @@ def run_scenario(
     late-set and injections (all derived from :func:`build_plan`), so two
     runs on different executors must agree on the returned ``digest`` — the
     cross-executor assertion ``benchmarks/run_scenarios.py`` enforces.
+
+    ``remote_workers`` runs the shards on separately launched TCP workers
+    (:mod:`repro.runtime.remote`; requires ``executor="process"`` and a
+    ``key_file`` of pre-shared HMAC keys) — the digest contract is
+    unchanged: a remote run must agree byte-for-byte with a serial one.
     """
     from repro.analytics import histogram_accuracy_loss
     from repro.core import (
@@ -573,6 +580,10 @@ def run_scenario(
         executor_shards=shards,
         executor_resident=resident,
         executor_checkpoint_every=checkpoint_every,
+        executor_remote_workers=(
+            tuple(remote_workers) if remote_workers is not None else None
+        ),
+        executor_key_file=key_file,
     )
     system = PrivApproxSystem(config)
     data_rng = random.Random(spec.seed * 7919 + 1)
@@ -687,7 +698,10 @@ def run_scenario(
         for client_id in stats.late_clients:
             digest.update(client_id.encode("utf-8"))
 
-    label = executor + ("-resident" if resident else "")
+    if remote_workers is not None:
+        label = executor + "-remote"
+    else:
+        label = executor + ("-resident" if resident else "")
     return ScenarioRun(
         spec=spec,
         executor_label=label,

@@ -116,8 +116,57 @@ _FRAME_FORMAT = ">4sBBI"
 _FRAME_SIZE = struct.calcsize(_FRAME_FORMAT)
 
 
+def _kind_name(kind: int | None) -> str:
+    """Human-readable frame-kind label for error messages."""
+    names = {
+        _KIND_SHARD_TASK: "ShardTask",
+        _KIND_SHARD_BATCH: "ShardBatch",
+        _KIND_SHARD_BOOTSTRAP: "ShardBootstrap",
+        _KIND_SHARD_DELTA: "ShardDelta",
+        _KIND_SHARD_ACK: "ShardAck",
+    }
+    return f"{names.get(kind, 'unknown')}({kind})"
+
+
 class WireError(Exception):
-    """Raised when a shard task or batch cannot be (de)serialized."""
+    """Raised when a runtime wire frame cannot be (de)serialized.
+
+    Every raise site attaches whatever framing context it had already
+    parsed, so one log line locates the corruption in a byte stream:
+
+    * ``kind`` — the frame kind declared by the header, when the header got
+      that far (``None`` for pre-header failures like a bad magic);
+    * ``declared_length`` — the payload length the header claimed;
+    * ``offset`` — the byte offset, relative to the start of the frame (or
+      of the enclosing stream, for transports that track one), where the
+      problem was detected.
+
+    The context is folded into the message (``... [kind=ShardDelta(4),
+    declared_length=512, offset=10]``) and kept as attributes for callers
+    that branch on it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: int | None = None,
+        declared_length: int | None = None,
+        offset: int | None = None,
+    ):
+        details = []
+        if kind is not None:
+            details.append(f"kind={_kind_name(kind)}")
+        if declared_length is not None:
+            details.append(f"declared_length={declared_length}")
+        if offset is not None:
+            details.append(f"offset={offset}")
+        if details:
+            message = f"{message} [{', '.join(details)}]"
+        super().__init__(message)
+        self.kind = kind
+        self.declared_length = declared_length
+        self.offset = offset
 
 
 @dataclass(frozen=True)
@@ -303,34 +352,61 @@ def _decode_header(data: bytes) -> tuple[int, int, int]:
     version-1 leftovers) are rejected.
     """
     if len(data) < _FRAME_SIZE:
-        raise WireError(f"frame too short: {len(data)} bytes")
+        raise WireError(
+            f"frame too short: {len(data)} bytes "
+            f"(a frame header is {_FRAME_SIZE} bytes)",
+            offset=len(data),
+        )
     magic, version, frame_kind, length = struct.unpack(_FRAME_FORMAT, data[:_FRAME_SIZE])
     if magic != WIRE_MAGIC:
-        raise WireError(f"bad magic {magic!r}: not a runtime wire frame")
+        raise WireError(f"bad magic {magic!r}: not a runtime wire frame", offset=0)
     if version > WIRE_VERSION:
-        raise WireError(f"unsupported wire version {version} (expected <= {WIRE_VERSION})")
+        raise WireError(
+            f"unsupported wire version {version} (expected <= {WIRE_VERSION})",
+            kind=frame_kind if frame_kind in _MIN_VERSION_BY_KIND else None,
+            declared_length=length,
+            offset=4,
+        )
     min_version = _MIN_VERSION_BY_KIND.get(frame_kind)
     if min_version is None:
-        raise WireError(f"unknown frame kind {frame_kind}")
+        raise WireError(
+            f"unknown frame kind {frame_kind}", declared_length=length, offset=5
+        )
     if version < min_version:
         raise WireError(
             f"unsupported wire version {version} for frame kind {frame_kind} "
-            f"(requires >= {min_version})"
+            f"(requires >= {min_version})",
+            kind=frame_kind,
+            declared_length=length,
+            offset=4,
         )
     return version, frame_kind, length
 
 
-def _decode_payload(data: bytes, length: int, expected_type: type):
+def _decode_payload(data: bytes, kind: int, length: int, expected_type: type):
     payload = data[_FRAME_SIZE:]
     if len(payload) != length:
-        raise WireError(f"frame declares {length} payload bytes, got {len(payload)}")
+        raise WireError(
+            f"frame declares {length} payload bytes, got {len(payload)}",
+            kind=kind,
+            declared_length=length,
+            offset=_FRAME_SIZE + min(length, len(payload)),
+        )
     try:
         obj = pickle.loads(payload)
     except Exception as exc:
-        raise WireError(f"cannot deserialize frame payload: {exc}") from exc
+        raise WireError(
+            f"cannot deserialize frame payload: {exc}",
+            kind=kind,
+            declared_length=length,
+            offset=_FRAME_SIZE,
+        ) from exc
     if not isinstance(obj, expected_type):
         raise WireError(
-            f"frame payload is {type(obj).__name__}, expected {expected_type.__name__}"
+            f"frame payload is {type(obj).__name__}, expected {expected_type.__name__}",
+            kind=kind,
+            declared_length=length,
+            offset=_FRAME_SIZE,
         )
     return obj
 
@@ -338,8 +414,13 @@ def _decode_payload(data: bytes, length: int, expected_type: type):
 def _decode(data: bytes, kind: int, expected_type: type):
     _, frame_kind, length = _decode_header(data)
     if frame_kind != kind:
-        raise WireError(f"unexpected frame kind {frame_kind} (expected {kind})")
-    return _decode_payload(data, length, expected_type)
+        raise WireError(
+            f"unexpected frame kind {frame_kind} (expected {kind})",
+            kind=frame_kind,
+            declared_length=length,
+            offset=5,
+        )
+    return _decode_payload(data, kind, length, expected_type)
 
 
 def encode_shard_task(task: ShardTask) -> bytes:
@@ -409,4 +490,4 @@ def decode_frame(data: bytes):
     like the kind-specific decoders (the header is parsed and validated once).
     """
     _, frame_kind, length = _decode_header(data)
-    return _decode_payload(data, length, _TYPE_BY_KIND[frame_kind])
+    return _decode_payload(data, frame_kind, length, _TYPE_BY_KIND[frame_kind])

@@ -4,8 +4,10 @@
 Scans every ``*.md`` file (skipping dot-directories and caches) for inline
 links and validates the ones that point inside the repository: the linked
 file or directory must exist, relative to the Markdown file containing the
-link.  External links (``http://``, ``https://``, ``mailto:``) and pure
-in-page anchors (``#section``) are not fetched or resolved.
+link.  Links into Markdown files (and pure in-page anchors like
+``#section``) are additionally checked for a matching heading: the fragment
+must equal the GitHub-style slug of some heading in the target file.
+External links (``http://``, ``https://``, ``mailto:``) are not fetched.
 
 Exit status is non-zero when any intra-repo link is broken, listing each as
 ``file:line: target``.  Run from anywhere inside the repository:
@@ -22,6 +24,8 @@ from pathlib import Path
 # Inline Markdown links: [text](target).  Images ![alt](target) match too via
 # the bracket contents; reference-style definitions are rare here and skipped.
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.+?)\s*#*\s*$")
+INLINE_LINK_TEXT = re.compile(r"\[([^\]]*)\]\([^)\s]*\)")
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
 SKIP_DIR_NAMES = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
 
@@ -44,30 +48,75 @@ def markdown_files(root: Path) -> list[Path]:
     return files
 
 
-def check_file(path: Path) -> list[str]:
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading (before dedup suffixes).
+
+    Lowercase; inline-link markup reduced to its text; punctuation removed
+    (word characters, spaces and hyphens survive); spaces become hyphens.
+    """
+    text = INLINE_LINK_TEXT.sub(r"\1", heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    """All anchor slugs a Markdown file exposes, GitHub dedup rules included.
+
+    Repeated headings get ``-1``, ``-2``, ... suffixes in document order.
+    Headings inside fenced code blocks are not anchors and are skipped.
+    """
+    anchors = cache.get(path)
+    if anchors is not None:
+        return anchors
+    anchors = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith(("```", "~~~")):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_PATTERN.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
     """Return ``line_number: target`` entries for every broken link in a file."""
     broken = []
     for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
         for match in LINK_PATTERN.finditer(line):
             target = match.group(1)
-            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            if target.startswith(EXTERNAL_PREFIXES):
                 continue
-            # Drop any #fragment; resolving anchors inside files is out of scope.
-            file_part = target.split("#", 1)[0]
-            if not file_part:
-                continue
-            resolved = (path.parent / file_part).resolve()
+            file_part, _, fragment = target.partition("#")
+            resolved = (path.parent / file_part).resolve() if file_part else path
             if not resolved.exists():
                 broken.append(f"{line_number}: {target}")
+                continue
+            # Anchor validation, for Markdown targets only: the fragment must
+            # be the GitHub slug of a heading in the target file.
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_anchors(resolved, anchor_cache):
+                    broken.append(f"{line_number}: {target} (no such heading anchor)")
     return broken
 
 
 def main() -> int:
     root = repo_root()
     files = markdown_files(root)
+    anchor_cache: dict[Path, set[str]] = {}
     failures = 0
     for path in files:
-        for entry in check_file(path):
+        for entry in check_file(path, anchor_cache):
             print(f"{path.relative_to(root)}:{entry}", file=sys.stderr)
             failures += 1
     checked = len(files)
