@@ -4,8 +4,9 @@
 Runs the seeded scenario grid of :mod:`repro.runtime.scenario` — client
 join/leave churn, Zipf-skewed participation and table sizes,
 duplicate/byzantine answer injection, epoch deadlines against the netsim
-latency models — across all five executor configurations (serial, sharded,
-pipelined, process, process+resident) and writes one
+latency models — across six executor configurations (serial, sharded,
+pipelined, process, process+resident, and the staged engine's
+``inline/in-process`` combo spelling) and writes one
 ``results/BENCH_scenarios.json`` trajectory: per scenario and executor the
 wall-clock, wire bytes, dropped-late-answer counts, admission rejections and
 estimate error versus the exact answer.
@@ -39,8 +40,10 @@ from repro.runtime.scenario import run_scenario, scenario_grid  # noqa: E402
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-# The five executor configurations under test; worker/shard counts are kept
-# small so the full sweep stays laptop- and CI-friendly.
+# The executor configurations under test; worker/shard counts are kept
+# small so the full sweep stays laptop- and CI-friendly.  The last entry
+# names its driver combo directly — the staged engine's canonical spelling
+# rather than a legacy alias — so the sweep also gates the registry path.
 EXECUTOR_CONFIGS = [
     {"label": "serial", "executor": "serial"},
     {"label": "sharded", "executor": "sharded", "workers": 2, "shards": 4},
@@ -54,6 +57,7 @@ EXECUTOR_CONFIGS = [
         "resident": True,
         "checkpoint_every": 2,
     },
+    {"label": "inline-engine", "executor": "inline/in-process"},
 ]
 
 

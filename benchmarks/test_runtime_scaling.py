@@ -303,6 +303,44 @@ def test_parallel_executors_beat_serial_on_1000_clients(report):
         )
 
 
+def test_staged_engine_overhead_vs_serial(report):
+    """The engine's staging machinery must cost ~nothing per epoch.
+
+    ``inline/in-process`` is the staged engine's degenerate configuration:
+    one shard answered on the caller thread — the same work as the serial
+    reference, plus every piece of engine machinery (plan stage, driver
+    dispatch, emit/gate path, StageMetrics, finalize).  If collapsing the
+    executor zoo into the engine had added per-epoch overhead, this is where
+    it would be nakedly visible, with no pool speedup to hide behind.  The
+    engine's per-shard batched transmit and grouped MID join mean it should
+    in fact *win*; the assertion grants a small tolerance only for timer
+    noise.  (``BENCH_runtime_scaling.json`` keeps its original row set —
+    this gate is reported, not archived.)
+    """
+    serial_stats = measure_epoch_seconds("serial")
+    engine_stats = measure_epoch_seconds("inline/in-process", workers=1, shards=1)
+    report.title(f"Staged engine overhead ({NUM_CLIENTS} clients, inline driver)")
+    report.table(
+        ["configuration", "best epoch (ms)", "median (ms)", "mean (ms)"],
+        [
+            ["serial", *(serial_stats[k] * 1e3 for k in ("best", "median", "mean"))],
+            [
+                "inline/in-process",
+                *(engine_stats[k] * 1e3 for k in ("best", "median", "mean")),
+            ],
+        ],
+    )
+    assert_faster(
+        "inline engine",
+        "serial",
+        {"executor": "inline/in-process", "workers": 1, "shards": 1},
+        {"executor": "serial"},
+        engine_stats,
+        serial_stats,
+        tolerance=1.10,
+    )
+
+
 # -- multi-query epochs ------------------------------------------------------
 
 MULTI_QUERY_CLIENTS = 400

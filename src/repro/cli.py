@@ -50,17 +50,19 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     """Epoch-runtime selection flags shared by the end-to-end commands."""
     parser.add_argument(
         "--executor", choices=EXECUTOR_KINDS, default="serial",
-        help="epoch runtime: 'serial' reference loop, 'sharded' worker pool, "
-             "'pipelined' overlapped answer/transmit/ingest (threads), or "
-             "'process' pipelined answering in worker processes (escapes "
-             "the GIL; serialized shard tasks, adaptive shard sizing)",
+        help="epoch runtime: 'serial' reference loop, or a staged-engine "
+             "driver combination named 'scheduling/transport' (e.g. "
+             "'thread-pool/in-process', 'pipelined-overlap/framed-wire-local'"
+             "). The legacy names 'sharded', 'pipelined' and 'process' "
+             "remain as aliases for their engine configurations",
     )
     parser.add_argument(
         "--workers", default="4",
-        help="worker pool size for the sharded/pipelined executors "
-             "(default: 4) — or a comma-separated list of host:port "
-             "addresses of separately launched TCP workers (requires "
-             "--executor process and --key-file; see the 'worker' command)",
+        help="worker pool size for the pooled executors (default: 4) — or a "
+             "comma-separated list of host:port addresses of separately "
+             "launched TCP workers (requires a remote-capable --executor "
+             "such as 'process' or 'pipelined-overlap/sealed-tcp-remote', "
+             "plus --key-file; see the 'worker' command)",
     )
     parser.add_argument(
         "--key-file", default=None, metavar="PATH",
@@ -116,18 +118,27 @@ def _parse_workers(value: str) -> tuple[int, tuple[str, ...] | None]:
 
 def _system_config(args: argparse.Namespace, **overrides) -> SystemConfig:
     """Build a SystemConfig from the common CLI arguments."""
+    from repro.runtime.executor import executor_requires_remote, executor_supports_remote
+
     pool_size, remote = _parse_workers(args.workers)
     if remote is not None:
         if args.key_file is None:
             raise SystemExit(
                 "--workers with host:port addresses requires --key-file"
             )
-        if args.executor != "process":
+        if not executor_supports_remote(args.executor):
             raise SystemExit(
-                "--workers with host:port addresses requires --executor process"
+                "--workers with host:port addresses requires a remote-capable "
+                "--executor ('process' or a */sealed-tcp-remote spelling)"
             )
-    elif args.key_file is not None:
-        raise SystemExit("--key-file only applies with host:port --workers")
+    else:
+        if executor_requires_remote(args.executor):
+            raise SystemExit(
+                f"--executor {args.executor} needs remote worker addresses "
+                "(--workers host:port,... with a --key-file)"
+            )
+        if args.key_file is not None:
+            raise SystemExit("--key-file only applies with host:port --workers")
     return SystemConfig(
         num_clients=args.clients,
         seed=args.seed,
@@ -279,11 +290,19 @@ def _cmd_simulate_scenario(args: argparse.Namespace) -> int:
         spec = find_scenario(args.scenario)
     except KeyError as exc:
         raise SystemExit(str(exc)) from exc
+    from repro.runtime.executor import executor_requires_remote
+
     pool_size, remote = _parse_workers(args.workers)
     if remote is not None and args.key_file is None:
         raise SystemExit("--workers with host:port addresses requires --key-file")
-    if remote is None and args.key_file is not None:
-        raise SystemExit("--key-file only applies with host:port --workers")
+    if remote is None:
+        if executor_requires_remote(args.executor):
+            raise SystemExit(
+                f"--executor {args.executor} needs remote worker addresses "
+                "(--workers host:port,... with a --key-file)"
+            )
+        if args.key_file is not None:
+            raise SystemExit("--key-file only applies with host:port --workers")
     run = run_scenario(
         spec,
         executor=args.executor,

@@ -68,6 +68,15 @@ class SystemConfig:
     executor is a process pool by construction).  All executors produce
     identical results for identical seeds; see ``docs/ARCHITECTURE.md``.
 
+    Every one of those names is a configuration of the staged epoch engine
+    (:class:`~repro.runtime.engine.StagedEpochEngine`); the engine's driver
+    combinations can also be named directly as ``"scheduling/transport"``
+    spellings — e.g. ``"inline/in-process"``,
+    ``"pipelined-overlap/framed-wire-local"`` (= ``"process"``) or
+    ``"pipelined-overlap/sealed-tcp-remote"`` (stateless snapshot shipping
+    over the sealed TCP transport).  ``repro.runtime.EXECUTOR_KINDS`` lists
+    every accepted name.
+
     ``executor_resident`` (process executor only) keeps client state
     *resident* in pinned worker processes across epochs — sticky
     shard→worker affinity with bootstrap-once / delta-thereafter wire
@@ -119,7 +128,13 @@ class SystemConfig:
             raise ValueError(
                 "the pipelined executor only supports executor_pool='thread'"
             )
-        if self.executor_resident and self.executor != "process":
+        from repro.runtime.executor import (
+            executor_requires_remote,
+            executor_supports_remote,
+            executor_supports_residency,
+        )
+
+        if self.executor_resident and not executor_supports_residency(self.executor):
             raise ValueError(
                 "executor_resident requires executor='process' "
                 "(resident state lives in its pinned worker processes)"
@@ -132,9 +147,10 @@ class SystemConfig:
                     "executor_remote_workers must name at least one "
                     "host:port address when given"
                 )
-            if self.executor != "process":
+            if not executor_supports_remote(self.executor):
                 raise ValueError(
                     "executor_remote_workers requires executor='process' "
+                    "or a sealed-tcp-remote driver spelling "
                     "(the remote transport speaks the resident protocol)"
                 )
             if self.executor_key_file is None:
@@ -146,10 +162,16 @@ class SystemConfig:
 
             for address in self.executor_remote_workers:
                 parse_address(address)  # raises ValueError on malformed input
-        elif self.executor_key_file is not None:
-            raise ValueError(
-                "executor_key_file only applies with executor_remote_workers"
-            )
+        else:
+            if executor_requires_remote(self.executor):
+                raise ValueError(
+                    f"executor {self.executor!r} needs remote worker addresses "
+                    "(executor_remote_workers plus executor_key_file)"
+                )
+            if self.executor_key_file is not None:
+                raise ValueError(
+                    "executor_key_file only applies with executor_remote_workers"
+                )
 
 
 @dataclass(frozen=True)

@@ -2,27 +2,32 @@
 
 The paper's architecture is horizontally scalable by construction — clients
 answer independently, proxies only relay, the aggregator joins per-``MID`` —
-and this package gives the in-process simulation the same shape: an
-:class:`EpochExecutor` abstraction with four implementations:
+and this package gives the in-process simulation the same shape.  Two
+runtimes exist:
 
 * :class:`SerialExecutor` — the in-order reference loop (the executable
-  specification every other executor must match byte-for-byte);
-* :class:`ShardedExecutor` — client shards answered in a worker pool with
-  per-shard batched broker traffic and a grouped ``MID`` join;
-* :class:`PipelinedExecutor` — no barriers between answering, transmission
-  and ingestion: completed shards stream through shard-aware proxy topics
-  into the aggregator while other shards are still answering;
-* :class:`ProcessPoolEpochExecutor` — the pipelined shape with answering in
-  worker *processes*, fed by the serialized shard tasks of
-  :mod:`repro.runtime.wire` and balanced by adaptive shard sizing — the
-  executor whose answer stage escapes the GIL.
+  specification every other configuration must match byte-for-byte);
+* :class:`~repro.runtime.engine.StagedEpochEngine` — one staged epoch
+  dataflow (plan → answer → transmit → ingest → finalize) parameterized by
+  a pluggable :class:`~repro.runtime.engine.StageDriver` chosen on two
+  axes: *scheduling* (``inline``, ``thread-pool``, ``pipelined-overlap``,
+  ``pinned-worker``) × *transport* (``in-process``, ``framed-wire-local``,
+  ``sealed-tcp-remote``).  :data:`~repro.runtime.executor.DRIVER_COMBOS`
+  is the registry of supported combinations.
 
-See ``docs/ARCHITECTURE.md`` for the executors side by side, when to use
-which, and the seeded-equivalence contract; ``README.md`` ("Runtime
+The historical executor classes — :class:`ShardedExecutor`,
+:class:`PipelinedExecutor`, :class:`ProcessPoolEpochExecutor`,
+:class:`~repro.runtime.affinity.ResidentProcessExecutor`,
+:class:`~repro.runtime.remote.RemoteResidentExecutor` — remain importable
+as thin driver configurations of the engine (deprecation shims).
+
+See ``docs/ARCHITECTURE.md`` for the staged engine and the driver matrix,
+and the seeded-equivalence contract; ``README.md`` ("Runtime
 architecture") covers executor and worker-count selection from the CLI.
 """
 
 from repro.runtime.affinity import (
+    ResidentDriver,
     ResidentProcessExecutor,
     ResidentShardCache,
     ResidentWorkerError,
@@ -31,6 +36,7 @@ from repro.runtime.affinity import (
     shard_fingerprint,
 )
 from repro.runtime.remote import (
+    OverlapSnapshotRemoteDriver,
     RemoteProtocolError,
     RemoteResidentExecutor,
     RemoteWorkerServer,
@@ -38,17 +44,34 @@ from repro.runtime.remote import (
     RemoteWorkerUnavailable,
     load_keys,
     parse_address,
+    remote_snapshot_engine,
+)
+from repro.runtime.engine import (
+    BarrierThreadDriver,
+    EpochHandle,
+    InlineDriver,
+    OverlapThreadDriver,
+    StageDriver,
+    StageMetrics,
+    StagedEpochEngine,
 )
 from repro.runtime.executor import (
+    DRIVER_COMBOS,
+    DRIVER_SPELLINGS,
     EXECUTOR_KINDS,
+    LEGACY_EXECUTOR_ALIASES,
+    SCHEDULING_KINDS,
+    TRANSPORT_KINDS,
     EpochContext,
     EpochExecutor,
     EpochOutcome,
     QueryContext,
     QueryEpochOutcome,
     apply_deadline,
+    cli_smoke_matrix,
     late_drops_for,
     make_executor,
+    validate_driver_combo,
 )
 from repro.runtime.scenario import (
     EpochDeadline,
@@ -68,7 +91,9 @@ from repro.runtime.scenario import (
 from repro.runtime.pipelined import PipelinedExecutor
 from repro.runtime.process_pool import (
     AdaptiveShardSizer,
+    OverlapSnapshotWireDriver,
     ProcessPoolEpochExecutor,
+    SnapshotWireBarrierDriver,
     answer_shard_task,
 )
 from repro.runtime.serial import SerialExecutor
@@ -96,16 +121,27 @@ from repro.runtime.wire import (
 )
 
 __all__ = [
+    "DRIVER_COMBOS",
+    "DRIVER_SPELLINGS",
     "EXECUTOR_KINDS",
+    "LEGACY_EXECUTOR_ALIASES",
+    "SCHEDULING_KINDS",
+    "TRANSPORT_KINDS",
     "AdaptiveShardSizer",
+    "BarrierThreadDriver",
     "ClientDelta",
     "EpochContext",
     "EpochDeadline",
     "EpochExecutor",
+    "EpochHandle",
     "EpochOutcome",
     "EpochPlan",
     "EpochStats",
     "InjectionPlan",
+    "InlineDriver",
+    "OverlapSnapshotRemoteDriver",
+    "OverlapSnapshotWireDriver",
+    "OverlapThreadDriver",
     "PipelinedExecutor",
     "ProcessPoolEpochExecutor",
     "QueryContext",
@@ -115,6 +151,7 @@ __all__ = [
     "RemoteWorkerServer",
     "RemoteWorkerTransport",
     "RemoteWorkerUnavailable",
+    "ResidentDriver",
     "ResidentProcessExecutor",
     "ScenarioPlan",
     "ScenarioRun",
@@ -123,6 +160,10 @@ __all__ = [
     "ResidentWorkerError",
     "SerialExecutor",
     "Shard",
+    "SnapshotWireBarrierDriver",
+    "StageDriver",
+    "StageMetrics",
+    "StagedEpochEngine",
     "ShardAck",
     "ShardBatch",
     "ShardBootstrap",
@@ -135,6 +176,7 @@ __all__ = [
     "answer_shard_task",
     "apply_deadline",
     "build_plan",
+    "cli_smoke_matrix",
     "client_latency_seconds",
     "decode_frame",
     "decode_shard_ack",
@@ -155,9 +197,11 @@ __all__ = [
     "parse_address",
     "plan_shards",
     "plan_weighted_shards",
+    "remote_snapshot_engine",
     "run_scenario",
     "scenario_grid",
     "serve_resident_frame",
     "shard_fingerprint",
     "shard_span",
+    "validate_driver_combo",
 ]

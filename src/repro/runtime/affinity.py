@@ -51,32 +51,34 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import queue
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
-from repro.runtime.executor import (
-    EpochContext,
-    EpochOutcome,
-    PooledEpochExecutor,
-    QueryEpochOutcome,
-    apply_deadline,
-    late_drops_for,
+# The re-shard hysteresis now lives in the engine's plan stage (re-exported
+# here for compatibility); the resident driver only *reports* its spans.
+from repro.runtime.engine import (  # noqa: F401 — re-exported constants
+    _RESHARD_COOLDOWN_EPOCHS,
+    _RESHARD_IMBALANCE_THRESHOLD,
+    EpochHandle,
+    StageDriver,
+    StagedEpochEngine,
+    answer_shard,
 )
-from repro.runtime.pipelined import _ingest_stage, _transmit_stage
-from repro.runtime.process_pool import AdaptiveShardSizer
-from repro.runtime.sharded import answer_shard
-from repro.runtime.sharding import Shard, plan_shards, shard_span
+from repro.runtime.executor import EpochContext
+from repro.runtime.sharding import Shard, shard_span
 from repro.runtime.wire import (
     ClientDelta,
     ShardAck,
+    ShardBatch,
     ShardBootstrap,
     ShardDelta,
+    ShardTask,
     WireError,
     decode_frame,
     decode_shard_ack,
     encode_shard_ack,
+    encode_shard_batch,
     encode_shard_bootstrap,
     encode_shard_delta,
 )
@@ -91,16 +93,6 @@ _RECV_POLL_SECONDS = 0.05
 # A shard that keeps answering "bootstrap required" after being re-sent a
 # fresh bootstrap is wedged, not cold; give up instead of looping.
 _MAX_REBOOTSTRAPS_PER_EPOCH = 3
-# Re-sharding hysteresis: moving a boundary costs a state sync plus a full
-# re-bootstrap of the moved shards, so boundaries only move when the current
-# cut's predicted bottleneck shard exceeds the rebalanced cut's by this
-# factor, and at most once per cooldown window — otherwise per-epoch
-# wall-clock noise would move boundaries every epoch and each move would
-# throw away resident state.  (The snapshot-shipping executor re-plans
-# freely — its boundaries are free to move because it ships all state every
-# epoch anyway.)
-_RESHARD_IMBALANCE_THRESHOLD = 2.0
-_RESHARD_COOLDOWN_EPOCHS = 3
 
 
 class ResidentWorkerError(RuntimeError):
@@ -235,6 +227,31 @@ def serve_resident_frame(cache: ResidentShardCache, frame: bytes) -> bytes:
                     message.want_state,
                     clients,
                 )
+        elif isinstance(message, ShardTask):
+            # Snapshot shipping over the resident front-ends: the
+            # pipelined-overlap x sealed-tcp-remote driver sends full client
+            # snapshots every epoch.  Answer statelessly — the resident
+            # cache is never touched, so one worker can serve resident and
+            # snapshot coordinators interchangeably — and return a
+            # ShardBatch (advanced snapshots travel back in the frame).
+            start = time.perf_counter()
+            clients = [Client.from_state(state) for state in message.client_states]
+            responses_per_query, clients = answer_shard(
+                clients, message.query_ids, message.epoch
+            )
+            return encode_shard_batch(
+                ShardBatch(
+                    shard_index=shard_index,
+                    epoch=epoch,
+                    wall_seconds=time.perf_counter() - start,
+                    responses=tuple(
+                        tuple(responses) for responses in responses_per_query
+                    ),
+                    client_states=tuple(
+                        client.export_state() for client in clients
+                    ),
+                )
+            )
         else:
             raise WireError(
                 f"resident worker cannot serve {type(message).__name__} frames"
@@ -478,66 +495,71 @@ def _delta_since(client: "Client", baseline: tuple[dict, dict]) -> tuple:
     )
 
 
-class ResidentProcessExecutor(PooledEpochExecutor):
-    """The process executor with worker-resident state and sticky affinity.
+class ResidentDriver(StageDriver):
+    """``pinned-worker`` scheduling: resident state, sticky affinity.
 
-    Same pipelined dataflow and adaptive shard sizing as
-    :class:`~repro.runtime.process_pool.ProcessPoolEpochExecutor`, but the
-    per-epoch traffic is bootstrap-once / delta-thereafter (wire v3) instead
-    of full snapshots both ways every epoch.  Satisfies the same
-    seeded-equivalence contract.
+    The engine runs its overlap dataflow; this driver owns the resident
+    protocol — bootstrap-once / delta-thereafter framing, checkpoint +
+    replay recovery, worker healing, shard migration — and reports its
+    per-shard spans so the engine's plan stage can apply re-shard
+    hysteresis.  The transport axis is ``framed-wire-local`` over a
+    :class:`StickyShardRouter` of pinned processes by default; a
+    ``router_factory`` swaps in any router speaking the same interface —
+    :class:`~repro.runtime.remote.RemoteWorkerTransport` makes this the
+    ``sealed-tcp-remote`` combination without changing a single protocol
+    decision.
 
     Parameters
     ----------
-    adaptive:
-        Feed per-shard wall-clock back into the next epoch's boundaries.
-        Boundary moves under residency trigger a state sync + re-bootstrap
-        of exactly the moved shards.
     checkpoint_every:
         Refresh the parent's authoritative copy every this many acked epochs
         per shard (``0`` = only on demand: mutation epochs, migration,
         shutdown).  Smaller values shorten recovery replay at the cost of
         periodic full-state acks.
+    router_factory:
+        ``num_workers -> router``; defaults to :class:`StickyShardRouter`.
+    transport:
+        Override the declared transport axis (the remote factory passes
+        ``"sealed-tcp-remote"``).
     """
 
-    _consumer_group_prefix = "resident"
+    scheduling = "pinned-worker"
+    transport = "framed-wire-local"
+    runs_collector = True
 
     def __init__(
         self,
-        num_workers: int = 4,
-        num_shards: int | None = None,
-        queue_depth: int | None = None,
-        adaptive: bool = True,
         checkpoint_every: int = 4,
+        router_factory=None,
+        transport: str | None = None,
     ):
-        super().__init__(
-            num_workers=num_workers, num_shards=num_shards, queue_depth=queue_depth
-        )
         if checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be non-negative, got {checkpoint_every}"
             )
-        self.adaptive = adaptive
         self.checkpoint_every = checkpoint_every
-        self._sizer = AdaptiveShardSizer(self.num_shards)
-        self._router: StickyShardRouter | None = None
+        self._router_factory = router_factory
+        if transport is not None:
+            self.transport = transport
+        self._router = None
         self._shards: dict[int, _ShardResidency] = {}
         self._last_context: EpochContext | None = None
-        self._epochs_since_reshard = 0
-        # Observability: frame counts, fallback events, and per-epoch wire
-        # bytes (frames sent + acks received) for the benchmark's shrinkage
-        # claim.
+        self._pending: dict[int, Shard] = {}
+        # Observability: frame counts and fallback events, surfaced on the
+        # executor shims for the benchmark's shrinkage claim.
         self.bootstrap_frames = 0
         self.delta_frames = 0
         self.sync_frames = 0
         self.rebootstraps = 0
-        self.epoch_wire_bytes: dict[int, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _ensure_router(self) -> StickyShardRouter:
+    def _ensure_router(self):
         if self._router is None:
-            self._router = StickyShardRouter(self.num_workers)
+            if self._router_factory is not None:
+                self._router = self._router_factory(self.engine.num_workers)
+            else:
+                self._router = StickyShardRouter(self.engine.num_workers)
         return self._router
 
     def close(self) -> None:
@@ -555,7 +577,160 @@ class ResidentProcessExecutor(PooledEpochExecutor):
                 self._router = None
         self._shards.clear()
         self._last_context = None
-        super().close()
+
+    # -- engine hooks --------------------------------------------------------
+
+    def prepare(self, context: EpochContext, epoch: int) -> None:
+        self._last_context = context
+        router = self._ensure_router()
+        router.drain_stale()
+        self._heal_workers(context)
+
+    def residency_spans(self) -> dict[int, tuple[int, int]]:
+        """The recorded per-shard spans (kept even for shards that just lost
+        residency — moving their boundary would needlessly invalidate their
+        still-resident neighbors)."""
+        return {
+            index: (state.start, state.stop)
+            for index, state in self._shards.items()
+        }
+
+    def migrate(self, context: EpochContext, shards: list[Shard]) -> int:
+        return self._migrate_moved_shards(context, shards)
+
+    def begin_epoch(self, handle: EpochHandle) -> None:
+        """Frame and send every occupied shard's bootstrap/delta.
+
+        Frames are all built *before* any is sent: ``_frame_for`` may need a
+        synchronous state sync (dirty tables → export + bootstrap), which is
+        only safe while no epoch acks are in flight on the result queue.
+        """
+        router = self._ensure_router()
+        context, epoch, query_ids = handle.context, handle.epoch, handle.query_ids
+        self._pending = {}
+        try:
+            frames = [
+                (shard, self._frame_for(context, shard, epoch, query_ids))
+                for shard in handle.occupied
+            ]
+            for shard, frame in frames:
+                handle.metrics.add_wire_bytes(len(frame))
+                router.send(shard.index, frame)
+                self._pending[shard.index] = shard
+        except Exception:
+            # Workers already holding this epoch's frames may answer them and
+            # advance state the parent never logged; residency cannot be
+            # trusted for any shard this epoch touched, so every occupied
+            # shard re-bootstraps (from checkpoint + replay) next epoch.
+            # (The engine keeps the partial wire bytes recorded.)
+            for shard in handle.occupied:
+                self._residency(shard.index).resident = False
+            raise
+
+    def collect(self, handle: EpochHandle) -> None:
+        """Decode acks, adopt checkpoints, fall back to bootstrap on demand.
+
+        Runs on the engine's collector thread.  Emits exactly once per
+        pending shard — success, worker error, or worker death — so the
+        transmitter's expected-item count never hangs.  A
+        ``bootstrap_required`` ack re-sends a bootstrap frame for the same
+        epoch (the shard stays pending), bounded by
+        ``_MAX_REBOOTSTRAPS_PER_EPOCH``.
+        """
+        router = self._router
+        context, epoch, query_ids = handle.context, handle.epoch, handle.query_ids
+        pending = self._pending
+        rebootstraps: dict[int, int] = {}
+
+        def fail(shard: Shard, exc: Exception) -> None:
+            self._residency(shard.index).resident = False
+            handle.emit(shard.index, None, error=exc)
+
+        while pending:
+            for shard_index in list(pending):
+                if not router.worker_alive(router.slot_for(shard_index)):
+                    shard = pending.pop(shard_index)
+                    # The resident copy died with the worker; the replay log
+                    # still reaches the last *acked* epoch, so the next epoch
+                    # re-bootstraps from checkpoint + replay.
+                    fail(
+                        shard,
+                        ResidentWorkerError(
+                            f"worker pinned to shard {shard_index} died mid-epoch"
+                        ),
+                    )
+            if not pending:
+                return
+            try:
+                blob = router.recv(timeout=_RECV_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            handle.metrics.add_wire_bytes(len(blob))
+            try:
+                ack = decode_shard_ack(blob)
+            except WireError as exc:
+                for shard in list(pending.values()):
+                    fail(shard, exc)
+                pending.clear()
+                return
+            if ack.shard_index == -1 and ack.error is not None:
+                # The worker could not even decode the frame enough to name a
+                # shard; nothing can be attributed, so the epoch fails whole.
+                exc = ResidentWorkerError(f"{ack.error[0]}: {ack.error[1]}")
+                for shard in list(pending.values()):
+                    fail(shard, exc)
+                pending.clear()
+                return
+            shard = pending.get(ack.shard_index)
+            if shard is None or ack.epoch != epoch:
+                continue  # stale ack from an earlier, failed epoch
+            state = self._residency(shard.index)
+            if ack.error is not None:
+                # The worker invalidated its cache before acking.
+                del pending[shard.index]
+                fail(shard, ResidentWorkerError(f"{ack.error[0]}: {ack.error[1]}"))
+                continue
+            if ack.bootstrap_required:
+                count = rebootstraps.get(shard.index, 0) + 1
+                rebootstraps[shard.index] = count
+                self.rebootstraps += 1
+                state.resident = False
+                if count > _MAX_REBOOTSTRAPS_PER_EPOCH:
+                    del pending[shard.index]
+                    fail(
+                        shard,
+                        ResidentWorkerError(
+                            f"shard {shard.index} still required a bootstrap "
+                            f"after {count - 1} attempts"
+                        ),
+                    )
+                    continue
+                try:
+                    frame = self._bootstrap_frame(context, shard, epoch, query_ids)
+                    handle.metrics.add_wire_bytes(len(frame))
+                    router.send(shard.index, frame)
+                except Exception as exc:  # unpicklable state, dead worker, ...
+                    del pending[shard.index]
+                    fail(shard, exc)
+                continue
+            # Success: adopt the fingerprint (and checkpoint, if present).
+            del pending[shard.index]
+            state.fingerprint = ack.fingerprint
+            if ack.client_states is not None:
+                clients = context.clients[state.start : state.stop]
+                for client, snapshot in zip(clients, ack.client_states):
+                    client.adopt_rng_state(snapshot)
+                state.replay_log.clear()
+                state.epochs_since_checkpoint = 0
+                self._capture_replay_subscriptions(context, state)
+            else:
+                state.replay_log.append((epoch, query_ids))
+                state.epochs_since_checkpoint += 1
+            handle.emit(
+                shard.index,
+                [list(responses) for responses in ack.responses],
+                wall_seconds=ack.wall_seconds,
+            )
 
     # -- recovery helpers ----------------------------------------------------
 
@@ -776,255 +951,76 @@ class ResidentProcessExecutor(PooledEpochExecutor):
             self._sync_shards(context, [shard.index])
         return self._bootstrap_frame(context, shard, epoch, query_ids)
 
-    def _plan_boundaries(self, num_clients: int) -> list[Shard]:
-        """Plan shard boundaries with re-sharding hysteresis.
 
-        While the recorded boundaries tile the population, the adaptive plan
-        is adopted only when it shrinks the predicted bottleneck shard by
-        more than ``_RESHARD_IMBALANCE_THRESHOLD`` and the cooldown window
-        since the last move has passed.  The recorded spans are kept even for
-        shards that just lost residency (a replaced worker): moving *their*
-        boundary would needlessly invalidate their still-resident neighbors —
-        exactly the lost shards re-bootstrap, nothing else.  A first epoch or
-        a population change takes the plan as-is.
-        """
-        self._epochs_since_reshard += 1
-        if not self.adaptive:
-            return plan_shards(num_clients, self.num_shards)
-        proposed = self._sizer.plan(num_clients)
-        current: list[Shard] = []
-        position = 0
-        for index in range(self.num_shards):
-            state = self._shards.get(index)
-            if state is None or state.start != position:
-                return proposed
-            current.append(Shard(index=index, start=state.start, stop=state.stop))
-            position = state.stop
-        if position != num_clients:
-            return proposed
-        if self._epochs_since_reshard < _RESHARD_COOLDOWN_EPOCHS:
-            return current
-        costs = self._sizer.cost_estimates(num_clients)
-        if costs is None:
-            return current
-        prefix = [0.0]
-        for cost in costs:
-            prefix.append(prefix[-1] + cost)
-        current_max = max(prefix[s.stop] - prefix[s.start] for s in current)
-        proposed_max = max(prefix[s.stop] - prefix[s.start] for s in proposed)
-        if proposed_max > 0.0 and current_max > _RESHARD_IMBALANCE_THRESHOLD * proposed_max:
-            self._epochs_since_reshard = 0
-            return proposed
-        return current
+class ResidentProcessExecutor(StagedEpochEngine):
+    """Deprecated shim: pinned-worker scheduling as an engine configuration.
 
-    # -- epoch execution -----------------------------------------------------
+    Same overlap dataflow and adaptive shard sizing as
+    :class:`~repro.runtime.process_pool.ProcessPoolEpochExecutor`, but the
+    per-epoch traffic is bootstrap-once / delta-thereafter (wire v3) instead
+    of full snapshots both ways every epoch.  Satisfies the same
+    seeded-equivalence contract.
 
-    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
-        self._last_context = context
-        router = self._ensure_router()
-        router.drain_stale()
-        self._heal_workers(context)
+    Parameters
+    ----------
+    adaptive:
+        Feed per-shard wall-clock back into the next epoch's boundaries.
+        Boundary moves under residency trigger a state sync + re-bootstrap
+        of exactly the moved shards (hysteresis lives in the engine's plan
+        stage).
+    checkpoint_every:
+        Refresh the parent's authoritative copy every this many acked epochs
+        per shard (``0`` = only on demand: mutation epochs, migration,
+        shutdown).  Smaller values shorten recovery replay at the cost of
+        periodic full-state acks.
+    """
 
-        num_clients = len(context.clients)
-        shards = self._plan_boundaries(num_clients)
-        wire_bytes = self._migrate_moved_shards(context, shards)
-        occupied = [shard for shard in shards if shard.num_items > 0]
-        consumers = self._consumers_for(context)
-        query_ids = tuple(context.query_ids)
+    _consumer_group_prefix = "resident"
 
-        responses_by_shard: list[list | None] = [None] * len(shards)
-        wall_seconds: dict[int, float] = {}
-        answered: queue.Queue = queue.Queue(maxsize=self.queue_depth)
-        transmitted: queue.Queue = queue.Queue()
-        wire_box = [wire_bytes]
-
-        # Frames are all built *before* any is sent: _frame_for may need a
-        # synchronous state sync (dirty tables → export + bootstrap), which is
-        # only safe while no epoch acks are in flight on the result queue.
-        pending: dict[int, Shard] = {}
-        try:
-            frames = [
-                (shard, self._frame_for(context, shard, epoch, query_ids))
-                for shard in occupied
-            ]
-            for shard, frame in frames:
-                wire_box[0] += len(frame)
-                router.send(shard.index, frame)
-                pending[shard.index] = shard
-        except Exception:
-            # Workers already holding this epoch's frames may answer them and
-            # advance state the parent never logged; residency cannot be
-            # trusted for any shard this epoch touched, so every occupied
-            # shard re-bootstraps (from checkpoint + replay) next epoch.
-            for shard in occupied:
-                self._residency(shard.index).resident = False
-            self.epoch_wire_bytes[epoch] = wire_box[0]
-            raise
-
-        collector = threading.Thread(
-            target=self._collect_acks,
-            args=(
-                context,
-                epoch,
-                query_ids,
-                pending,
-                responses_by_shard,
-                wall_seconds,
-                answered,
-                wire_box,
-            ),
-            name="privapprox-resident-collect",
-            daemon=True,
-        )
-        collector.start()
-        transmitter = threading.Thread(
-            target=_transmit_stage,
-            args=(context, len(occupied), responses_by_shard, answered, transmitted),
-            name="privapprox-resident-transmit",
-            daemon=True,
-        )
-        transmitter.start()
-        window_results, error = _ingest_stage(context, consumers, epoch, transmitted)
-        transmitter.join()
-        collector.join()
-
-        if self.adaptive and wall_seconds:
-            self._sizer.record(shards, wall_seconds)
-        self.epoch_wire_bytes[epoch] = wire_box[0]
-        if error is not None:
-            raise error
-
-        per_query = []
-        for index, query in enumerate(context.queries):
-            responses: list = []
-            for shard in shards:
-                shard_responses = responses_by_shard[shard.index]
-                if shard_responses:
-                    responses.extend(shard_responses[index])
-            per_query.append(
-                QueryEpochOutcome(
-                    query_id=query.query_id,
-                    responses=tuple(responses),
-                    window_results=tuple(window_results[index]),
-                    late_drops=late_drops_for(context, query.query_id),
-                )
-            )
-        return EpochOutcome(per_query=tuple(per_query))
-
-    def _collect_acks(
+    def __init__(
         self,
-        context: EpochContext,
-        epoch: int,
-        query_ids: tuple,
-        pending: dict[int, Shard],
-        responses_by_shard: list,
-        wall_seconds: dict[int, float],
-        answered: queue.Queue,
-        wire_box: list,
-    ) -> None:
-        """Decode acks, adopt checkpoints, fall back to bootstrap on demand.
+        num_workers: int = 4,
+        num_shards: int | None = None,
+        queue_depth: int | None = None,
+        adaptive: bool = True,
+        checkpoint_every: int = 4,
+    ):
+        super().__init__(
+            ResidentDriver(checkpoint_every=checkpoint_every),
+            num_workers=num_workers,
+            num_shards=num_shards,
+            queue_depth=queue_depth,
+            adaptive=adaptive,
+        )
 
-        Runs in a parent thread.  Always enqueues exactly one
-        ``(shard_index, error)`` item per pending shard — success, worker
-        error, or worker death — so the transmitter's expected-item count
-        never hangs.  A ``bootstrap_required`` ack re-sends a bootstrap frame
-        for the same epoch (the shard stays pending), bounded by
-        ``_MAX_REBOOTSTRAPS_PER_EPOCH``.
-        """
-        router = self._router
-        rebootstraps: dict[int, int] = {}
+    # -- observability surface delegated to the driver ------------------------
 
-        def fail(shard: Shard, exc: Exception) -> None:
-            responses_by_shard[shard.index] = [[] for _ in context.queries]
-            self._residency(shard.index).resident = False
-            answered.put((shard.index, exc))
+    @property
+    def checkpoint_every(self) -> int:
+        return self.driver.checkpoint_every
 
-        while pending:
-            for shard_index in list(pending):
-                if not router.worker_alive(router.slot_for(shard_index)):
-                    shard = pending.pop(shard_index)
-                    # The resident copy died with the worker; the replay log
-                    # still reaches the last *acked* epoch, so the next epoch
-                    # re-bootstraps from checkpoint + replay.
-                    fail(
-                        shard,
-                        ResidentWorkerError(
-                            f"worker pinned to shard {shard_index} died mid-epoch"
-                        ),
-                    )
-            if not pending:
-                return
-            try:
-                blob = router.recv(timeout=_RECV_POLL_SECONDS)
-            except queue.Empty:
-                continue
-            wire_box[0] += len(blob)
-            try:
-                ack = decode_shard_ack(blob)
-            except WireError as exc:
-                for shard in list(pending.values()):
-                    fail(shard, exc)
-                pending.clear()
-                return
-            if ack.shard_index == -1 and ack.error is not None:
-                # The worker could not even decode the frame enough to name a
-                # shard; nothing can be attributed, so the epoch fails whole.
-                exc = ResidentWorkerError(f"{ack.error[0]}: {ack.error[1]}")
-                for shard in list(pending.values()):
-                    fail(shard, exc)
-                pending.clear()
-                return
-            shard = pending.get(ack.shard_index)
-            if shard is None or ack.epoch != epoch:
-                continue  # stale ack from an earlier, failed epoch
-            state = self._residency(shard.index)
-            if ack.error is not None:
-                # The worker invalidated its cache before acking.
-                del pending[shard.index]
-                fail(shard, ResidentWorkerError(f"{ack.error[0]}: {ack.error[1]}"))
-                continue
-            if ack.bootstrap_required:
-                count = rebootstraps.get(shard.index, 0) + 1
-                rebootstraps[shard.index] = count
-                self.rebootstraps += 1
-                state.resident = False
-                if count > _MAX_REBOOTSTRAPS_PER_EPOCH:
-                    del pending[shard.index]
-                    fail(
-                        shard,
-                        ResidentWorkerError(
-                            f"shard {shard.index} still required a bootstrap "
-                            f"after {count - 1} attempts"
-                        ),
-                    )
-                    continue
-                try:
-                    frame = self._bootstrap_frame(context, shard, epoch, query_ids)
-                    wire_box[0] += len(frame)
-                    router.send(shard.index, frame)
-                except Exception as exc:  # unpicklable state, dead worker, ...
-                    del pending[shard.index]
-                    fail(shard, exc)
-                continue
-            # Success: adopt the fingerprint (and checkpoint, if present).
-            del pending[shard.index]
-            # Deadline-gate the acked responses before hand-off: the resident
-            # workers answered (and advanced their resident state), but late
-            # answers never reach the transmitter.
-            responses_by_shard[shard.index] = apply_deadline(
-                context.deadline,
-                [list(responses) for responses in ack.responses],
-            )
-            wall_seconds[shard.index] = ack.wall_seconds
-            state.fingerprint = ack.fingerprint
-            if ack.client_states is not None:
-                clients = context.clients[state.start : state.stop]
-                for client, snapshot in zip(clients, ack.client_states):
-                    client.adopt_rng_state(snapshot)
-                state.replay_log.clear()
-                state.epochs_since_checkpoint = 0
-                self._capture_replay_subscriptions(context, state)
-            else:
-                state.replay_log.append((epoch, query_ids))
-                state.epochs_since_checkpoint += 1
-            answered.put((shard.index, None))
+    @property
+    def bootstrap_frames(self) -> int:
+        return self.driver.bootstrap_frames
+
+    @property
+    def delta_frames(self) -> int:
+        return self.driver.delta_frames
+
+    @property
+    def sync_frames(self) -> int:
+        return self.driver.sync_frames
+
+    @property
+    def rebootstraps(self) -> int:
+        return self.driver.rebootstraps
+
+    @property
+    def _router(self):
+        return self.driver._router
+
+    @property
+    def _shards(self) -> dict[int, _ShardResidency]:
+        return self.driver._shards
+
+

@@ -226,9 +226,148 @@ def late_drops_for(context: EpochContext, query_id: str) -> tuple:
     return context.deadline.drops_for(query_id)
 
 
+# -- the declarative driver registry ------------------------------------------
+#
+# Every parallel executor is a StagedEpochEngine (repro.runtime.engine)
+# configured with one stage driver, classified along two orthogonal axes.
+# SystemConfig validation, the CLI choices, make_executor and the CI smoke
+# matrix all read this single source.
+
+#: How the answer stage is scheduled.
+SCHEDULING_KINDS = ("inline", "thread-pool", "pipelined-overlap", "pinned-worker")
+
+#: How client state and answers cross (or don't cross) a process border.
+TRANSPORT_KINDS = ("in-process", "framed-wire-local", "sealed-tcp-remote")
+
+#: The registered (scheduling, transport) combinations, each backed by a
+#: shipped driver.  Every combo satisfies the seeded-equivalence contract
+#: against SerialExecutor.
+DRIVER_COMBOS = (
+    ("inline", "in-process"),
+    ("thread-pool", "in-process"),
+    ("thread-pool", "framed-wire-local"),
+    ("pipelined-overlap", "in-process"),
+    ("pipelined-overlap", "framed-wire-local"),
+    ("pipelined-overlap", "sealed-tcp-remote"),
+    ("pinned-worker", "framed-wire-local"),
+    ("pinned-worker", "sealed-tcp-remote"),
+)
+
+# Structurally impossible combinations, with the reason validation reports.
+_COMBO_REJECTIONS = {
+    ("inline", "framed-wire-local"): (
+        "inline scheduling answers on the caller thread over shared objects; "
+        "a wire transport would serialize state only to hand it back to the "
+        "same process"
+    ),
+    ("inline", "sealed-tcp-remote"): (
+        "inline scheduling has no workers to place at the far end of a "
+        "TCP connection"
+    ),
+    ("thread-pool", "sealed-tcp-remote"): (
+        "the barrier thread pool collects in shard order from local futures; "
+        "remote workers answer out of order and need the overlap or "
+        "pinned-worker collectors"
+    ),
+    ("pinned-worker", "in-process"): (
+        "pinned workers exist to hold resident state across a process "
+        "border; in-process state needs no pinning (use thread-pool or "
+        "pipelined-overlap scheduling)"
+    ),
+}
+
+#: Legacy executor names as driver-combo aliases.  ``serial`` is absent on
+#: purpose: SerialExecutor is the frozen engine-free reference.  The sharded
+#: executor's ``pool="process"`` variant maps to thread-pool x
+#: framed-wire-local and is handled by make_executor, not the alias table.
+LEGACY_EXECUTOR_ALIASES = {
+    "sharded": ("thread-pool", "in-process"),
+    "pipelined": ("pipelined-overlap", "in-process"),
+    "process": ("pipelined-overlap", "framed-wire-local"),
+}
+
+#: Every accepted ``--executor`` spelling that names a driver combo:
+#: canonical ``"scheduling/transport"`` forms plus the legacy aliases.
+DRIVER_SPELLINGS = {
+    f"{scheduling}/{transport}": (scheduling, transport)
+    for scheduling, transport in DRIVER_COMBOS
+} | LEGACY_EXECUTOR_ALIASES
+
 # The canonical registry of executor kinds make_executor understands;
 # SystemConfig validation and the CLI choices import this single source.
-EXECUTOR_KINDS = ("serial", "sharded", "pipelined", "process")
+# Legacy names first (stable CLI surface), canonical spellings after.
+EXECUTOR_KINDS = ("serial", "sharded", "pipelined", "process") + tuple(
+    f"{scheduling}/{transport}" for scheduling, transport in DRIVER_COMBOS
+)
+
+
+def validate_driver_combo(scheduling: str, transport: str) -> tuple[str, str]:
+    """Check one (scheduling, transport) pair against the registry.
+
+    Raises ``ValueError`` naming the unknown axis value, or — for known axes
+    whose combination is structurally impossible — the recorded reason.
+    Returns the pair unchanged so callers can validate-and-keep in one step.
+    """
+    if scheduling not in SCHEDULING_KINDS:
+        raise ValueError(
+            f"unknown scheduling kind {scheduling!r} "
+            f"(expected one of {SCHEDULING_KINDS})"
+        )
+    if transport not in TRANSPORT_KINDS:
+        raise ValueError(
+            f"unknown transport kind {transport!r} "
+            f"(expected one of {TRANSPORT_KINDS})"
+        )
+    combo = (scheduling, transport)
+    if combo not in DRIVER_COMBOS:
+        reason = _COMBO_REJECTIONS.get(
+            combo, "no registered driver implements this combination"
+        )
+        raise ValueError(
+            f"driver combo {scheduling!r} x {transport!r} is not available: {reason}"
+        )
+    return combo
+
+
+def executor_supports_residency(name: str) -> bool:
+    """Whether this executor spelling can keep client state worker-resident.
+
+    True for the legacy ``"process"`` kind (its resident mode) and for any
+    pinned-worker spelling — pinned workers *are* residency.
+    """
+    if name == "process":
+        return True
+    combo = DRIVER_SPELLINGS.get(name)
+    return combo is not None and combo[0] == "pinned-worker"
+
+
+def executor_supports_remote(name: str) -> bool:
+    """Whether this executor spelling can drive remote TCP workers."""
+    if name == "process":
+        return True
+    combo = DRIVER_SPELLINGS.get(name)
+    return combo is not None and combo[1] == "sealed-tcp-remote"
+
+
+def executor_requires_remote(name: str) -> bool:
+    """Whether this spelling *only* makes sense with remote worker addresses."""
+    combo = DRIVER_SPELLINGS.get(name)
+    return combo is not None and combo[1] == "sealed-tcp-remote"
+
+
+def cli_smoke_matrix() -> tuple[str, ...]:
+    """The ``--executor`` spellings CI smoke-tests on a single host.
+
+    Serial plus every registered combo that runs without separately
+    launched TCP workers — sealed-TCP spellings are exercised by the
+    dedicated remote smoke (``tools/remote_smoke.py``) instead.  Adding a
+    combo to :data:`DRIVER_COMBOS` automatically adds its smoke gate.
+    """
+    return ("serial",) + tuple(
+        f"{scheduling}/{transport}"
+        for scheduling, transport in DRIVER_COMBOS
+        if transport != "sealed-tcp-remote"
+    )
 
 
 class EpochExecutor:
@@ -359,8 +498,12 @@ def make_executor(
     Parameters
     ----------
     name:
-        ``"serial"``, ``"sharded"``, ``"pipelined"`` or ``"process"`` (see
-        :data:`EXECUTOR_KINDS`).
+        A legacy kind (``"serial"``, ``"sharded"``, ``"pipelined"``,
+        ``"process"``) or a canonical ``"scheduling/transport"`` driver
+        spelling such as ``"pipelined-overlap/framed-wire-local"`` (see
+        :data:`EXECUTOR_KINDS` and :data:`DRIVER_COMBOS`).  Legacy names
+        resolve through :data:`LEGACY_EXECUTOR_ALIASES` to the same engine
+        configurations.
     workers:
         Worker pool size for the sharded, pipelined and process executors.
     shards:
@@ -396,15 +539,20 @@ def make_executor(
     from repro.runtime.serial import SerialExecutor
     from repro.runtime.sharded import ShardedExecutor
 
-    if resident and name != "process":
+    combo = DRIVER_SPELLINGS.get(name)
+    if resident and not executor_supports_residency(name):
         raise ValueError(
             "resident client state requires the 'process' executor "
             f"(got {name!r}): only its workers outlive an epoch"
         )
     if remote_workers:
-        from repro.runtime.remote import RemoteResidentExecutor, load_keys
+        from repro.runtime.remote import (
+            RemoteResidentExecutor,
+            load_keys,
+            remote_snapshot_engine,
+        )
 
-        if name != "process":
+        if not executor_supports_remote(name):
             raise ValueError(
                 "remote workers require the 'process' executor "
                 f"(got {name!r}): the remote transport speaks the resident "
@@ -415,6 +563,12 @@ def make_executor(
                 "remote workers require a key file (one hex HMAC key per "
                 "line; see docs/OPERATIONS.md)"
             )
+        if combo == ("pipelined-overlap", "sealed-tcp-remote"):
+            return remote_snapshot_engine(
+                list(remote_workers),
+                load_keys(key_file),
+                num_shards=shards,
+            )
         return RemoteResidentExecutor(
             list(remote_workers),
             load_keys(key_file),
@@ -423,6 +577,12 @@ def make_executor(
         )
     if key_file is not None:
         raise ValueError("key_file only applies with remote_workers")
+    if executor_requires_remote(name):
+        raise ValueError(
+            f"executor {name!r} needs remote worker addresses "
+            "(--workers host:port,... with a --key-file; "
+            "see docs/OPERATIONS.md)"
+        )
     if name == "serial":
         return SerialExecutor()
     if name == "sharded":
@@ -442,4 +602,28 @@ def make_executor(
                 checkpoint_every=checkpoint_every,
             )
         return ProcessPoolEpochExecutor(num_workers=workers, num_shards=shards)
+    if combo is not None:
+        scheduling, transport = combo
+        if combo == ("inline", "in-process"):
+            from repro.runtime.engine import InlineDriver, StagedEpochEngine
+
+            return StagedEpochEngine(
+                InlineDriver(), num_workers=workers, num_shards=shards
+            )
+        if combo == ("thread-pool", "in-process"):
+            return ShardedExecutor(num_workers=workers, num_shards=shards)
+        if combo == ("thread-pool", "framed-wire-local"):
+            return ShardedExecutor(
+                num_workers=workers, num_shards=shards, pool="process"
+            )
+        if combo == ("pipelined-overlap", "in-process"):
+            return PipelinedExecutor(num_workers=workers, num_shards=shards)
+        if combo == ("pipelined-overlap", "framed-wire-local"):
+            return ProcessPoolEpochExecutor(num_workers=workers, num_shards=shards)
+        if combo == ("pinned-worker", "framed-wire-local"):
+            return ResidentProcessExecutor(
+                num_workers=workers,
+                num_shards=shards,
+                checkpoint_every=checkpoint_every,
+            )
     raise ValueError(f"unknown executor {name!r} (expected one of {EXECUTOR_KINDS})")

@@ -1,77 +1,59 @@
-"""The pipelined epoch executor: overlapped answering, transmission, ingestion.
+"""The pipelined executor: an overlap-scheduling configuration of the engine.
 
-The serial and sharded executors run the three stages of an answering epoch as
-a barrier pipeline — *every* client answers, then *all* shares are
-transmitted, then the aggregator ingests the lot.  The pipelined executor
-removes the barriers, the way a streaming engine pipelines operators instead
-of materializing between them:
+The serial and sharded executors run the three stages of an answering epoch
+as a barrier pipeline — *every* client answers, then *all* shares are
+transmitted, then the aggregator ingests the lot.  Pipelined-overlap
+scheduling removes the barriers, the way a streaming engine pipelines
+operators instead of materializing between them:
 
-1. **Answer** — client shards are answered by a thread worker pool (the same
-   :func:`~repro.runtime.sharded.answer_shard` task the sharded executor
-   uses); each finished shard is pushed onto a *bounded* hand-off queue, so a
+1. **Answer** — client shards are answered by a thread worker pool (the
+   same :func:`~repro.runtime.engine.answer_shard` task the barrier drivers
+   use); each finished shard is handed off through a *bounded* queue, so a
    slow downstream applies backpressure instead of unbounded buffering.
-2. **Transmit** — a dedicated transmitter thread drains the hand-off queue in
-   completion order and publishes every finished shard's shares to the
-   proxies' *shard-aware topics* (:meth:`~repro.core.proxy.ProxyNetwork.transmit_shard`):
-   one single-partition topic per (proxy, shard slot) and query channel,
-   carrying one batch record per shard per query per epoch.  Compared with
-   the sharded executor's per-share records this removes the per-share
-   partition routing, record construction and poll bookkeeping entirely.
-3. **Ingest** — the caller's thread consumes transmit notifications and, for
-   each relayed shard, polls that shard's consumers (query by query) and
-   feeds the shares to each query's grouped ``MID`` join and batched
-   validation/admission loop — while other shards are still being answered
-   by the pool.
+2. **Transmit** — a dedicated transmitter thread drains the hand-off queue
+   in completion order and publishes every finished shard's shares to the
+   proxies' *shard-aware topics*
+   (:meth:`~repro.core.proxy.ProxyNetwork.transmit_shard`): one
+   single-partition topic per (proxy, shard slot) and query channel,
+   carrying one batch record per shard per query per epoch.
+3. **Ingest** — the caller's thread consumes transmit notifications and,
+   for each relayed shard, polls that shard's consumers (query by query)
+   and feeds the shares to each query's grouped ``MID`` join and batched
+   validation/admission loop — while other shards are still answering.
 
-Multi-query epochs ride the same pipeline: a shard answers every context
-query in one pass, the transmitter publishes one batch record per (query,
-proxy) on the query's own channel topics, and the ingest stage feeds each
-query's aggregator separately.  One answering pass, N isolated tenants.
-
-Determinism: per-client, per-query seeded RNGs make shard answering
-order-independent; shard responses are merged into each query's epoch log in
-shard-index (= client) order; and every aggregation step downstream of
-transmission is insensitive to the order shards arrive in — joins are keyed
-by ``MID``, window aggregation is a commutative sum, and windows only fire on
-epoch boundaries, after every shard of the previous epoch has been ingested.
-The equivalence suite (``tests/runtime/test_executor_equivalence.py``) pins
-the executor to the serial reference byte-for-byte.
-
-Failure handling: a worker, transmitter or ingest exception is *surfaced* from
-:meth:`PipelinedExecutor.run_epoch` instead of hanging the pipeline — every
-stage keeps draining its input queue after a failure so no producer ever
-blocks on a full queue, and the first error is re-raised once the epoch's
-in-flight work has unwound.  The epoch is then partially ingested; a real
-deployment would retry the epoch, the simulation treats it as fatal.  On a
-failed epoch *every* query's shard consumers are drained, so one query's
-leftover records can never leak into another query's (or the next epoch's)
-ingest.
+This dataflow — including its failure contract (every stage drains its
+input after an error so no producer blocks; the first error re-raises once
+the epoch has unwound; every query's consumers are drained on a failed
+epoch) — now lives once in :class:`~repro.runtime.engine.StagedEpochEngine`
+and is shared with the process-pool, resident and remote configurations.
+This module keeps :class:`PipelinedExecutor` as the deprecation shim for
+the ``pipelined-overlap`` × ``in-process`` combination
+(:class:`~repro.runtime.engine.OverlapThreadDriver`), plus re-exports of
+the pipeline stage functions that historically lived here.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING
-
-from repro.runtime.executor import (
-    EpochContext,
-    EpochOutcome,
-    PooledEpochExecutor,
-    QueryEpochOutcome,
-    apply_deadline,
-    late_drops_for,
+# Re-exported for compatibility: the overlap pipeline stages lived here
+# before the engine refactor.
+from repro.runtime.engine import (
+    OverlapThreadDriver,
+    StagedEpochEngine,
+    _drain_consumers,
+    _ingest_stage,
+    _transmit_stage,
 )
-from repro.runtime.sharded import answer_shard
-from repro.runtime.sharding import plan_shards
 
-if TYPE_CHECKING:
-    from repro.pubsub import Consumer
+__all__ = [
+    "PipelinedExecutor",
+    "_drain_consumers",
+    "_ingest_stage",
+    "_transmit_stage",
+]
 
 
-class PipelinedExecutor(PooledEpochExecutor):
-    """Barrier-free epoch execution: answer, transmit and ingest concurrently.
+class PipelinedExecutor(StagedEpochEngine):
+    """Deprecated shim: overlap scheduling on threads as an engine config.
 
     Worker/shard/queue parameters and the pool/consumer lifecycle are the
     shared :class:`~repro.runtime.executor.PooledEpochExecutor` machinery.
@@ -85,195 +67,15 @@ class PipelinedExecutor(PooledEpochExecutor):
 
     _consumer_group_prefix = "pipelined"
 
-    def _make_pool(self) -> ThreadPoolExecutor:
-        return ThreadPoolExecutor(
-            max_workers=self.num_workers,
-            thread_name_prefix="privapprox-pipeline",
+    def __init__(
+        self,
+        num_workers: int = 4,
+        num_shards: int | None = None,
+        queue_depth: int | None = None,
+    ):
+        super().__init__(
+            OverlapThreadDriver(),
+            num_workers=num_workers,
+            num_shards=num_shards,
+            queue_depth=queue_depth,
         )
-
-    # -- epoch execution ----------------------------------------------------
-
-    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
-        pool = self._ensure_pool()
-        shards = plan_shards(len(context.clients), self.num_shards)
-        occupied = [shard for shard in shards if shard.num_items > 0]
-        consumers = self._consumers_for(context)
-
-        # Per-shard response logs (one list per query inside each slot),
-        # written by the answering workers (distinct slots, so no locking)
-        # and merged in shard order at the end.
-        responses_by_shard: list[list[list] | None] = [None] * len(shards)
-        answered: queue.Queue = queue.Queue(maxsize=self.queue_depth)
-        transmitted: queue.Queue = queue.Queue()
-
-        for shard in occupied:
-            pool.submit(
-                _answer_stage,
-                context,
-                shard,
-                epoch,
-                responses_by_shard,
-                answered,
-            )
-        transmitter = threading.Thread(
-            target=_transmit_stage,
-            args=(context, len(occupied), responses_by_shard, answered, transmitted),
-            name="privapprox-pipeline-transmit",
-            daemon=True,
-        )
-        transmitter.start()
-        window_results, error = _ingest_stage(context, consumers, epoch, transmitted)
-        transmitter.join()
-        if error is not None:
-            raise error
-
-        per_query = []
-        for index, query in enumerate(context.queries):
-            responses: list = []
-            for shard in shards:
-                shard_responses = responses_by_shard[shard.index]
-                if shard_responses:
-                    responses.extend(shard_responses[index])
-            per_query.append(
-                QueryEpochOutcome(
-                    query_id=query.query_id,
-                    responses=tuple(responses),
-                    window_results=tuple(window_results[index]),
-                    late_drops=late_drops_for(context, query.query_id),
-                )
-            )
-        return EpochOutcome(per_query=tuple(per_query))
-
-
-def _answer_stage(
-    context: EpochContext,
-    shard,
-    epoch: int,
-    responses_by_shard: list,
-    answered: queue.Queue,
-) -> None:
-    """Answer one shard in a pool worker and hand it to the transmitter.
-
-    Always enqueues exactly one ``(shard_index, error)`` item — on success and
-    on failure alike — so the transmitter's expected-item count never hangs.
-    """
-    try:
-        responses, _ = answer_shard(
-            context.clients[shard.as_slice()], context.query_ids, epoch
-        )
-        # Deadline-gate before hand-off: a late answer never reaches the
-        # transmitter.  The gate locks internally, so concurrent answer
-        # stages record drops safely.
-        responses = apply_deadline(context.deadline, responses)
-    except Exception as exc:  # surfaced from run_epoch, never swallowed
-        responses_by_shard[shard.index] = [[] for _ in context.queries]
-        answered.put((shard.index, exc))
-    else:
-        responses_by_shard[shard.index] = responses
-        answered.put((shard.index, None))
-
-
-def _transmit_stage(
-    context: EpochContext,
-    expected: int,
-    responses_by_shard: list,
-    answered: queue.Queue,
-    transmitted: queue.Queue,
-) -> None:
-    """Publish finished shards to their shard-aware topics as they arrive.
-
-    Every query's responses for the shard go out as one batch record per
-    proxy on that query's channel.  Consumes exactly ``expected`` items from
-    the answered queue even after a failure (so no answering worker ever
-    blocks on a full hand-off queue), stops publishing once an error is
-    seen, and always terminates the ingest stage with a ``("done", error)``
-    sentinel.
-    """
-    error: Exception | None = None
-    for _ in range(expected):
-        shard_index, exc = answered.get()
-        if exc is not None:
-            if error is None:
-                error = exc
-            continue
-        if error is not None:
-            continue  # drain without publishing; the epoch already failed
-        try:
-            for index, query in enumerate(context.queries):
-                context.proxies.transmit_shard(
-                    shard_index,
-                    [
-                        list(response.encrypted.shares)
-                        for response in responses_by_shard[shard_index][index]
-                    ],
-                    channel=query.channel,
-                )
-        except Exception as exc:
-            error = exc
-            continue
-        transmitted.put(("shard", shard_index))
-    transmitted.put(("done", error))
-
-
-def _ingest_stage(
-    context: EpochContext,
-    consumers: list[list[list["Consumer"]]],
-    epoch: int,
-    transmitted: queue.Queue,
-) -> tuple[list[list], Exception | None]:
-    """Ingest each relayed shard as soon as its transmission lands.
-
-    ``consumers`` holds one ``[slot][proxy]`` grid per context query.  For
-    every relayed shard each query's consumers are polled across all proxies
-    together, so every batch carries complete ``MID`` groups and takes the
-    grouped-join fast path of that query's aggregator.  Returns one
-    window-result list per query.  Runs until the transmitter's ``done``
-    sentinel and never raises — the first error is returned for
-    ``run_epoch`` to re-raise after the pipeline has fully unwound.
-
-    On a failed epoch, every query's shard consumers are drained (polled and
-    discarded) before returning: records that were published but never
-    ingested must not linger in the cached consumers, or a caller that
-    treats the failure as transient and runs the next epoch would ingest
-    them into the wrong epoch.
-    """
-    window_results: list[list] = [[] for _ in context.queries]
-    error: Exception | None = None
-    while True:
-        kind, payload = transmitted.get()
-        if kind == "done":
-            if error is None:
-                error = payload
-            if error is not None:
-                for grid in consumers:
-                    _drain_consumers(grid)
-            return window_results, error
-        if error is not None:
-            continue  # skip further shards; the final drain discards them
-        try:
-            for index, query in enumerate(context.queries):
-                shares = []
-                for consumer in consumers[index][payload]:
-                    for record in consumer.poll():
-                        shares.extend(record.value)
-                if shares:
-                    window_results[index].extend(
-                        query.aggregator.ingest_shares(shares, epoch, batched=True)
-                    )
-        except Exception as exc:
-            error = exc
-
-
-def _drain_consumers(consumers: list[list["Consumer"]]) -> None:
-    """Poll and discard everything pending on one query's shard consumers.
-
-    Best-effort cleanup for failed epochs; a consumer that itself fails to
-    poll is skipped (the epoch error already surfaces).
-    """
-    for slot_consumers in consumers:
-        for consumer in slot_consumers:
-            try:
-                while consumer.poll():
-                    pass
-            except Exception:
-                continue

@@ -1,11 +1,10 @@
-"""The process-pool epoch executor: answering escapes the GIL.
+"""Framed-wire-local stage drivers: answering escapes the GIL.
 
-The pipelined executor overlaps its stages, but its answering workers are
-*threads*: under the GIL they time-slice one core, so the CPU-heavy answer
-stage (SQL → randomize → encrypt per client) never truly parallelizes.  This
-executor keeps the pipelined shape — completed shards stream through the
-shard-aware proxy topics into the aggregator — but answers each shard in a
-``concurrent.futures.ProcessPoolExecutor`` worker:
+In-process drivers answer on threads: under the GIL they time-slice one
+core, so the CPU-heavy answer stage (SQL → randomize → encrypt per client)
+never truly parallelizes.  The drivers here answer each shard in a
+``concurrent.futures.ProcessPoolExecutor`` worker behind the
+``framed-wire-local`` transport:
 
 1. **Serialize** — the parent snapshots each occupied shard's clients
    (:meth:`~repro.core.client.Client.export_state`) and frames them into a
@@ -14,7 +13,7 @@ shard-aware proxy topics into the aggregator — but answers each shard in a
    carrying the query and randomized-response parameters.  No broker, proxy
    or aggregator state crosses the process border.  Shards are submitted as
    they are encoded (early shards answer while later shards serialize), and
-   all of it happens before the pipeline threads start: a pickling failure
+   all of it happens in the engine's pre-pipeline window: a pickling failure
    cancels the submitted work and surfaces with nothing transmitted.
 2. **Answer (worker process)** — :func:`answer_shard_task` reconstructs the
    shard's clients from their snapshots, answers the epoch with exactly the
@@ -22,50 +21,47 @@ shard-aware proxy topics into the aggregator — but answers each shard in a
    mid-stream), and returns a framed :class:`~repro.runtime.wire.ShardBatch`:
    responses, advanced client snapshots, and the shard's answering
    wall-clock.
-3. **Collect** — a collector thread in the parent decodes batches in
-   completion order, writes the advanced client state back into the live
-   client list (so epoch ``t + 1`` continues the same streams) and hands the
-   shard to the transmitter.
-4. **Transmit / ingest** — unchanged from the pipelined executor: the
-   transmitter thread publishes each finished shard to its shard-aware
-   topics, and the caller's thread ingests relayed shards into the
-   aggregator's grouped join while other shards are still answering.
+3. **Collect** — the parent decodes batches, writes the advanced client
+   state back into the live client list (so epoch ``t + 1`` continues the
+   same streams) and emits each shard to the engine, which owns deadline
+   gating, transmission and ingestion.
 
-Adaptive shard sizing: each batch reports its answering wall-clock; an
-:class:`AdaptiveShardSizer` turns that into a per-client cost estimate
-(exponential moving average) and plans the *next* epoch's shard boundaries so
-every shard carries roughly equal predicted work
-(:func:`~repro.runtime.sharding.plan_weighted_shards`).  Boundaries move,
-shard count does not — the shard-aware topic slots stay stable across epochs.
-Because results are independent of where the boundaries fall (the
-equivalence contract), adaptivity is a pure load-balancing optimization.
+Two scheduling shapes share that transport:
 
-Failure handling follows the pipelined contract: a worker exception (or a
-crashed worker — ``BrokenProcessPool``), a wire error, a transmit or ingest
-failure all surface from :meth:`ProcessPoolEpochExecutor.run_epoch` after the
-pipeline has drained; a broken pool is discarded so the next epoch gets a
-fresh one.
+* :class:`SnapshotWireBarrierDriver` (``thread-pool`` scheduling) collects
+  in shard-index order for the engine's barrier dataflow — this is
+  ``ShardedExecutor(pool="process")``.
+* :class:`OverlapSnapshotWireDriver` (``pipelined-overlap`` scheduling)
+  collects in completion order on the engine's collector thread while
+  transmission and ingestion overlap — the legacy
+  :class:`ProcessPoolEpochExecutor`, kept here as a deprecation shim.
+
+Adaptive shard sizing (:class:`~repro.runtime.engine.AdaptiveShardSizer`,
+re-exported here for compatibility) and its wall-clock feedback loop live in
+the engine; each batch's reported answering wall-clock feeds the next
+epoch's boundary plan.  Failure handling follows the engine's contract: a
+worker exception (or a crashed worker — ``BrokenProcessPool``), a wire
+error, a transmit or ingest failure all surface from ``run_epoch`` after
+the pipeline has drained; a broken pool is discarded so the next epoch gets
+a fresh one.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.runtime.executor import (
-    EpochContext,
-    EpochOutcome,
-    PooledEpochExecutor,
-    QueryEpochOutcome,
-    apply_deadline,
-    late_drops_for,
+# AdaptiveShardSizer and answer_shard lived here / in sharded.py before the
+# engine refactor; re-exported for compatibility.
+from repro.runtime.engine import (
+    AdaptiveShardSizer,
+    EpochHandle,
+    StageDriver,
+    StagedEpochEngine,
+    answer_shard,
 )
-from repro.runtime.pipelined import _ingest_stage, _transmit_stage
-from repro.runtime.sharded import answer_shard
-from repro.runtime.sharding import Shard, plan_shards, plan_weighted_shards
+from repro.runtime.sharding import Shard
 from repro.runtime.wire import (
     ShardBatch,
     ShardTask,
@@ -74,6 +70,14 @@ from repro.runtime.wire import (
     encode_shard_batch,
     encode_shard_task,
 )
+
+__all__ = [
+    "AdaptiveShardSizer",
+    "OverlapSnapshotWireDriver",
+    "ProcessPoolEpochExecutor",
+    "SnapshotWireBarrierDriver",
+    "answer_shard_task",
+]
 
 
 def answer_shard_task(task_blob: bytes) -> bytes:
@@ -107,77 +111,109 @@ def answer_shard_task(task_blob: bytes) -> bytes:
     )
 
 
-class AdaptiveShardSizer:
-    """Plans shard boundaries from per-shard answering wall-clock feedback.
+class _SnapshotWireDriver(StageDriver):
+    """Shared snapshot-shipping mechanics for both scheduling shapes."""
 
-    Epoch 0 uses balanced :func:`~repro.runtime.sharding.plan_shards`
-    boundaries.  After each epoch :meth:`record` spreads every timed shard's
-    wall-clock evenly over its clients and folds it into a per-client cost
-    EWMA; :meth:`plan` then cuts the next epoch's boundaries so each shard
-    carries roughly equal predicted cost.  A changed population size resets
-    the estimates (client indices no longer line up).
+    transport = "framed-wire-local"
+
+    def make_pool(self, num_workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=num_workers)
+
+    def begin_epoch(self, handle: EpochHandle) -> None:
+        """Encode and submit shard by shard (early shards answer while later
+        shards still serialize).  A failure cancels what was submitted and
+        raises in the engine's pre-pipeline window — nothing transmitted, no
+        parent state changed, and a broken pool is discarded so the next
+        epoch can run as if this one never started."""
+        pool = self.engine._ensure_pool()
+        futures: dict[Future, Shard] = {}
+        try:
+            for shard in handle.occupied:
+                blob = encode_shard_task(
+                    ShardTask(
+                        shard_index=shard.index,
+                        epoch=handle.epoch,
+                        query_ids=handle.query_ids,
+                        client_states=tuple(
+                            client.export_state()
+                            for client in handle.context.clients[shard.as_slice()]
+                        ),
+                    )
+                )
+                handle.metrics.add_wire_bytes(len(blob))
+                futures[pool.submit(answer_shard_task, blob)] = shard
+        except Exception as exc:
+            for future in futures:
+                future.cancel()
+            if isinstance(exc, BrokenProcessPool):
+                self.engine._discard_pool()
+            raise
+        self._futures = futures
+
+    def _decode_and_adopt(self, handle: EpochHandle, shard: Shard, blob: bytes):
+        """Account, decode, and write the advanced client state back."""
+        from repro.core.client import Client  # deferred: core <-> runtime
+
+        handle.metrics.add_wire_bytes(len(blob))
+        batch = decode_shard_batch(blob)
+        # Adopt the advanced snapshots so epoch t+1 continues the exact
+        # RNG/keystream sequences the serial reference would.
+        handle.context.clients[shard.as_slice()] = [
+            Client.from_state(state) for state in batch.client_states
+        ]
+        return [list(responses) for responses in batch.responses], batch.wall_seconds
+
+    def handle_epoch_error(self, error: Exception) -> None:
+        if isinstance(error, BrokenProcessPool):
+            self.engine._discard_pool()
+
+
+class SnapshotWireBarrierDriver(_SnapshotWireDriver):
+    """``thread-pool`` × ``framed-wire-local``: barrier collection.
+
+    Results are collected in shard-index order on the caller thread, so the
+    engine transmits shards in serial client order and a worker exception
+    surfaces exactly where ``Future.result()`` raises it — the
+    ``ShardedExecutor(pool="process")`` shape.
     """
 
-    def __init__(self, num_shards: int, smoothing: float = 0.5):
-        if not 0.0 < smoothing <= 1.0:
-            raise ValueError(f"smoothing must lie in (0, 1], got {smoothing}")
-        self.num_shards = num_shards
-        self.smoothing = smoothing
-        self._cost_per_client: list[float] | None = None
+    scheduling = "thread-pool"
 
-    def plan(self, num_items: int) -> list[Shard]:
-        """Shard boundaries for the next epoch over ``num_items`` clients."""
-        costs = self._cost_per_client
-        if costs is None or len(costs) != num_items:
-            return plan_shards(num_items, self.num_shards)
-        return plan_weighted_shards(costs, self.num_shards)
+    def collect(self, handle: EpochHandle) -> None:
+        for future, shard in self._futures.items():
+            responses, wall_seconds = self._decode_and_adopt(
+                handle, shard, future.result()
+            )
+            handle.emit(shard.index, responses, wall_seconds=wall_seconds)
 
-    def cost_estimates(self, num_items: int) -> list[float] | None:
-        """The current per-client cost EWMA, or ``None`` if not (yet) usable.
 
-        The resident-state executor consults this to decide whether moving
-        boundaries is worth invalidating worker-resident shards.
-        """
-        costs = self._cost_per_client
-        if costs is None or len(costs) != num_items:
-            return None
-        return list(costs)
+class OverlapSnapshotWireDriver(_SnapshotWireDriver):
+    """``pipelined-overlap`` × ``framed-wire-local``: streaming collection.
 
-    def prime(self, costs: list[float]) -> None:
-        """Seed the per-client cost estimates directly.
+    Runs on the engine's collector thread, decoding batches in completion
+    order and emitting each shard into the overlapped transmit/ingest
+    pipeline; failures become per-shard error emits so the pipeline always
+    drains before the epoch error re-raises.
+    """
 
-        Lets tests (and deployments with offline profiles) force a specific
-        re-sharding decision instead of waiting for wall-clock feedback.
-        """
-        self._cost_per_client = list(costs)
+    scheduling = "pipelined-overlap"
+    runs_collector = True
 
-    def record(self, shards: list[Shard], wall_seconds: dict[int, float]) -> None:
-        """Fold one epoch's per-shard timings into the per-client estimates.
-
-        ``wall_seconds`` maps shard index → answering wall-clock; shards that
-        never produced a timing (failed epochs) are simply skipped.
-        """
-        if not shards:
-            return
-        num_items = shards[-1].stop
-        costs = self._cost_per_client
-        if costs is None or len(costs) != num_items:
-            costs = [0.0] * num_items
-        alpha = self.smoothing
-        for shard in shards:
-            if shard.num_items == 0 or shard.index not in wall_seconds:
-                continue
-            per_client = wall_seconds[shard.index] / shard.num_items
-            for i in range(shard.start, shard.stop):
-                previous = costs[i]
-                costs[i] = per_client if previous <= 0.0 else (
-                    (1.0 - alpha) * previous + alpha * per_client
+    def collect(self, handle: EpochHandle) -> None:
+        for future in as_completed(self._futures):
+            shard = self._futures[future]
+            try:
+                responses, wall_seconds = self._decode_and_adopt(
+                    handle, shard, future.result()
                 )
-        self._cost_per_client = costs
+            except Exception as exc:  # surfaced from run_epoch, never swallowed
+                handle.emit(shard.index, None, error=exc)
+            else:
+                handle.emit(shard.index, responses, wall_seconds=wall_seconds)
 
 
-class ProcessPoolEpochExecutor(PooledEpochExecutor):
-    """Pipelined epoch execution with answering in worker *processes*.
+class ProcessPoolEpochExecutor(StagedEpochEngine):
+    """Deprecated shim: overlap scheduling over the framed-wire transport.
 
     Worker/shard/queue parameters and the pool/consumer lifecycle are the
     shared :class:`~repro.runtime.executor.PooledEpochExecutor` machinery;
@@ -202,159 +238,9 @@ class ProcessPoolEpochExecutor(PooledEpochExecutor):
         adaptive: bool = True,
     ):
         super().__init__(
-            num_workers=num_workers, num_shards=num_shards, queue_depth=queue_depth
+            OverlapSnapshotWireDriver(),
+            num_workers=num_workers,
+            num_shards=num_shards,
+            queue_depth=queue_depth,
+            adaptive=adaptive,
         )
-        self.adaptive = adaptive
-        self._sizer = AdaptiveShardSizer(self.num_shards)
-        # Frame bytes that crossed the process border per epoch (tasks
-        # submitted + batches returned) — the state-shipping cost the
-        # resident-state executor (repro.runtime.affinity) exists to cut;
-        # benchmarks compare the two.
-        self.epoch_wire_bytes: dict[int, int] = {}
-
-    def _make_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=self.num_workers)
-
-    def _discard_pool(self) -> None:
-        """Drop a (possibly broken) pool so the next epoch builds a fresh one."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-
-    # -- epoch execution ----------------------------------------------------
-
-    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
-        num_clients = len(context.clients)
-        shards = (
-            self._sizer.plan(num_clients)
-            if self.adaptive
-            else plan_shards(num_clients, self.num_shards)
-        )
-        occupied = [shard for shard in shards if shard.num_items > 0]
-        consumers = self._consumers_for(context)
-
-        pool = self._ensure_pool()
-        responses_by_shard: list[list | None] = [None] * len(shards)
-        wall_seconds: dict[int, float] = {}
-        answered: queue.Queue = queue.Queue(maxsize=self.queue_depth)
-        transmitted: queue.Queue = queue.Queue()
-
-        # Encode and submit shard by shard, so early shards answer in the
-        # workers while later shards are still being serialized.  All of this
-        # happens before any pipeline thread starts: a failure here (a
-        # WireError from unpicklable client state, a broken pool) cancels
-        # what was submitted and raises cleanly — nothing has been
-        # transmitted, no parent state has changed, and the next epoch can
-        # run as if this one never started.
-        futures: dict[Future, Shard] = {}
-        wire_box = [0]
-        try:
-            for shard in occupied:
-                blob = encode_shard_task(
-                    ShardTask(
-                        shard_index=shard.index,
-                        epoch=epoch,
-                        query_ids=tuple(context.query_ids),
-                        client_states=tuple(
-                            client.export_state()
-                            for client in context.clients[shard.as_slice()]
-                        ),
-                    )
-                )
-                wire_box[0] += len(blob)
-                futures[pool.submit(answer_shard_task, blob)] = shard
-        except Exception as exc:
-            for future in futures:
-                future.cancel()
-            if isinstance(exc, BrokenProcessPool):
-                self._discard_pool()
-            raise
-
-        collector = threading.Thread(
-            target=_collect_stage,
-            args=(context, futures, responses_by_shard, wall_seconds, answered, wire_box),
-            name="privapprox-process-collect",
-            daemon=True,
-        )
-        collector.start()
-        transmitter = threading.Thread(
-            target=_transmit_stage,
-            args=(context, len(occupied), responses_by_shard, answered, transmitted),
-            name="privapprox-process-transmit",
-            daemon=True,
-        )
-        transmitter.start()
-        window_results, error = _ingest_stage(context, consumers, epoch, transmitted)
-        transmitter.join()
-        collector.join()
-
-        if self.adaptive and wall_seconds:
-            self._sizer.record(shards, wall_seconds)
-        self.epoch_wire_bytes[epoch] = wire_box[0]
-        if error is not None:
-            if isinstance(error, BrokenProcessPool):
-                self._discard_pool()
-            raise error
-
-        per_query = []
-        for index, query in enumerate(context.queries):
-            responses: list = []
-            for shard in shards:
-                shard_responses = responses_by_shard[shard.index]
-                if shard_responses:
-                    responses.extend(shard_responses[index])
-            per_query.append(
-                QueryEpochOutcome(
-                    query_id=query.query_id,
-                    responses=tuple(responses),
-                    window_results=tuple(window_results[index]),
-                    late_drops=late_drops_for(context, query.query_id),
-                )
-            )
-        return EpochOutcome(per_query=tuple(per_query))
-
-
-def _collect_stage(
-    context: EpochContext,
-    futures: dict[Future, Shard],
-    responses_by_shard: list,
-    wall_seconds: dict[int, float],
-    answered: queue.Queue,
-    wire_box: list | None = None,
-) -> None:
-    """Decode finished shard batches and adopt the advanced client state.
-
-    Runs in a parent thread.  Always enqueues exactly one
-    ``(shard_index, error)`` item per submitted shard — success or failure —
-    so the transmitter's expected-item count never hangs, even when the whole
-    pool breaks and every pending future fails at once.  ``wire_box`` (a
-    one-element list) accumulates returned frame bytes for the executor's
-    per-epoch wire accounting.
-    """
-    from repro.core.client import Client  # deferred: repro.core <-> repro.runtime
-
-    for future in as_completed(futures):
-        shard = futures[future]
-        try:
-            blob = future.result()
-            if wire_box is not None:
-                wire_box[0] += len(blob)
-            batch = decode_shard_batch(blob)
-            # Adopt the advanced snapshots so epoch t+1 continues the exact
-            # RNG/keystream sequences the serial reference would.
-            context.clients[shard.as_slice()] = [
-                Client.from_state(state) for state in batch.client_states
-            ]
-            # Deadline-gate the decoded responses before hand-off: workers
-            # answered (and advanced client state) but late answers never
-            # reach the transmitter.
-            responses_by_shard[shard.index] = apply_deadline(
-                context.deadline,
-                [list(responses) for responses in batch.responses],
-            )
-            wall_seconds[shard.index] = batch.wall_seconds
-        except Exception as exc:  # surfaced from run_epoch, never swallowed
-            responses_by_shard[shard.index] = [[] for _ in context.queries]
-            answered.put((shard.index, exc))
-        else:
-            answered.put((shard.index, None))

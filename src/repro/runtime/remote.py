@@ -67,12 +67,24 @@ import threading
 import time
 
 from repro.runtime.affinity import (
+    _RECV_POLL_SECONDS,
+    ResidentDriver,
     ResidentProcessExecutor,
     ResidentShardCache,
     ResidentWorkerError,
     serve_resident_frame,
 )
-from repro.runtime.wire import WIRE_VERSION, WireError
+from repro.runtime.engine import EpochHandle, StageDriver, StagedEpochEngine
+from repro.runtime.sharding import Shard
+from repro.runtime.wire import (
+    WIRE_VERSION,
+    ShardAck,
+    ShardBatch,
+    ShardTask,
+    WireError,
+    decode_frame,
+    encode_shard_task,
+)
 
 # -- protocol constants -------------------------------------------------------
 
@@ -834,10 +846,12 @@ class RemoteResidentExecutor(ResidentProcessExecutor):
     """The resident executor with its pinned workers on the far side of TCP.
 
     Identical epoch logic, recovery semantics and observability counters to
-    :class:`~repro.runtime.affinity.ResidentProcessExecutor` — only the
-    router is swapped for a :class:`RemoteWorkerTransport`, so the
-    seeded-equivalence contract holds by construction (the workers run the
-    very same :func:`~repro.runtime.affinity.serve_resident_frame`).
+    :class:`~repro.runtime.affinity.ResidentProcessExecutor` — the same
+    :class:`~repro.runtime.affinity.ResidentDriver` with its router swapped
+    for a :class:`RemoteWorkerTransport` (the ``pinned-worker`` ×
+    ``sealed-tcp-remote`` combination), so the seeded-equivalence contract
+    holds by construction (the workers run the very same
+    :func:`~repro.runtime.affinity.serve_resident_frame`).
 
     ``addresses`` are ``host:port`` strings of separately launched workers
     (CLI ``worker --listen``); ``keys`` carries one pre-shared MAC key per
@@ -857,22 +871,179 @@ class RemoteResidentExecutor(ResidentProcessExecutor):
         connect_timeout: float = _CONNECT_TIMEOUT_SECONDS,
     ):
         parsed = [parse_address(address) for address in addresses]
-        super().__init__(
+        worker_keys = keys_for_workers(keys, len(parsed))
+        self._worker_addresses = parsed
+        self._worker_keys = worker_keys
+        self._connect_timeout = connect_timeout
+
+        def router_factory(num_workers: int) -> RemoteWorkerTransport:
+            return RemoteWorkerTransport(
+                parsed, worker_keys, connect_timeout=connect_timeout
+            )
+
+        StagedEpochEngine.__init__(
+            self,
+            ResidentDriver(
+                checkpoint_every=checkpoint_every,
+                router_factory=router_factory,
+                transport="sealed-tcp-remote",
+            ),
             num_workers=len(parsed),
             num_shards=num_shards,
             queue_depth=queue_depth,
             adaptive=adaptive,
-            checkpoint_every=checkpoint_every,
         )
-        self._worker_addresses = parsed
-        self._worker_keys = keys_for_workers(keys, len(parsed))
+
+
+class OverlapSnapshotRemoteDriver(StageDriver):
+    """``pipelined-overlap`` × ``sealed-tcp-remote``: snapshot shipping over
+    the sealed transport — a combination no legacy executor could express.
+
+    Each epoch, every occupied shard travels to its sticky remote worker as
+    a full :class:`~repro.runtime.wire.ShardTask` snapshot and comes back as
+    a :class:`~repro.runtime.wire.ShardBatch`
+    (:func:`~repro.runtime.affinity.serve_resident_frame` answers the task
+    statelessly, so unmodified resident workers serve it).  No resident
+    state, no checkpoint/replay machinery: a worker that dies mid-epoch
+    fails only that epoch, and the next epoch re-ships — the operational
+    trade against :class:`RemoteResidentExecutor` is wire bytes for
+    recovery simplicity.
+    """
+
+    scheduling = "pipelined-overlap"
+    transport = "sealed-tcp-remote"
+    runs_collector = True
+
+    def __init__(
+        self,
+        addresses: list[str],
+        keys: list[bytes],
+        connect_timeout: float = _CONNECT_TIMEOUT_SECONDS,
+    ):
+        self._addresses = [parse_address(address) for address in addresses]
+        self._keys = keys_for_workers(keys, len(self._addresses))
         self._connect_timeout = connect_timeout
+        self._router: RemoteWorkerTransport | None = None
+        self._pending: dict[int, Shard] = {}
 
     def _ensure_router(self) -> RemoteWorkerTransport:
         if self._router is None:
             self._router = RemoteWorkerTransport(
-                self._worker_addresses,
-                self._worker_keys,
-                connect_timeout=self._connect_timeout,
+                self._addresses, self._keys, connect_timeout=self._connect_timeout
             )
         return self._router
+
+    def prepare(self, context, epoch: int) -> None:
+        self._ensure_router().drain_stale()
+
+    def begin_epoch(self, handle: EpochHandle) -> None:
+        router = self._ensure_router()
+        self._pending = {}
+        for shard in handle.occupied:
+            blob = encode_shard_task(
+                ShardTask(
+                    shard_index=shard.index,
+                    epoch=handle.epoch,
+                    query_ids=handle.query_ids,
+                    client_states=tuple(
+                        client.export_state()
+                        for client in handle.context.clients[shard.as_slice()]
+                    ),
+                )
+            )
+            handle.metrics.add_wire_bytes(len(blob))
+            router.send(shard.index, blob)
+            self._pending[shard.index] = shard
+
+    def collect(self, handle: EpochHandle) -> None:
+        from repro.core.client import Client  # deferred: core <-> runtime
+
+        router = self._router
+        pending = self._pending
+        while pending:
+            for shard_index in list(pending):
+                if not router.worker_alive(router.slot_for(shard_index)):
+                    shard = pending.pop(shard_index)
+                    handle.emit(
+                        shard.index,
+                        None,
+                        error=ResidentWorkerError(
+                            f"worker pinned to shard {shard_index} died mid-epoch"
+                        ),
+                    )
+            if not pending:
+                return
+            try:
+                blob = router.recv(timeout=_RECV_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            handle.metrics.add_wire_bytes(len(blob))
+            try:
+                message = decode_frame(blob)
+            except WireError as exc:
+                for shard in list(pending.values()):
+                    handle.emit(shard.index, None, error=exc)
+                pending.clear()
+                return
+            if isinstance(message, ShardBatch):
+                shard = pending.get(message.shard_index)
+                if shard is None or message.epoch != handle.epoch:
+                    continue  # stale batch from an earlier, failed epoch
+                del pending[shard.index]
+                handle.context.clients[shard.as_slice()] = [
+                    Client.from_state(state) for state in message.client_states
+                ]
+                handle.emit(
+                    shard.index,
+                    [list(responses) for responses in message.responses],
+                    wall_seconds=message.wall_seconds,
+                )
+            elif isinstance(message, ShardAck) and message.error is not None:
+                if message.shard_index == -1:
+                    exc = ResidentWorkerError(
+                        f"{message.error[0]}: {message.error[1]}"
+                    )
+                    for shard in list(pending.values()):
+                        handle.emit(shard.index, None, error=exc)
+                    pending.clear()
+                    return
+                shard = pending.get(message.shard_index)
+                if shard is None or message.epoch != handle.epoch:
+                    continue
+                del pending[shard.index]
+                handle.emit(
+                    shard.index,
+                    None,
+                    error=ResidentWorkerError(
+                        f"{message.error[0]}: {message.error[1]}"
+                    ),
+                )
+            # Anything else (a stray resident ack) is stale traffic: skip.
+
+    def close(self) -> None:
+        if self._router is not None:
+            self._router.close()
+            self._router = None
+
+
+def remote_snapshot_engine(
+    addresses: list[str],
+    keys: list[bytes],
+    num_shards: int | None = None,
+    queue_depth: int | None = None,
+    connect_timeout: float = _CONNECT_TIMEOUT_SECONDS,
+) -> StagedEpochEngine:
+    """Build the ``pipelined-overlap/sealed-tcp-remote`` engine configuration.
+
+    The ``make_executor`` entry point for that spelling; one pool slot per
+    worker address, balanced (non-adaptive) shard boundaries — without
+    resident state there is no benefit to moving boundaries between epochs,
+    and keeping them fixed keeps the snapshot traffic predictable.
+    """
+    engine = StagedEpochEngine(
+        OverlapSnapshotRemoteDriver(addresses, keys, connect_timeout=connect_timeout),
+        num_workers=len(addresses),
+        num_shards=num_shards,
+        queue_depth=queue_depth,
+    )
+    return engine

@@ -497,12 +497,16 @@ def _inject_byzantine_answers(system, plan: ScenarioPlan, epoch_plan: EpochPlan)
     from repro.core.encryption import AnswerCodec
     from repro.core.query import QueryAnswer
     from repro.crypto.prng import KeystreamGenerator
-    from repro.runtime.executor import PooledEpochExecutor
 
     if not epoch_plan.injections:
         return
     codec = AnswerCodec()
-    slotted = isinstance(system.executor, PooledEpochExecutor)
+    # Place the forged records where this executor's ingest actually reads:
+    # overlap-scheduled engines stream from shard-aware topics, barrier and
+    # serial executors consume the query channel.  (A capability flag, not an
+    # isinstance check — every engine configuration is a PooledEpochExecutor,
+    # but only the overlap schedulers read shard topics.)
+    slotted = getattr(system.executor, "uses_shard_topics", False)
     epoch = epoch_plan.epoch
     for query_index, query_id in enumerate(system.query_ids()):
         query = system.query_for(query_id)

@@ -1,74 +1,49 @@
-"""The sharded epoch executor: shard-parallel answering, batched transmission.
+"""The sharded executor: a barrier-scheduling configuration of the engine.
 
-The client population is split into contiguous shards
-(:func:`~repro.runtime.sharding.plan_shards`); each shard is answered by a
-``concurrent.futures`` worker running :func:`answer_shard`, a module-level —
-hence picklable — task, so the same code drives a thread pool (the default:
-clients share the process and mutate their own RNG state in place) or a
-process pool (client state travels to the worker and the advanced state is
-written back on return).  Per shard, the collected shares are transmitted to
-the proxy brokers in one batched publish instead of one publish per client,
-and the aggregator ingests with its grouped join.
+Historically this module implemented shard-parallel answering with batched
+transmission as its own executor; it is now a thin driver configuration over
+:class:`~repro.runtime.engine.StagedEpochEngine`:
 
-Multi-query epochs reuse the same shard task: a shard answers *all* context
-queries from one pass over its clients (shared table scan, per-query RNG
-streams) and returns one response list per query; transmission and ingestion
-then run per query on that query's channel.
+* ``pool="thread"`` — ``thread-pool`` scheduling × ``in-process`` transport
+  (:class:`~repro.runtime.engine.BarrierThreadDriver`): clients share the
+  process and mutate their own RNG state in place.
+* ``pool="process"`` — ``thread-pool`` scheduling × ``framed-wire-local``
+  transport (:class:`~repro.runtime.process_pool.SnapshotWireBarrierDriver`):
+  each shard travels to a worker process as a serialized
+  :mod:`repro.runtime.wire` task and the advanced client state is adopted on
+  return — the minimal demonstration that shard tasks really are
+  self-contained units that could cross process (and machine) borders.
 
-Determinism: every client owns a seeded RNG and keystream per query that
-only its own shard task touches, so results do not depend on shard count or
-worker interleaving.  Shard outputs are merged in shard-index order, which
-equals serial client order because shards are contiguous.
+Either way the engine runs the *barrier* dataflow: shard results are
+collected in shard-index order, each shard's shares go to the proxy brokers
+in one batched publish per query, and every query's aggregator ingests with
+its grouped join only after the last shard has transmitted.  Determinism is
+unchanged: per-client, per-query seeded RNGs make answers independent of
+shard count and worker interleaving, and shard-order merging equals serial
+client order because shards are contiguous.
 
-The three stages still barrier on each other: transmission happens as shard
-results are collected (in shard order) and ingestion runs only after every
-shard has transmitted.  :class:`~repro.runtime.pipelined.PipelinedExecutor`
-removes those barriers; see ``docs/ARCHITECTURE.md`` for the comparison.
+:class:`~repro.runtime.pipelined.PipelinedExecutor` removes the stage
+barriers; see ``docs/ARCHITECTURE.md`` for the staged-engine overview.
+
+The name :class:`ShardedExecutor` is kept as a deprecation shim for one
+release; new code should configure the engine through
+``make_executor("thread-pool/in-process")`` (or the legacy alias
+``"sharded"``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import TYPE_CHECKING, Sequence
+# Re-exported for compatibility: answer_shard lived here before the engine
+# refactor and is the shard task every driver still runs.
+from repro.runtime.engine import BarrierThreadDriver, StagedEpochEngine, answer_shard
 
-from repro.runtime.executor import (
-    EpochContext,
-    EpochExecutor,
-    EpochOutcome,
-    QueryEpochOutcome,
-    apply_deadline,
-    late_drops_for,
-)
-from repro.runtime.sharding import plan_shards
-
-if TYPE_CHECKING:
-    from repro.core.client import Client, ClientResponse
+__all__ = ["ShardedExecutor", "answer_shard"]
 
 _POOL_KINDS = ("thread", "process")
 
 
-def answer_shard(
-    clients: list["Client"], query_ids: Sequence[str], epoch: int
-) -> tuple[list[list["ClientResponse"]], list["Client"]]:
-    """Answer one shard of clients for one epoch (the picklable shard task).
-
-    Every client answers all of ``query_ids`` in one pass; the return value
-    holds one participating-response list per query (client order within
-    each list) together with the clients themselves: in-process (thread)
-    execution returns the very same objects, while a process pool returns
-    copies carrying the advanced RNG/keystream state that the parent must
-    adopt for the next epoch.
-    """
-    responses_per_query: list[list["ClientResponse"]] = [[] for _ in query_ids]
-    for client in clients:
-        for index, response in enumerate(client.answer(query_ids, epoch=epoch)):
-            if response is not None:
-                responses_per_query[index].append(response)
-    return responses_per_query, clients
-
-
-class ShardedExecutor(EpochExecutor):
-    """Shard-parallel epoch execution over a ``concurrent.futures`` pool.
+class ShardedExecutor(StagedEpochEngine):
+    """Deprecated shim: barrier scheduling as a staged-engine configuration.
 
     Parameters
     ----------
@@ -78,11 +53,11 @@ class ShardedExecutor(EpochExecutor):
         Shard count; defaults to ``num_workers``.  More shards than workers
         gives finer-grained load balancing at slightly more batching calls.
     pool:
-        ``"thread"`` (default) or ``"process"``.  Threads are the right
-        choice for the in-process simulation (no state shipping); the
-        process pool exists to prove the shard tasks really are picklable
-        units that could move across process — and later machine — borders.
+        ``"thread"`` (default) or ``"process"`` — selects the in-process or
+        framed-wire-local transport (see the module docstring).
     """
+
+    _consumer_group_prefix = "sharded"
 
     def __init__(
         self,
@@ -90,82 +65,13 @@ class ShardedExecutor(EpochExecutor):
         num_shards: int | None = None,
         pool: str = "thread",
     ):
-        if num_workers < 1:
-            raise ValueError(f"num_workers must be positive, got {num_workers}")
-        if num_shards is not None and num_shards < 1:
-            raise ValueError(f"num_shards must be positive, got {num_shards}")
         if pool not in _POOL_KINDS:
             raise ValueError(f"pool must be one of {_POOL_KINDS}, got {pool!r}")
-        self.num_workers = num_workers
-        self.num_shards = num_shards if num_shards is not None else num_workers
+        if pool == "thread":
+            driver = BarrierThreadDriver()
+        else:
+            from repro.runtime.process_pool import SnapshotWireBarrierDriver
+
+            driver = SnapshotWireBarrierDriver()
+        super().__init__(driver, num_workers=num_workers, num_shards=num_shards)
         self.pool = pool
-        self._pool: Executor | None = None
-
-    # -- pool lifecycle -----------------------------------------------------
-
-    def _ensure_pool(self) -> Executor:
-        if self._pool is None:
-            if self.pool == "thread":
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.num_workers,
-                    thread_name_prefix="privapprox-shard",
-                )
-            else:
-                self._pool = ProcessPoolExecutor(max_workers=self.num_workers)
-        return self._pool
-
-    def close(self) -> None:
-        """Shut the worker pool down (safe to call repeatedly)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
-    # -- epoch execution ------------------------------------------------------
-
-    def run_epoch(self, context: EpochContext, epoch: int) -> EpochOutcome:
-        pool = self._ensure_pool()
-        queries = context.queries
-        query_ids = context.query_ids
-        shards = plan_shards(len(context.clients), self.num_shards)
-        futures = [
-            pool.submit(
-                answer_shard,
-                context.clients[shard.as_slice()],
-                query_ids,
-                epoch,
-            )
-            for shard in shards
-            if shard.num_items > 0
-        ]
-        occupied = [shard for shard in shards if shard.num_items > 0]
-        responses_per_query: list[list] = [[] for _ in queries]
-        for shard, future in zip(occupied, futures):
-            shard_responses, shard_clients = future.result()
-            if self.pool == "process":
-                # Adopt the advanced client state so epoch t+1 continues the
-                # same RNG/keystream sequences the serial reference would.
-                context.clients[shard.as_slice()] = shard_clients
-            shard_responses = apply_deadline(context.deadline, shard_responses)
-            for index, query in enumerate(queries):
-                responses_per_query[index].extend(shard_responses[index])
-                context.proxies.transmit_batch(
-                    [
-                        list(response.encrypted.shares)
-                        for response in shard_responses[index]
-                    ],
-                    channel=query.channel,
-                )
-        per_query = []
-        for index, query in enumerate(queries):
-            window_results = query.aggregator.consume_from_proxies(
-                list(query.consumers), epoch=epoch, batched=True
-            )
-            per_query.append(
-                QueryEpochOutcome(
-                    query_id=query.query_id,
-                    responses=tuple(responses_per_query[index]),
-                    window_results=tuple(window_results),
-                    late_drops=late_drops_for(context, query.query_id),
-                )
-            )
-        return EpochOutcome(per_query=tuple(per_query))

@@ -1,0 +1,451 @@
+"""The staged epoch engine: registry, driver configs, shims, stage metrics.
+
+PR 9 collapsed the executor zoo into one :class:`StagedEpochEngine` whose
+behavior is chosen by a (scheduling, transport) driver combination.  These
+tests pin the refactor's contracts:
+
+* the driver registry validates combinations and explains rejections;
+* every legacy executor name resolves to the documented driver config, and
+  the legacy classes remain importable/constructible as deprecation shims;
+* the engine emits one :class:`StageMetrics` per epoch — stage wall-clock,
+  wire bytes, deadline late-drops — replacing the per-executor ledgers;
+* the previously *inexpressible* combination ``pipelined-overlap`` ×
+  ``sealed-tcp-remote`` (stateless snapshot shipping over the sealed TCP
+  transport) satisfies the seeded-equivalence contract against serial.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import (
+    Analyst,
+    AnswerSpec,
+    ExecutionParameters,
+    PrivApproxSystem,
+    QueryBudget,
+    RangeBuckets,
+    SystemConfig,
+)
+from repro.runtime import (
+    DRIVER_COMBOS,
+    DRIVER_SPELLINGS,
+    EXECUTOR_KINDS,
+    LEGACY_EXECUTOR_ALIASES,
+    SCHEDULING_KINDS,
+    TRANSPORT_KINDS,
+    PipelinedExecutor,
+    ProcessPoolEpochExecutor,
+    RemoteResidentExecutor,
+    RemoteWorkerServer,
+    ResidentProcessExecutor,
+    ShardedExecutor,
+    StageMetrics,
+    StagedEpochEngine,
+    cli_smoke_matrix,
+    make_executor,
+    run_scenario,
+    validate_driver_combo,
+)
+from repro.runtime.scenario import ScenarioSpec
+
+SEED = 20260808
+KEY = bytes.fromhex("cc" * 32)
+
+
+# -- registry ----------------------------------------------------------------
+
+
+class TestDriverRegistry:
+    def test_every_registered_combo_validates(self):
+        for scheduling, transport in DRIVER_COMBOS:
+            assert validate_driver_combo(scheduling, transport) == (
+                scheduling,
+                transport,
+            )
+
+    def test_unknown_scheduling_axis_is_named(self):
+        with pytest.raises(ValueError, match="unknown scheduling kind 'fiber'"):
+            validate_driver_combo("fiber", "in-process")
+
+    def test_unknown_transport_axis_is_named(self):
+        with pytest.raises(ValueError, match="unknown transport kind 'carrier-pigeon'"):
+            validate_driver_combo("thread-pool", "carrier-pigeon")
+
+    @pytest.mark.parametrize(
+        "scheduling,transport",
+        [
+            ("inline", "framed-wire-local"),
+            ("inline", "sealed-tcp-remote"),
+            ("thread-pool", "sealed-tcp-remote"),
+            ("pinned-worker", "in-process"),
+        ],
+    )
+    def test_rejected_combos_explain_why(self, scheduling, transport):
+        """Every axis-valid but unregistered combo fails with a reason."""
+        with pytest.raises(ValueError, match="is not available: ") as excinfo:
+            validate_driver_combo(scheduling, transport)
+        # The reason is prose, not the generic fallback.
+        assert "no registered driver" not in str(excinfo.value)
+
+    def test_registry_is_exhaustive_over_both_axes(self):
+        """Every (scheduling, transport) pair is either registered or has a
+        recorded rejection — no combination falls through silently."""
+        for scheduling in SCHEDULING_KINDS:
+            for transport in TRANSPORT_KINDS:
+                if (scheduling, transport) in DRIVER_COMBOS:
+                    validate_driver_combo(scheduling, transport)
+                else:
+                    with pytest.raises(ValueError, match="is not available"):
+                        validate_driver_combo(scheduling, transport)
+
+    def test_spellings_cover_canonical_forms_and_aliases(self):
+        for scheduling, transport in DRIVER_COMBOS:
+            assert DRIVER_SPELLINGS[f"{scheduling}/{transport}"] == (
+                scheduling,
+                transport,
+            )
+        for alias, combo in LEGACY_EXECUTOR_ALIASES.items():
+            assert DRIVER_SPELLINGS[alias] == combo
+            assert combo in DRIVER_COMBOS
+        assert "serial" not in DRIVER_SPELLINGS  # the frozen reference
+
+    def test_executor_kinds_lists_legacy_then_canonical(self):
+        assert EXECUTOR_KINDS[:4] == ("serial", "sharded", "pipelined", "process")
+        assert set(EXECUTOR_KINDS[4:]) == {
+            f"{s}/{t}" for s, t in DRIVER_COMBOS
+        }
+
+    def test_smoke_matrix_is_single_host_only(self):
+        matrix = cli_smoke_matrix()
+        assert matrix[0] == "serial"
+        assert all(name in EXECUTOR_KINDS for name in matrix)
+        assert not any("sealed-tcp-remote" in name for name in matrix)
+        # Every locally runnable combo is covered.
+        assert len(matrix) == 1 + sum(
+            1 for _, t in DRIVER_COMBOS if t != "sealed-tcp-remote"
+        )
+
+
+# -- make_executor driver mapping -------------------------------------------
+
+
+class TestMakeExecutorDriverMapping:
+    @pytest.mark.parametrize(
+        "name,expected_type,scheduling,transport",
+        [
+            ("sharded", ShardedExecutor, "thread-pool", "in-process"),
+            ("pipelined", PipelinedExecutor, "pipelined-overlap", "in-process"),
+            (
+                "process",
+                ProcessPoolEpochExecutor,
+                "pipelined-overlap",
+                "framed-wire-local",
+            ),
+            ("inline/in-process", StagedEpochEngine, "inline", "in-process"),
+            ("thread-pool/in-process", ShardedExecutor, "thread-pool", "in-process"),
+            (
+                "thread-pool/framed-wire-local",
+                ShardedExecutor,
+                "thread-pool",
+                "framed-wire-local",
+            ),
+            (
+                "pipelined-overlap/in-process",
+                PipelinedExecutor,
+                "pipelined-overlap",
+                "in-process",
+            ),
+            (
+                "pipelined-overlap/framed-wire-local",
+                ProcessPoolEpochExecutor,
+                "pipelined-overlap",
+                "framed-wire-local",
+            ),
+            (
+                "pinned-worker/framed-wire-local",
+                ResidentProcessExecutor,
+                "pinned-worker",
+                "framed-wire-local",
+            ),
+        ],
+    )
+    def test_names_resolve_to_engine_driver_configs(
+        self, name, expected_type, scheduling, transport
+    ):
+        executor = make_executor(name, workers=2, shards=3)
+        try:
+            assert isinstance(executor, expected_type)
+            assert isinstance(executor, StagedEpochEngine)
+            assert executor.scheduling == scheduling
+            assert executor.transport == transport
+        finally:
+            executor.close()
+
+    def test_serial_stays_engine_free(self):
+        executor = make_executor("serial")
+        assert not isinstance(executor, StagedEpochEngine)
+
+    def test_resident_flag_upgrades_process(self):
+        executor = make_executor("process", workers=2, resident=True)
+        try:
+            assert isinstance(executor, ResidentProcessExecutor)
+            assert executor.scheduling == "pinned-worker"
+        finally:
+            executor.close()
+
+    def test_sealed_tcp_spelling_requires_addresses(self):
+        with pytest.raises(ValueError, match="remote worker addresses"):
+            make_executor("pipelined-overlap/sealed-tcp-remote")
+
+    def test_sharded_process_pool_is_the_wire_barrier_combo(self):
+        via_legacy = make_executor("sharded", workers=2, pool="process")
+        via_combo = make_executor("thread-pool/framed-wire-local", workers=2)
+        try:
+            assert type(via_legacy) is type(via_combo)
+            assert via_legacy.transport == via_combo.transport == "framed-wire-local"
+            assert via_legacy.pool == via_combo.pool == "process"
+        finally:
+            via_legacy.close()
+            via_combo.close()
+
+
+# -- deprecation shims -------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def test_legacy_modules_still_export_their_names(self):
+        from repro.runtime.affinity import ResidentProcessExecutor as FromAffinity
+        from repro.runtime.pipelined import PipelinedExecutor as FromPipelined
+        from repro.runtime.process_pool import (
+            AdaptiveShardSizer,
+            ProcessPoolEpochExecutor as FromProcessPool,
+            answer_shard_task,
+        )
+        from repro.runtime.remote import RemoteResidentExecutor as FromRemote
+        from repro.runtime.sharded import ShardedExecutor as FromSharded, answer_shard
+
+        assert FromSharded is ShardedExecutor
+        assert FromPipelined is PipelinedExecutor
+        assert FromProcessPool is ProcessPoolEpochExecutor
+        assert FromAffinity is ResidentProcessExecutor
+        assert FromRemote is RemoteResidentExecutor
+        assert callable(answer_shard) and callable(answer_shard_task)
+        assert AdaptiveShardSizer(4).plan  # moved to the engine, re-exported
+
+    def test_every_shim_is_an_engine_configuration(self):
+        for shim in (
+            ShardedExecutor,
+            PipelinedExecutor,
+            ProcessPoolEpochExecutor,
+            ResidentProcessExecutor,
+            RemoteResidentExecutor,
+        ):
+            assert issubclass(shim, StagedEpochEngine)
+
+    def test_shims_keep_their_constructor_signatures(self):
+        for executor in (
+            ShardedExecutor(num_workers=2, num_shards=3, pool="thread"),
+            PipelinedExecutor(num_workers=2, num_shards=3, queue_depth=2),
+            ProcessPoolEpochExecutor(num_workers=2, adaptive=False),
+            ResidentProcessExecutor(num_workers=2, checkpoint_every=0),
+        ):
+            executor.close()
+
+    def test_sharded_still_rejects_unknown_pools(self):
+        with pytest.raises(ValueError, match="pool must be one of"):
+            ShardedExecutor(pool="green-threads")
+
+    def test_pipelined_queue_depth_still_validated(self):
+        with pytest.raises(ValueError, match="queue_depth"):
+            PipelinedExecutor(queue_depth=0)
+
+
+# -- stage metrics -----------------------------------------------------------
+
+
+def build_system(executor: str, num_clients: int = 16, **config_kwargs):
+    config = SystemConfig(
+        num_clients=num_clients,
+        seed=SEED,
+        executor=executor,
+        executor_workers=2,
+        executor_shards=4,
+        **config_kwargs,
+    )
+    system = PrivApproxSystem(config)
+    rng = random.Random(SEED)
+    system.provision_clients(
+        [("value", "REAL")], lambda i: [{"value": rng.uniform(0.0, 8.0)}]
+    )
+    analyst = Analyst("engine-metrics")
+    query = analyst.create_query(
+        "SELECT value FROM private_data",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    system.submit_query(
+        analyst,
+        query,
+        QueryBudget(),
+        parameters=ExecutionParameters(sampling_fraction=1.0, p=0.9, q=0.5),
+    )
+    return system, query.query_id
+
+
+class TestStageMetrics:
+    def test_accumulators_are_thread_safe(self):
+        metrics = StageMetrics(epoch=0)
+
+        def hammer():
+            for _ in range(1000):
+                metrics.add_wire_bytes(1)
+                metrics.add_late_drops(1)
+                metrics.add_stage_seconds("transmit", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.wire_bytes == 4000
+        assert metrics.late_drops == 4000
+        assert metrics.transmit_seconds == pytest.approx(4.0)
+
+    @pytest.mark.parametrize(
+        "executor", ["thread-pool/in-process", "pipelined-overlap/in-process"]
+    )
+    def test_in_process_epochs_record_stages_without_wire(self, executor):
+        system, query_id = build_system(executor)
+        try:
+            for epoch in range(2):
+                system.run_epoch(query_id, epoch)
+            metrics = system.executor.stage_metrics
+            assert sorted(metrics) == [0, 1]
+            for epoch, m in metrics.items():
+                assert m.epoch == epoch
+                assert m.answer_seconds > 0.0
+                assert m.plan_seconds >= 0.0
+                assert m.transmit_seconds >= 0.0
+                assert m.ingest_seconds >= 0.0
+                assert m.wire_bytes == 0  # nothing crossed a process border
+                assert m.late_drops == 0
+            assert system.executor.epoch_wire_bytes == {0: 0, 1: 0}
+        finally:
+            system.close()
+
+    def test_wire_transport_epochs_account_every_frame(self):
+        system, query_id = build_system("process")
+        try:
+            system.run_epoch(query_id, 0)
+            metrics = system.executor.stage_metrics[0]
+            assert metrics.wire_bytes > 0
+            # The legacy ledger survives as a view over the unified metrics.
+            assert system.executor.epoch_wire_bytes == {0: metrics.wire_bytes}
+        finally:
+            system.close()
+
+    def test_deadline_gate_records_late_drops_in_metrics(self):
+        """The engine's single transmit-boundary gate feeds the metrics: the
+        per-epoch late-drop count equals what the epoch report says."""
+        from repro.runtime.scenario import EpochDeadline
+
+        system, query_id = build_system("pipelined-overlap/in-process")
+        try:
+            late = {
+                client.config.client_id: 10.0 for client in system.clients[::2]
+            }
+            system.epoch_deadline = EpochDeadline(0, 1.0, late)
+            report = system.run_epoch(query_id, 0)
+            dropped = len(report.late_drops)
+            assert dropped == len(late)
+            assert system.executor.stage_metrics[0].late_drops == dropped
+        finally:
+            system.close()
+
+    def test_non_adaptive_engines_never_reshard(self):
+        system, query_id = build_system("sharded")
+        try:
+            for epoch in range(3):
+                system.run_epoch(query_id, epoch)
+            assert all(
+                m.reshard_events == 0
+                for m in system.executor.stage_metrics.values()
+            )
+        finally:
+            system.close()
+
+
+# -- the previously-inexpressible combo --------------------------------------
+
+
+def start_server() -> RemoteWorkerServer:
+    server = RemoteWorkerServer("127.0.0.1", 0, KEY)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+def write_key_file(tmp_path) -> str:
+    path = tmp_path / "engine.keys"
+    path.write_text(KEY.hex() + "\n")
+    return str(path)
+
+
+class TestOverlapSealedTcpCombo:
+    """``pipelined-overlap`` × ``sealed-tcp-remote``: snapshot tasks out over
+    the sealed transport, batches streamed back in completion order.  The
+    combo no legacy executor could express — and it must still match serial
+    byte-for-byte."""
+
+    def test_scenario_digest_matches_serial(self, tmp_path):
+        servers = [start_server(), start_server()]
+        try:
+            spec = ScenarioSpec(
+                name="engine-overlap-remote",
+                seed=513,
+                num_clients=14,
+                num_epochs=2,
+                initial_active_fraction=0.9,
+                join_rate=0.1,
+                leave_rate=0.1,
+            )
+            serial = run_scenario(spec, executor="serial")
+            remote = run_scenario(
+                spec,
+                executor="pipelined-overlap/sealed-tcp-remote",
+                remote_workers=[
+                    f"{server.address[0]}:{server.address[1]}" for server in servers
+                ],
+                key_file=write_key_file(tmp_path),
+            )
+            assert remote.digest == serial.digest
+            assert remote.total_wire_bytes > 0
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_make_executor_builds_the_overlap_remote_engine(self, tmp_path):
+        server = start_server()
+        try:
+            executor = make_executor(
+                "pipelined-overlap/sealed-tcp-remote",
+                remote_workers=[f"{server.address[0]}:{server.address[1]}"],
+                key_file=write_key_file(tmp_path),
+            )
+            try:
+                assert isinstance(executor, StagedEpochEngine)
+                assert not isinstance(executor, ResidentProcessExecutor)
+                assert executor.scheduling == "pipelined-overlap"
+                assert executor.transport == "sealed-tcp-remote"
+            finally:
+                executor.close()
+        finally:
+            server.stop()

@@ -115,7 +115,18 @@ def serialize_responses(responses) -> list[tuple]:
     ]
 
 
-@pytest.mark.parametrize("executor", ["sharded", "pipelined", "process"])
+@pytest.mark.parametrize(
+    "executor",
+    [
+        "sharded",
+        "pipelined",
+        "process",
+        # Canonical driver spellings: the engine path the legacy names alias.
+        "inline/in-process",
+        "thread-pool/in-process",
+        "pipelined-overlap/in-process",
+    ],
+)
 class TestParallelExecutorsMatchSerial:
     @pytest.mark.parametrize("num_clients", [1, 50, 100])
     @pytest.mark.parametrize("num_shards", [1, 2, 7])
@@ -275,7 +286,9 @@ def run_multi_deployment(
     return per_query
 
 
-@pytest.mark.parametrize("executor", ["sharded", "pipelined", "process"])
+@pytest.mark.parametrize(
+    "executor", ["sharded", "pipelined", "process", "inline/in-process"]
+)
 @pytest.mark.parametrize("num_queries", [2, 3])
 class TestMultiQueryExecutorsMatchSerial:
     """run_epoch_all: every executor serves N queries from one pass, byte-identically."""
@@ -517,6 +530,7 @@ class TestIndexedAnswerPathMatchesScan:
             "process-resident",
             {"workers": 2, "shards": 4, "resident": True, "checkpoint_every": 2},
         ),
+        ("inline/in-process", {}),
     ]
 
     @pytest.mark.parametrize(

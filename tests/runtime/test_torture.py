@@ -259,6 +259,11 @@ CHURN_EXECUTOR_CONFIGS = [
     ("pipelined", False),
     ("process", False),
     ("process", True),
+    # Canonical driver-combo spellings of the staged engine: the cheap
+    # single-thread config and the barrier thread pool, dragged through the
+    # same hostile environments as the legacy names.
+    ("inline/in-process", False),
+    ("thread-pool/in-process", False),
 ]
 
 _serial_digests: dict[str, str] = {}
@@ -309,6 +314,7 @@ INDEXED_PATH_CONFIGS = [
     ("pipelined", False),
     ("process", False),
     ("process", True),
+    ("inline/in-process", False),
 ]
 
 
