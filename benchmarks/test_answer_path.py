@@ -158,3 +158,133 @@ def test_answer_path_speedup(report):
     # Even the full scan-equivalent workload must not regress: the columnar
     # path still avoids per-row dicts and per-call parsing.
     assert speedups["100%"] >= 1.0
+
+
+# -- shard-wide arena vs per-client compiled ----------------------------------
+#
+# The PR-10 acceptance benchmark: one ShardArena concatenating every client
+# in a shard answers the selective analyst SELECT with a single probe plus
+# span-table splitting, against the same clients each probing their own
+# ColumnStore.  Swept at 10^2..10^4 clients per shard; the claim under test
+# is **>= 3x median speedup at 10^4 clients/shard**.  Results append into
+# BENCH_answer_path.json next to the per-client-vs-scan rows (read-modify-
+# write, so either test can run alone without clobbering the other).
+
+ARENA_SWEEP_SIZES = [100, 1_000, 10_000]
+ARENA_ROWS_PER_CLIENT = 32
+ARENA_TIMING_ROUNDS = 5
+ARENA_SPEEDUP_FLOOR = 3.0
+ARENA_SQL = "SELECT value FROM private_data WHERE rank BETWEEN 0 AND 9"
+
+
+def _build_shard(num_clients: int, seed: int = 20260808) -> list[Database]:
+    rng = random.Random(seed)
+    databases = []
+    for _ in range(num_clients):
+        db = Database()
+        db.create_table(
+            "private_data", [("value", "REAL"), ("rank", "INTEGER"), ("tag", "TEXT")]
+        )
+        db.insert_rows(
+            "private_data",
+            [
+                {
+                    "value": rng.uniform(0.0, 8.0),
+                    "rank": rng.randrange(1000),
+                    "tag": rng.choice(["phone", "laptop", "server"]),
+                }
+                for _ in range(ARENA_ROWS_PER_CLIENT)
+            ],
+        )
+        databases.append(db)
+    return databases
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def test_arena_vs_per_client_sweep(report):
+    from repro.sqldb import ShardArena, arena_select_per_client
+
+    json_rows = []
+    speedups = {}
+    for num_clients in ARENA_SWEEP_SIZES:
+        databases = _build_shard(num_clients)
+        arena = ShardArena(databases)
+
+        # Warm both paths: per-client stores+indexes and the arena+indexes.
+        per_client_results = [db.query(ARENA_SQL).rows for db in databases]
+        arena_build_start = time.perf_counter()
+        arena_results = arena_select_per_client(arena, ARENA_SQL)
+        arena_build_ms = (time.perf_counter() - arena_build_start) * 1e3
+        assert arena_results is not None
+        assert [outcome.rows for outcome in arena_results] == per_client_results
+
+        per_client_samples = []
+        arena_samples = []
+        for _ in range(ARENA_TIMING_ROUNDS):
+            start = time.perf_counter()
+            for db in databases:
+                db.query(ARENA_SQL)
+            per_client_samples.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            arena_select_per_client(arena, ARENA_SQL)
+            arena_samples.append(time.perf_counter() - start)
+
+        per_client_ms = _median(per_client_samples) * 1e3
+        arena_ms = _median(arena_samples) * 1e3
+        speedup = per_client_ms / arena_ms
+        speedups[num_clients] = speedup
+        json_rows.append(
+            {
+                "clients_per_shard": num_clients,
+                "rows_per_client": ARENA_ROWS_PER_CLIENT,
+                "sql": ARENA_SQL,
+                "per_client_ms": per_client_ms,
+                "arena_ms": arena_ms,
+                "arena_cold_probe_ms": arena_build_ms,
+                "speedup": speedup,
+            }
+        )
+
+    # Read-modify-write: the per-client-vs-scan test owns the other keys.
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_answer_path.json")
+    data = {}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    data["arena_vs_per_client"] = {
+        "timing_rounds": ARENA_TIMING_ROUNDS,
+        "speedup_floor": ARENA_SPEEDUP_FLOOR,
+        "rows": json_rows,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2)
+
+    report.title(
+        f"Answer stage: shard arena vs per-client columnar "
+        f"({ARENA_ROWS_PER_CLIENT} rows/client, ~1% selectivity)"
+    )
+    report.table(
+        ["clients/shard", "per-client ms", "arena ms", "speedup"],
+        [
+            [
+                row["clients_per_shard"],
+                row["per_client_ms"],
+                row["arena_ms"],
+                row["speedup"],
+            ]
+            for row in json_rows
+        ],
+    )
+
+    assert speedups[10_000] >= ARENA_SPEEDUP_FLOOR, (
+        f"arena speedup {speedups[10_000]:.2f}x at 10^4 clients/shard "
+        f"is below the {ARENA_SPEEDUP_FLOOR}x acceptance floor"
+    )

@@ -303,8 +303,20 @@ class Client:
 
     # -- query answering -----------------------------------------------------------
 
+    def query_sql(self, query_id: str) -> str | None:
+        """The SQL text of a subscribed query, or ``None`` if unknown.
+
+        Lets the shard-wide arena answer path discover which statements an
+        epoch will run without touching subscription internals.
+        """
+        subscription = self._subscriptions.get(query_id)
+        return None if subscription is None else subscription[0].sql
+
     def answer(
-        self, query_ids: Sequence[str], epoch: int = 0
+        self,
+        query_ids: Sequence[str],
+        epoch: int = 0,
+        scan_cache: dict[str, Any] | None = None,
     ) -> list[ClientResponse | None]:
         """Run one answering epoch for many subscribed queries in one pass.
 
@@ -316,8 +328,15 @@ class Client:
         per-query (each query id owns its seeded RNG *and* encryption
         keystream), so the responses — encrypted shares included — are
         byte-identical to answering each query alone.
+
+        ``scan_cache`` may be pre-seeded by the shard-wide arena path with
+        this client's per-SQL outcome (a result set, or the exception its
+        own evaluation would raise); entries are consumed only for queries
+        whose sampling coin says participate, exactly as a local pass
+        would be.
         """
-        scan_cache: dict[str, Any] = {}
+        if scan_cache is None:
+            scan_cache = {}
         return [
             self.answer_query(query_id, epoch=epoch, scan_cache=scan_cache)
             for query_id in query_ids
@@ -442,6 +461,10 @@ class Client:
         """
         if scan_cache is not None and query.sql in scan_cache:
             result = scan_cache[query.sql]
+            if isinstance(result, BaseException):
+                # Arena-precomputed outcome parity: raise exactly what this
+                # client's own evaluation would have raised.
+                raise result
         else:
             result = self.database.query(query.sql)
             if scan_cache is not None:

@@ -64,7 +64,9 @@ from repro.runtime.engine import (  # noqa: F401 — re-exported constants
     StageDriver,
     StagedEpochEngine,
     answer_shard,
+    make_shard_arena,
 )
+from repro.sqldb import ShardArena, arena_answering_enabled
 from repro.runtime.executor import EpochContext
 from repro.runtime.sharding import Shard, shard_span
 from repro.runtime.wire import (
@@ -127,9 +129,14 @@ class ResidentShardCache:
 
     def __init__(self) -> None:
         self._clients: dict[int, list["Client"]] = {}
+        # Shard id → ShardArena over the resident clients' databases; lives
+        # and dies with the residency (bootstrap replaces it, invalidate
+        # drops it) and syncs incrementally under ShardDelta traffic.
+        self._arenas: dict[int, ShardArena] = {}
 
     def install(self, shard_index: int, clients: list["Client"]) -> None:
         self._clients[shard_index] = clients
+        self._arenas.pop(shard_index, None)
 
     def lookup(self, shard_index: int, expected_fingerprint: bytes) -> list["Client"] | None:
         clients = self._clients.get(shard_index)
@@ -142,6 +149,27 @@ class ResidentShardCache:
 
     def invalidate(self, shard_index: int) -> None:
         self._clients.pop(shard_index, None)
+        self._arenas.pop(shard_index, None)
+
+    def arena_for(self, shard_index: int) -> ShardArena | None:
+        """The resident shard's arena, built lazily and reused across epochs.
+
+        Returns ``None`` (dropping any cached arena) when arena answering is
+        disabled or the shard is not resident.  Membership is compared by
+        database-object identity, so a re-bootstrap that replaced the client
+        objects rebuilds the arena while ``ShardDelta`` appends sync into it
+        incrementally.
+        """
+        clients = self._clients.get(shard_index)
+        if clients is None or not arena_answering_enabled():
+            self._arenas.pop(shard_index, None)
+            return None
+        databases = [client.database for client in clients]
+        arena = self._arenas.get(shard_index)
+        if arena is None or not arena.matches(databases):
+            arena = ShardArena(databases)
+            self._arenas[shard_index] = arena
+        return arena
 
     def __len__(self) -> int:
         return len(self._clients)
@@ -158,7 +186,9 @@ def _answer_from_residency(
     """Answer one epoch from resident clients and build the ack."""
     start = time.perf_counter()
     if query_ids:
-        responses_per_query, clients = answer_shard(clients, query_ids, epoch)
+        responses_per_query, clients = answer_shard(
+            clients, query_ids, epoch, arena=cache.arena_for(shard_index)
+        )
         responses = tuple(tuple(responses) for responses in responses_per_query)
     else:
         responses = ()
@@ -237,7 +267,10 @@ def serve_resident_frame(cache: ResidentShardCache, frame: bytes) -> bytes:
             start = time.perf_counter()
             clients = [Client.from_state(state) for state in message.client_states]
             responses_per_query, clients = answer_shard(
-                clients, message.query_ids, message.epoch
+                clients,
+                message.query_ids,
+                message.epoch,
+                arena=make_shard_arena(clients),
             )
             return encode_shard_batch(
                 ShardBatch(

@@ -70,6 +70,12 @@ from repro.runtime.executor import (
     validate_driver_combo,
 )
 from repro.runtime.sharding import Shard, plan_shards, plan_weighted_shards
+from repro.sqldb import (
+    ARENA_FALLBACK,
+    ShardArena,
+    arena_answering_enabled,
+    arena_select_per_client,
+)
 
 if TYPE_CHECKING:
     from repro.core.client import Client, ClientResponse
@@ -89,7 +95,10 @@ _RESHARD_COOLDOWN_EPOCHS = 3
 
 
 def answer_shard(
-    clients: list["Client"], query_ids: Sequence[str], epoch: int
+    clients: list["Client"],
+    query_ids: Sequence[str],
+    epoch: int,
+    arena: ShardArena | None = None,
 ) -> tuple[list[list["ClientResponse"]], list["Client"]]:
     """Answer one shard of clients for one epoch (the picklable shard task).
 
@@ -99,13 +108,83 @@ def answer_shard(
     execution returns the very same objects, while a process border returns
     copies carrying the advanced RNG/keystream state that the parent must
     adopt for the next epoch.
+
+    With a :class:`~repro.sqldb.columnar.ShardArena` over these clients'
+    databases, the epoch's SQL is evaluated once shard-wide and each
+    client's pre-computed outcome is injected through its ``scan_cache`` —
+    draw-neutral (SQL consumes no randomness), so responses are
+    byte-identical to per-client evaluation.  Members flagged for fallback
+    simply keep an empty cache and answer themselves.
     """
+    caches = shard_scan_caches(clients, query_ids, arena)
     responses_per_query: list[list["ClientResponse"]] = [[] for _ in query_ids]
-    for client in clients:
-        for index, response in enumerate(client.answer(query_ids, epoch=epoch)):
+    for slot, client in enumerate(clients):
+        scan_cache = None if caches is None else caches[slot]
+        answers = client.answer(query_ids, epoch=epoch, scan_cache=scan_cache)
+        for index, response in enumerate(answers):
             if response is not None:
                 responses_per_query[index].append(response)
     return responses_per_query, clients
+
+
+def shard_scan_caches(
+    clients: list["Client"],
+    query_ids: Sequence[str],
+    arena: ShardArena | None,
+) -> list[dict] | None:
+    """Pre-compute per-client scan caches for one epoch via the shard arena.
+
+    Returns one ``{sql: outcome}`` dict per client (outcome is a result
+    set or the exception that client's own evaluation would raise), or
+    ``None`` when the arena is absent or no longer matches the shard's
+    databases (churn replaced a member — the caller answers per-client
+    and the arena owner rebuilds on the next sync).  Statements that fall
+    back (unparsable, non-SELECT, missing table, compiler fallback) are
+    simply absent from every cache; members flagged :data:`ARENA_FALLBACK`
+    are absent from that member's cache only.
+    """
+    if arena is None or not clients:
+        return None
+    if not arena.matches([client.database for client in clients]):
+        return None
+    caches: list[dict] = [{} for _ in clients]
+    seen: set[str] = set()
+    for query_id in query_ids:
+        sql = None
+        for client in clients:
+            sql = client.query_sql(query_id)
+            if sql is not None:
+                break
+        if sql is None or sql in seen:
+            continue
+        seen.add(sql)
+        outcomes = arena_select_per_client(arena, sql)
+        if outcomes is None:
+            continue
+        for cache, outcome in zip(caches, outcomes):
+            if outcome is ARENA_FALLBACK:
+                continue
+            cache[sql] = outcome
+    return caches
+
+
+def make_shard_arena(clients: list["Client"]) -> ShardArena | None:
+    """A fresh arena over a shard's databases, or ``None`` when disabled."""
+    if not clients or not arena_answering_enabled():
+        return None
+    return ShardArena([client.database for client in clients])
+
+
+def _timed_answer_shard(
+    clients: list["Client"],
+    query_ids: Sequence[str],
+    epoch: int,
+    arena: ShardArena | None = None,
+) -> tuple[list[list["ClientResponse"]], list["Client"], float]:
+    """:func:`answer_shard` plus its own wall-clock, for stage accounting."""
+    started = time.perf_counter()
+    responses, clients = answer_shard(clients, query_ids, epoch, arena=arena)
+    return responses, clients, time.perf_counter() - started
 
 
 class AdaptiveShardSizer:
@@ -358,7 +437,33 @@ class StagedEpochEngine(PooledEpochExecutor):
         self._epochs_since_reshard = 0
         #: Per-epoch StageMetrics, success and failure alike.
         self.stage_metrics: dict[int, StageMetrics] = {}
+        #: Shard index → ShardArena for the in-process drivers; reused across
+        #: epochs while the shard's member databases are identical objects.
+        self._arenas: dict[int, ShardArena] = {}
         driver.bind(self)
+
+    def arena_for(
+        self, shard_index: int, clients: list["Client"]
+    ) -> ShardArena | None:
+        """The cached arena for a shard, rebuilt when its membership changed.
+
+        Returns ``None`` (and drops any cached arena) when arena answering
+        is disabled or the shard is empty.  Membership is compared by
+        database-object identity — re-sharding or churn that replaces a
+        member rebuilds; stable shards keep their arena and sync it
+        incrementally as ``ShardDelta`` traffic appends rows.  Call only on
+        the epoch caller thread (shards are disjoint, so the per-shard
+        arenas themselves may then be used concurrently).
+        """
+        if not clients or not arena_answering_enabled():
+            self._arenas.pop(shard_index, None)
+            return None
+        databases = [client.database for client in clients]
+        arena = self._arenas.get(shard_index)
+        if arena is None or not arena.matches(databases):
+            arena = ShardArena(databases)
+            self._arenas[shard_index] = arena
+        return arena
 
     # -- capability surface ---------------------------------------------------
 
@@ -402,6 +507,7 @@ class StagedEpochEngine(PooledEpochExecutor):
         try:
             self.driver.close()
         finally:
+            self._arenas.clear()
             super().close()
 
     # -- plan stage -----------------------------------------------------------
@@ -574,10 +680,13 @@ class StagedEpochEngine(PooledEpochExecutor):
             self.driver.handle_epoch_error(error)
             raise
         if not answer_walls:
-            # In-process drivers report no per-shard wall-clock; charge the
-            # whole collect span to the answer stage.
-            metrics.answer_seconds = (
-                time.perf_counter() - answer_started - metrics.transmit_seconds
+            # Wire drivers without per-shard wall-clocks: charge the collect
+            # span minus transmit to the answer stage, clamped at zero — the
+            # two spans are measured independently, so subtraction could
+            # otherwise dip (fractionally) negative and corrupt the ledger.
+            metrics.answer_seconds = max(
+                0.0,
+                time.perf_counter() - answer_started - metrics.transmit_seconds,
             )
         ingest_started = time.perf_counter()
         window_results: list[list] = []
@@ -693,10 +802,12 @@ class InlineDriver(StageDriver):
 
     def collect(self, handle: EpochHandle) -> None:
         for shard in handle.occupied:
-            responses, _ = answer_shard(
-                handle.context.clients[shard.as_slice()], handle.query_ids, handle.epoch
+            clients = handle.context.clients[shard.as_slice()]
+            arena = self.engine.arena_for(shard.index, clients)
+            responses, _, wall = _timed_answer_shard(
+                clients, handle.query_ids, handle.epoch, arena=arena
             )
-            handle.emit(shard.index, responses)
+            handle.emit(shard.index, responses, wall_seconds=wall)
 
 
 class BarrierThreadDriver(StageDriver):
@@ -719,23 +830,29 @@ class BarrierThreadDriver(StageDriver):
 
     def begin_epoch(self, handle: EpochHandle) -> None:
         pool = self.engine._ensure_pool()
-        self._futures = [
-            (
-                shard,
-                pool.submit(
-                    answer_shard,
-                    handle.context.clients[shard.as_slice()],
-                    handle.query_ids,
-                    handle.epoch,
-                ),
+        # Arenas are fetched (and possibly synced/rebuilt) on the caller
+        # thread; the disjoint per-shard arenas are then used concurrently.
+        self._futures = []
+        for shard in handle.occupied:
+            clients = handle.context.clients[shard.as_slice()]
+            arena = self.engine.arena_for(shard.index, clients)
+            self._futures.append(
+                (
+                    shard,
+                    pool.submit(
+                        _timed_answer_shard,
+                        clients,
+                        handle.query_ids,
+                        handle.epoch,
+                        arena=arena,
+                    ),
+                )
             )
-            for shard in handle.occupied
-        ]
 
     def collect(self, handle: EpochHandle) -> None:
         for shard, future in self._futures:
-            responses, _ = future.result()
-            handle.emit(shard.index, responses)
+            responses, _, wall = future.result()
+            handle.emit(shard.index, responses, wall_seconds=wall)
 
 
 class OverlapThreadDriver(StageDriver):
@@ -759,14 +876,23 @@ class OverlapThreadDriver(StageDriver):
     def begin_epoch(self, handle: EpochHandle) -> None:
         pool = self.engine._ensure_pool()
         for shard in handle.occupied:
-            pool.submit(self._answer_one, handle, shard)
+            # Fetch the arena on the caller thread so concurrent workers
+            # never sync/rebuild shared engine state.
+            clients = handle.context.clients[shard.as_slice()]
+            arena = self.engine.arena_for(shard.index, clients)
+            pool.submit(self._answer_one, handle, shard, clients, arena)
 
     @staticmethod
-    def _answer_one(handle: EpochHandle, shard: Shard) -> None:
+    def _answer_one(
+        handle: EpochHandle,
+        shard: Shard,
+        clients: list["Client"],
+        arena: ShardArena | None,
+    ) -> None:
         started = time.perf_counter()
         try:
             responses, _ = answer_shard(
-                handle.context.clients[shard.as_slice()], handle.query_ids, handle.epoch
+                clients, handle.query_ids, handle.epoch, arena=arena
             )
         except Exception as exc:  # surfaced from run_epoch, never swallowed
             handle.emit(shard.index, None, error=exc)

@@ -60,6 +60,7 @@ from repro.runtime.engine import (
     StageDriver,
     StagedEpochEngine,
     answer_shard,
+    make_shard_arena,
 )
 from repro.runtime.sharding import Shard
 from repro.runtime.wire import (
@@ -97,8 +98,13 @@ def answer_shard_task(task_blob: bytes) -> bytes:
     start = time.perf_counter()
     clients = [Client.from_state(state) for state in task.client_states]
     # The same shard task the thread executors run, so participation
-    # semantics can never drift between the executors.
-    responses_per_query, clients = answer_shard(clients, task.query_ids, task.epoch)
+    # semantics can never drift between the executors.  Snapshot shipping
+    # rebuilds Client objects every epoch, so the arena is transient too —
+    # built here, used once, discarded with the worker-side clients.
+    arena = make_shard_arena(clients)
+    responses_per_query, clients = answer_shard(
+        clients, task.query_ids, task.epoch, arena=arena
+    )
     wall_seconds = time.perf_counter() - start
     return encode_shard_batch(
         ShardBatch(

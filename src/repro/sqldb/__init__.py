@@ -19,12 +19,24 @@ SELECTs run on an index-backed columnar fast path by default — typed
 parallel arrays per table (:mod:`repro.sqldb.columnar`) with hash/B+Tree
 indexes (:mod:`repro.sqldb.indexes`) probed by compiled predicates
 (:mod:`repro.sqldb.compile`).  The original row-scan interpreter remains
-the frozen reference; set ``SQLDB_FORCE_SCAN=1`` to pin it.
+the frozen reference; set ``SQLDB_FORCE_SCAN=1`` to pin it.  On top of
+the per-client path, :class:`~repro.sqldb.columnar.ShardArena`
+concatenates every co-schema client in a shard into one columnar arena
+so the runtime can answer a whole shard with a single probe
+(:func:`~repro.sqldb.engine.arena_select_per_client`);
+``SQLDB_FORCE_PER_CLIENT=1`` pins the per-client compiled path as the
+middle rung of the differential ladder.
 """
 
-from repro.sqldb.columnar import ColumnStore, ColumnVector
+from repro.sqldb.columnar import ArenaTable, ColumnStore, ColumnVector, ShardArena
 from repro.sqldb.compile import CompiledSelect, CompileFallback, plan_for
-from repro.sqldb.engine import Database
+from repro.sqldb.engine import (
+    ARENA_FALLBACK,
+    Database,
+    arena_answering_enabled,
+    arena_select_per_client,
+    per_client_forced,
+)
 from repro.sqldb.errors import ExecutionError, ParseError, SchemaError, SqlError
 from repro.sqldb.indexes import BPlusTreeIndex, HashIndex
 from repro.sqldb.table import Column, Table
@@ -35,6 +47,12 @@ __all__ = [
     "Column",
     "ColumnStore",
     "ColumnVector",
+    "ArenaTable",
+    "ShardArena",
+    "ARENA_FALLBACK",
+    "arena_select_per_client",
+    "arena_answering_enabled",
+    "per_client_forced",
     "HashIndex",
     "BPlusTreeIndex",
     "CompiledSelect",

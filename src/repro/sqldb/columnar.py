@@ -25,6 +25,18 @@ the first time a value cannot be stored natively.  Reads are
 value-identical either way — ``array('d')`` round-trips any Python float
 and ``array('q')`` any 64-bit int — which the differential suite
 (:mod:`tests.sqldb.test_engine_properties`) relies on.
+
+**Shard-wide arenas.**  A PrivApprox shard holds many co-schema clients
+answering the *same* statements, so probing 10⁴ tiny per-client stores
+runs 10⁴ identical probes.  :class:`ShardArena` concatenates one table
+name across every member database into a single set of typed parallel
+arrays plus a ``row_slot`` column (arena row id → member slot) and a
+per-slot row-span table (``slot_rows``), with hash/B+Tree indexes built
+once per shard; :meth:`CompiledSelect.matching_ids_per_client
+<repro.sqldb.compile.CompiledSelect.matching_ids_per_client>` probes the
+arena once and splits the matches back per client.  Members whose table
+is missing or whose schema differs from the adopted signature are
+*excluded* (their span is ``None``) and answer per-client.
 """
 
 from __future__ import annotations
@@ -239,3 +251,317 @@ class ColumnStore:
                     len(tree) if tree is not None else 0,
                 )
         return out
+
+
+# -- shard-wide arenas ---------------------------------------------------------
+
+
+def _schema_signature(columns) -> tuple:
+    """Hashable schema identity: ordered (name, upper-cased type) pairs.
+
+    Mirrors :func:`repro.sqldb.compile.schema_signature` — inlined here
+    because :mod:`repro.sqldb.compile` imports this module.
+    """
+    return tuple((column.name, column.sql_type.upper()) for column in columns)
+
+
+class _ArenaRows:
+    """Read-only row-tuple view over arena vectors.
+
+    Stands in for ``Table.rows`` in the shared SELECT-finishing code:
+    ``rows[i]`` materializes the arena row as a schema-order tuple, which
+    is value-identical to the tuple the member table stores.
+    """
+
+    __slots__ = ("_vectors",)
+
+    def __init__(self, vectors: list[ColumnVector]):
+        self._vectors = vectors
+
+    def __getitem__(self, index: int) -> tuple:
+        return tuple(vector[index] for vector in self._vectors)
+
+    def __len__(self) -> int:
+        return len(self._vectors[0]) if self._vectors else 0
+
+
+# Excluded-slot source sentinel: the slot had no table when last examined.
+_EXCLUDED_EMPTY = ("x", None)
+
+
+class ArenaTable:
+    """One table name concatenated across every member database of a shard.
+
+    Duck-types as both the *table* (``column_names`` / ``column_index`` /
+    ``rows``) and the *store* (``count`` / ``column`` / ``has_column`` /
+    ``arrays`` / ``hash_index`` / ``tree_index``) that the compiled SELECT
+    path consumes, so probes and result finishing run unchanged against
+    the arena.
+
+    The schema is *adopted* from the first member that has the table;
+    members whose table matches the adopted signature are **included**
+    (their rows live in the arena, their span in :attr:`slot_rows`),
+    everyone else is **excluded** (``slot_rows[slot] is None`` — the
+    caller answers those members per-client).  Maintenance follows
+    :class:`ColumnStore`: per-member tail appends (the only mutation
+    ``ShardDelta`` frames perform) extend the vectors, the span table and
+    any live indexes in place; everything else — a replaced or mutated
+    row list, a dropped/recreated table, a table appearing on a
+    previously excluded member — rebuilds the whole arena and drops its
+    indexes to be lazily rebuilt on the next probe.
+    """
+
+    __slots__ = (
+        "name",
+        "_databases",
+        "columns",
+        "_signature",
+        "_colindex",
+        "_vectors",
+        "row_slot",
+        "slot_rows",
+        "_sources",
+        "_hash",
+        "_trees",
+        "rebuilds",
+        "appended_rows",
+        "_count",
+    )
+
+    def __init__(self, name: str, databases: list):
+        self.name = name
+        self._databases = databases
+        self.rebuilds = 0
+        self.appended_rows = 0
+        self._rebuild()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        adopted = None
+        for db in self._databases:
+            table = db.get_table(self.name)
+            if table is not None:
+                adopted = table
+                break
+        self.columns = None if adopted is None else list(adopted.columns)
+        self._signature = None if adopted is None else _schema_signature(adopted.columns)
+        names = [] if self.columns is None else [c.name for c in self.columns]
+        types = [] if self.columns is None else [c.sql_type for c in self.columns]
+        self._colindex = {name: i for i, name in enumerate(names)}
+        self._vectors = {n: ColumnVector(t) for n, t in zip(names, types)}
+        self.row_slot = array("q")
+        self.slot_rows: list = [None] * len(self._databases)
+        self._sources: list = [_EXCLUDED_EMPTY] * len(self._databases)
+        self._hash: dict[str, HashIndex] = {}
+        self._trees: dict[str, BPlusTreeIndex] = {}
+        self._count = 0
+        self.rebuilds += 1
+        if self.columns is None:
+            return
+        for slot, db in enumerate(self._databases):
+            table = db.get_table(self.name)
+            if table is None:
+                continue
+            if _schema_signature(table.columns) != self._signature:
+                self._sources[slot] = ("x", table)
+                continue
+            rows = table.rows
+            self.slot_rows[slot] = array("q")
+            self._sources[slot] = [table, rows, getattr(rows, "mutations", 0), 0]
+            self._append_slot(slot, rows, 0)
+
+    def sync(self) -> None:
+        """Bring the arena up to date with every member's table.
+
+        Two passes, mirroring :meth:`ColumnStore.sync` per member: the
+        first detects any structural change — a member's table replaced,
+        its row list rebound/shrunk/edited in place, or a table with the
+        adopted signature appearing on an excluded member — and rebuilds
+        the whole arena; only when no member changed structurally does
+        the second pass fold per-member tail appends in incrementally.
+        """
+        for slot, db in enumerate(self._databases):
+            table = db.get_table(self.name)
+            source = self._sources[slot]
+            if isinstance(source, list):
+                if table is not source[0]:
+                    self._rebuild()
+                    return
+                rows = table.rows
+                if (
+                    rows is not source[1]
+                    or getattr(rows, "mutations", 0) != source[2]
+                    or len(rows) < source[3]
+                ):
+                    self._rebuild()
+                    return
+            else:
+                if table is source[1]:
+                    continue
+                if table is None:
+                    self._sources[slot] = _EXCLUDED_EMPTY
+                    continue
+                if (
+                    self.columns is None
+                    or _schema_signature(table.columns) == self._signature
+                ):
+                    self._rebuild()
+                    return
+                self._sources[slot] = ("x", table)
+        for slot, source in enumerate(self._sources):
+            if isinstance(source, list) and len(source[1]) > source[3]:
+                self._append_slot(slot, source[1], source[3])
+
+    def _append_slot(self, slot: int, rows: list, start: int) -> None:
+        vectors = [self._vectors[column.name] for column in self.columns]
+        indexed = [
+            (index, column.name)
+            for index, column in enumerate(self.columns)
+            if column.name in self._hash or column.name in self._trees
+        ]
+        slot_ids = self.slot_rows[slot]
+        row_slot = self.row_slot
+        arena_id = self._count
+        for local_id in range(start, len(rows)):
+            row = rows[local_id]
+            for vector, value in zip(vectors, row):
+                vector.append(value)
+            row_slot.append(slot)
+            slot_ids.append(arena_id)
+            for column_index, name in indexed:
+                value = row[column_index]
+                hash_index = self._hash.get(name)
+                if hash_index is not None:
+                    hash_index.insert(value, arena_id)
+                tree = self._trees.get(name)
+                if tree is not None:
+                    tree.insert(value, arena_id)
+            arena_id += 1
+        self.appended_rows += len(rows) - start
+        self._count = arena_id
+        self._sources[slot][3] = len(rows)
+
+    # -- table duck-typing (the finishing half of the compiled path) ---------
+
+    @property
+    def column_names(self) -> list[str]:
+        return [] if self.columns is None else [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        """Index of a column by name — same resolution (and same error
+        message) as :meth:`repro.sqldb.table.Table.column_index`."""
+        if name in self._colindex:
+            return self._colindex[name]
+        lowered = {k.lower(): v for k, v in self._colindex.items()}
+        if name.lower() in lowered:
+            return lowered[name.lower()]
+        from repro.sqldb.errors import SchemaError
+
+        raise SchemaError(f"table {self.name} has no column {name}")
+
+    @property
+    def rows(self) -> _ArenaRows:
+        """Schema-order row tuples by arena id (select-star projection)."""
+        return _ArenaRows([self._vectors[name] for name in self.column_names])
+
+    # -- store duck-typing (probes + aggregates) -----------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def column(self, name: str) -> ColumnVector:
+        return self._vectors[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._vectors
+
+    def arrays(self) -> dict[str, ColumnVector]:
+        return self._vectors
+
+    def hash_index(self, name: str) -> HashIndex:
+        index = self._hash.get(name)
+        if index is None:
+            index = HashIndex()
+            for row_id, value in enumerate(self._vectors[name]):
+                index.insert(value, row_id)
+            self._hash[name] = index
+        return index
+
+    def tree_index(self, name: str) -> BPlusTreeIndex:
+        tree = self._trees.get(name)
+        if tree is None:
+            tree = BPlusTreeIndex()
+            for row_id, value in enumerate(self._vectors[name]):
+                tree.insert(value, row_id)
+            self._trees[name] = tree
+        return tree
+
+    def index_stats(self) -> dict[str, tuple[int, int]]:
+        out: dict[str, tuple[int, int]] = {}
+        for name in self.column_names:
+            hash_index = self._hash.get(name)
+            tree = self._trees.get(name)
+            if hash_index is not None or tree is not None:
+                out[name] = (
+                    len(hash_index) if hash_index is not None else 0,
+                    len(tree) if tree is not None else 0,
+                )
+        return out
+
+    def stats(self) -> dict[str, int]:
+        """Observability: the torture suite pins that churn and
+        ``ShardDelta`` append streams never trigger spurious rebuilds."""
+        return {
+            "rebuilds": self.rebuilds,
+            "appended_rows": self.appended_rows,
+            "span_rows": self._count,
+            "included_slots": sum(1 for ids in self.slot_rows if ids is not None),
+        }
+
+
+class ShardArena:
+    """Per-shard arena registry: one :class:`ArenaTable` per table name.
+
+    Bound to a fixed member-database list (one per client slot, in shard
+    order); :meth:`matches` lets a caller verify a cached arena still
+    describes the exact databases it is about to answer for.  Tables are
+    built lazily on first use and synced incrementally on every
+    subsequent use.
+    """
+
+    def __init__(self, databases: list):
+        self._databases = list(databases)
+        self._tables: dict[str, ArenaTable] = {}
+
+    @property
+    def databases(self) -> list:
+        return self._databases
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._databases)
+
+    def matches(self, databases: list) -> bool:
+        """Whether this arena was built over exactly these database objects."""
+        if len(databases) != len(self._databases):
+            return False
+        return all(a is b for a, b in zip(databases, self._databases))
+
+    def table(self, name: str) -> ArenaTable | None:
+        """The synced arena for one table name, or ``None`` when no member
+        has the table (the statement falls back per-client)."""
+        arena = self._tables.get(name)
+        if arena is None:
+            arena = ArenaTable(name, self._databases)
+            self._tables[name] = arena
+        else:
+            arena.sync()
+        if arena.columns is None:
+            return None
+        return arena
+
+    def arena_stats(self) -> dict[str, dict[str, int]]:
+        """Table name → :meth:`ArenaTable.stats`, for tests and operators."""
+        return {name: arena.stats() for name, arena in self._tables.items()}

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import fnmatch
 import operator
+import threading
+from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
 from repro.sqldb import ast
@@ -405,6 +407,49 @@ class CompiledSelect:
         residual = self.residual
         return [row_id for row_id in range(store.count) if residual(arrays, row_id)]
 
+    def matching_ids_per_client(self, arena) -> list:
+        """One probe over a whole shard's arena, split back per member slot.
+
+        ``arena`` is an :class:`~repro.sqldb.columnar.ArenaTable`.  Returns
+        one entry per member slot: a list/array of arena row ids satisfying
+        WHERE (ascending — arena ids within a slot follow that member's
+        local row order), an ``Exception`` the member's own evaluation
+        would have raised (residual errors stay per-member: a bad row in
+        one member's table must not poison its neighbors), or ``None`` for
+        excluded slots (missing table / mixed schema — answered
+        per-client by the caller).
+
+        Probe semantics are exactly :meth:`matching_ids` per member: the
+        probe selects the rows on which the first conjunct is truthy, the
+        residual is then evaluated only on those rows, in each member's
+        row order — so per-member results *and* per-member errors match a
+        member-by-member evaluation outcome-for-outcome.
+        """
+        slot_rows = arena.slot_rows
+        if self.statement.where is None:
+            # Each member matches all of its own rows; the spans are the
+            # answer (read-only aliases of the arena's span table).
+            return list(slot_rows)
+        arrays = arena.arrays()
+        residual = self.residual
+        if self.probe is not None:
+            row_slot = arena.row_slot
+            buckets: list = [None if ids is None else [] for ids in slot_rows]
+            for row_id in self.probe.ids(arena):
+                buckets[row_slot[row_id]].append(row_id)
+            if residual is None:
+                return buckets
+            return [
+                bucket
+                if bucket is None
+                else _filter_residual(residual, arrays, bucket)
+                for bucket in buckets
+            ]
+        return [
+            ids if ids is None else _filter_residual(residual, arrays, ids)
+            for ids in slot_rows
+        ]
+
     def describe(self) -> str:
         """Human-readable plan shape (tests and debugging)."""
         if self.statement.where is None:
@@ -417,13 +462,31 @@ class CompiledSelect:
         return "+".join(parts) if parts else "all"
 
 
-# One plan per (statement, schema) per process.  Bounded: a runaway
+def _filter_residual(residual: ValueFn, arrays: dict, row_ids):
+    """Filter one member's candidate ids through the residual closure.
+
+    Returns the surviving ids, or the first exception the residual raised
+    — the same exception, at the same row, that a member-by-member
+    evaluation would surface (the per-member comprehension in
+    :meth:`CompiledSelect.matching_ids` dies at its first error too).
+    """
+    try:
+        return [row_id for row_id in row_ids if residual(arrays, row_id)]
+    except Exception as exc:  # noqa: BLE001 — error parity is the contract
+        return exc
+
+
+# One plan per (statement, schema) per process.  Bounded LRU: a runaway
 # workload (the fuzz suite generates thousands of distinct statements)
-# must not grow the cache without limit, so it is cleared wholesale at
-# the cap — recompilation is cheap, steady-state workloads repeat a
-# handful of statements.
-_PLAN_CACHE: dict = {}
+# must not grow the cache without limit, but eviction is oldest-first —
+# the hot steady-state plans (a handful of statements shared by every
+# client, and shard-wide by the arena path) survive any number of cold
+# compilations.  The lock makes lookup/insert safe under the thread-pool
+# and pipelined-overlap schedulers, whose answer tasks compile from
+# worker threads.
+_PLAN_CACHE: OrderedDict = OrderedDict()
 _PLAN_CACHE_MAX = 512
+_PLAN_CACHE_LOCK = threading.Lock()
 _FALLBACK = object()
 
 
@@ -432,25 +495,37 @@ def schema_signature(columns) -> tuple:
     return tuple((column.name, column.sql_type.upper()) for column in columns)
 
 
+def _store_plan(key, value) -> None:
+    with _PLAN_CACHE_LOCK:
+        _PLAN_CACHE[key] = value
+        _PLAN_CACHE.move_to_end(key)
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+
+
 def plan_for(statement: ast.SelectStatement, columns) -> CompiledSelect:
     """The cached compiled plan for a statement against a schema.
 
     Raises :class:`CompileFallback` when the statement cannot be
-    compiled (the negative result is cached too).
+    compiled (the negative result is cached too, and kept warm by the
+    same LRU discipline).  Compilation happens outside the lock — two
+    threads racing on a cold key may both compile, and the last insert
+    wins; plans are stateless, so either copy is correct.
     """
     key = (statement, schema_signature(columns))
-    cached = _PLAN_CACHE.get(key)
+    with _PLAN_CACHE_LOCK:
+        cached = _PLAN_CACHE.get(key)
+        if cached is not None:
+            _PLAN_CACHE.move_to_end(key)
     if cached is _FALLBACK:
         raise CompileFallback("statement previously failed to compile")
     if cached is not None:
         return cached
-    if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-        _PLAN_CACHE.clear()
     schema = _SchemaView([(column.name, column.sql_type) for column in columns])
     try:
         plan = CompiledSelect(statement, schema)
     except CompileFallback:
-        _PLAN_CACHE[key] = _FALLBACK
+        _store_plan(key, _FALLBACK)
         raise
-    _PLAN_CACHE[key] = plan
+    _store_plan(key, plan)
     return plan

@@ -28,6 +28,33 @@ from repro.sqldb.parser import parse_statement, parse_statement_cached
 from repro.sqldb.table import Column, Table
 
 
+def _env_flag(name: str) -> bool:
+    """Whether an environment switch is set (checked per call, never cached,
+    so tests and operators can flip it mid-process)."""
+    return os.environ.get(name, "") not in ("", "0", "false", "False")
+
+
+def per_client_forced() -> bool:
+    """Whether ``SQLDB_FORCE_PER_CLIENT`` pins the per-client compiled path.
+
+    The middle oracle of the differential ladder: arena answering is
+    disabled, but each client still answers on its own compiled columnar
+    path (``SQLDB_FORCE_SCAN`` pins the row-scan reference below both).
+    """
+    return _env_flag("SQLDB_FORCE_PER_CLIENT")
+
+
+def arena_answering_enabled() -> bool:
+    """Whether the shard-wide arena answer path may be used at all."""
+    return not per_client_forced() and not _env_flag("SQLDB_FORCE_SCAN")
+
+
+#: Slot-level fallback marker from :func:`arena_select_per_client`: this
+#: member must answer the statement itself (missing table, mixed schema,
+#: or a per-database ``force_scan`` pin).
+ARENA_FALLBACK = object()
+
+
 class ResultSet:
     """Result of a SELECT: ordered column names plus a list of row tuples."""
 
@@ -91,6 +118,15 @@ class Database:
             raise SchemaError(f"table {name} does not exist")
         return self._tables[name]
 
+    def get_table(self, name: str) -> Table | None:
+        """The named table, or ``None`` when absent (no exception).
+
+        The shard-arena builder (:mod:`repro.sqldb.columnar`) probes many
+        member databases for the same table name; members without it are
+        excluded rather than erroring.
+        """
+        return self._tables.get(name)
+
     def table_names(self) -> list[str]:
         return sorted(self._tables)
 
@@ -121,7 +157,7 @@ class Database:
         """
         if self.force_scan:
             return True
-        return os.environ.get("SQLDB_FORCE_SCAN", "") not in ("", "0", "false", "False")
+        return _env_flag("SQLDB_FORCE_SCAN")
 
     # -- statement execution ---------------------------------------------------
 
@@ -219,121 +255,15 @@ class Database:
     def _execute_select_compiled(
         self, stmt: ast.SelectStatement, plan: CompiledSelect, table: Table
     ) -> ResultSet:
-        """Evaluate a compiled plan over the table's columnar store.
-
-        Every branch mirrors :meth:`_execute_select_scan` exactly —
-        including its error behavior: projection and ORDER BY read
-        columns by *exact* name from the row dict (``KeyError`` when
-        absent and rows matched), after case-insensitive validation via
-        ``column_index`` (``SchemaError`` takes precedence); aggregates
-        and GROUP BY use ``row.get`` (missing column → ``None``).
-        """
+        """Evaluate a compiled plan over the table's columnar store."""
         store = table.column_store
         ids = plan.matching_ids(store)
-
-        if stmt.group_by:
-            return self._execute_grouped_compiled(stmt, store, ids)
-
-        has_aggregate = any(isinstance(item, ast.Aggregate) for item in stmt.items)
-        if has_aggregate:
-            if any(isinstance(item, ast.SelectItem) for item in stmt.items):
-                raise ExecutionError(
-                    "mixing plain columns and aggregates requires GROUP BY"
-                )
-            columns = [_aggregate_label(item) for item in stmt.items]
-            values = tuple(
-                _compute_aggregate_columnar(item, store, ids) for item in stmt.items
-            )
-            return ResultSet(columns=columns, rows=[values])
-
-        if stmt.select_star:
-            out_columns = table.column_names
-            # Stored row tuples are already in schema order: reuse them.
-            source_rows = table.rows
-            projected = [source_rows[i] for i in ids]
-        else:
-            out_columns = [item.alias or item.column for item in stmt.items]
-            source_columns = [item.column for item in stmt.items]
-            for column in source_columns:
-                table.column_index(column)  # validate existence
-            if ids:
-                for column in source_columns:
-                    if not store.has_column(column):
-                        raise KeyError(column)  # exact-name row access, as the scan does
-                vectors = [store.column(column) for column in source_columns]
-                projected = [tuple(vector[i] for vector in vectors) for i in ids]
-            else:
-                projected = []
-
-        if stmt.order_by is not None:
-            order_column = stmt.order_by.column
-            if stmt.select_star or order_column in out_columns:
-                if projected and not store.has_column(order_column):
-                    raise KeyError(order_column)
-                if projected:
-                    order_vector = store.column(order_column)
-                    pairs = sorted(
-                        zip(projected, ids),
-                        key=lambda pair: _sort_key(order_vector[pair[1]]),
-                        reverse=stmt.order_by.descending,
-                    )
-                    projected = [pair[0] for pair in pairs]
-            else:
-                order_vector = (
-                    store.column(order_column) if store.has_column(order_column) else None
-                )
-                pairs = sorted(
-                    zip(projected, ids),
-                    key=lambda pair: _sort_key(
-                        order_vector[pair[1]] if order_vector is not None else None
-                    ),
-                    reverse=stmt.order_by.descending,
-                )
-                projected = [pair[0] for pair in pairs]
-
-        if stmt.limit is not None:
-            projected = projected[: stmt.limit]
-        return ResultSet(columns=out_columns, rows=projected)
+        return _finish_compiled_select(stmt, table, store, ids)
 
     def _execute_grouped_compiled(
         self, stmt: ast.SelectStatement, store, ids
     ) -> ResultSet:
-        group_vectors = [
-            store.column(column) if store.has_column(column) else None
-            for column in stmt.group_by
-        ]
-        groups: dict[tuple, list[int]] = {}
-        for row_id in ids:
-            key = tuple(
-                vector[row_id] if vector is not None else None
-                for vector in group_vectors
-            )
-            groups.setdefault(key, []).append(row_id)
-
-        out_columns: list[str] = []
-        for item in stmt.items:
-            if isinstance(item, ast.SelectItem):
-                if item.column not in stmt.group_by:
-                    raise ExecutionError(
-                        f"column {item.column} must appear in GROUP BY"
-                    )
-                out_columns.append(item.alias or item.column)
-            else:
-                out_columns.append(_aggregate_label(item))
-
-        result_rows: list[tuple] = []
-        for key in sorted(groups, key=lambda k: tuple(_sort_key(v) for v in k)):
-            group_ids = groups[key]
-            values = []
-            for item in stmt.items:
-                if isinstance(item, ast.SelectItem):
-                    values.append(key[stmt.group_by.index(item.column)])
-                else:
-                    values.append(_compute_aggregate_columnar(item, store, group_ids))
-            result_rows.append(tuple(values))
-        if stmt.limit is not None:
-            result_rows = result_rows[: stmt.limit]
-        return ResultSet(columns=out_columns, rows=result_rows)
+        return _grouped_compiled(stmt, store, ids)
 
     def _execute_grouped(self, stmt: ast.SelectStatement, rows: list[dict]) -> ResultSet:
         groups: dict[tuple, list[dict]] = {}
@@ -525,3 +455,196 @@ def _compute_aggregate(item: ast.Aggregate, rows: list[dict]):
     if item.function == "MAX":
         return max(values)
     raise ExecutionError(f"unsupported aggregate: {item.function}")
+
+
+def _finish_compiled_select(
+    stmt: ast.SelectStatement, table, store, ids
+) -> ResultSet:
+    """Turn matching row ids into a :class:`ResultSet` for a compiled SELECT.
+
+    Shared by the per-client compiled path (``table`` is a
+    :class:`~repro.sqldb.table.Table`, ``store`` its ``ColumnStore``) and
+    the shard-wide arena path (both are the same
+    :class:`~repro.sqldb.columnar.ArenaTable`, whose per-slot ids address
+    arena rows directly).  Every branch mirrors
+    :meth:`Database._execute_select_scan` exactly — including its error
+    behavior: projection and ORDER BY read columns by *exact* name from
+    the row dict (``KeyError`` when absent and rows matched), after
+    case-insensitive validation via ``column_index`` (``SchemaError``
+    takes precedence); aggregates and GROUP BY use ``row.get`` (missing
+    column → ``None``).
+    """
+    if stmt.group_by:
+        return _grouped_compiled(stmt, store, ids)
+
+    has_aggregate = any(isinstance(item, ast.Aggregate) for item in stmt.items)
+    if has_aggregate:
+        if any(isinstance(item, ast.SelectItem) for item in stmt.items):
+            raise ExecutionError(
+                "mixing plain columns and aggregates requires GROUP BY"
+            )
+        columns = [_aggregate_label(item) for item in stmt.items]
+        values = tuple(
+            _compute_aggregate_columnar(item, store, ids) for item in stmt.items
+        )
+        return ResultSet(columns=columns, rows=[values])
+
+    if stmt.select_star:
+        out_columns = table.column_names
+        # Stored row tuples are already in schema order: reuse them.
+        source_rows = table.rows
+        projected = [source_rows[i] for i in ids]
+    else:
+        out_columns = [item.alias or item.column for item in stmt.items]
+        source_columns = [item.column for item in stmt.items]
+        for column in source_columns:
+            table.column_index(column)  # validate existence
+        if ids:
+            for column in source_columns:
+                if not store.has_column(column):
+                    raise KeyError(column)  # exact-name row access, as the scan does
+            vectors = [store.column(column) for column in source_columns]
+            projected = [tuple(vector[i] for vector in vectors) for i in ids]
+        else:
+            projected = []
+
+    if stmt.order_by is not None:
+        order_column = stmt.order_by.column
+        if stmt.select_star or order_column in out_columns:
+            if projected and not store.has_column(order_column):
+                raise KeyError(order_column)
+            if projected:
+                order_vector = store.column(order_column)
+                pairs = sorted(
+                    zip(projected, ids),
+                    key=lambda pair: _sort_key(order_vector[pair[1]]),
+                    reverse=stmt.order_by.descending,
+                )
+                projected = [pair[0] for pair in pairs]
+        else:
+            order_vector = (
+                store.column(order_column) if store.has_column(order_column) else None
+            )
+            pairs = sorted(
+                zip(projected, ids),
+                key=lambda pair: _sort_key(
+                    order_vector[pair[1]] if order_vector is not None else None
+                ),
+                reverse=stmt.order_by.descending,
+            )
+            projected = [pair[0] for pair in pairs]
+
+    if stmt.limit is not None:
+        projected = projected[: stmt.limit]
+    return ResultSet(columns=out_columns, rows=projected)
+
+
+def _grouped_compiled(stmt: ast.SelectStatement, store, ids) -> ResultSet:
+    group_vectors = [
+        store.column(column) if store.has_column(column) else None
+        for column in stmt.group_by
+    ]
+    groups: dict[tuple, list[int]] = {}
+    for row_id in ids:
+        key = tuple(
+            vector[row_id] if vector is not None else None
+            for vector in group_vectors
+        )
+        groups.setdefault(key, []).append(row_id)
+
+    out_columns: list[str] = []
+    for item in stmt.items:
+        if isinstance(item, ast.SelectItem):
+            if item.column not in stmt.group_by:
+                raise ExecutionError(
+                    f"column {item.column} must appear in GROUP BY"
+                )
+            out_columns.append(item.alias or item.column)
+        else:
+            out_columns.append(_aggregate_label(item))
+
+    result_rows: list[tuple] = []
+    for key in sorted(groups, key=lambda k: tuple(_sort_key(v) for v in k)):
+        group_ids = groups[key]
+        values = []
+        for item in stmt.items:
+            if isinstance(item, ast.SelectItem):
+                values.append(key[stmt.group_by.index(item.column)])
+            else:
+                values.append(_compute_aggregate_columnar(item, store, group_ids))
+        result_rows.append(tuple(values))
+    if stmt.limit is not None:
+        result_rows = result_rows[: stmt.limit]
+    return ResultSet(columns=out_columns, rows=result_rows)
+
+
+#: Lazily-computed shared-empty-outcome marker in :func:`arena_select_per_client`.
+_UNSET = object()
+
+
+def arena_select_per_client(arena, sql: str):
+    """Answer one SELECT for every member of a shard in a single pass.
+
+    Probes the shard's :class:`~repro.sqldb.columnar.ShardArena` once and
+    splits the matching arena row ids back into per-member outcomes via
+    the span table.  Returns a list aligned with ``arena.databases``
+    where each entry is one of:
+
+    * a :class:`ResultSet` — the member's answer, identical (row-for-row
+      and error-for-error) to what ``member.query(sql)`` would produce;
+    * an :class:`Exception` instance — the error that member's own
+      evaluation would raise (residual-predicate errors are captured per
+      slot; finishing errors likewise);
+    * :data:`ARENA_FALLBACK` — this member must answer itself (its table
+      is missing or schema-mismatched against the arena, or the database
+      pins ``force_scan``).
+
+    Returns ``None`` for statement-level fallbacks (unparsable SQL,
+    non-SELECT, no member defines the table, or the compiler cannot
+    lower the statement): the caller must let every member answer
+    itself.  Draw-neutral by construction — SQL evaluation consumes no
+    randomness, so hoisting it shard-wide cannot shift any client's RNG
+    or keystream state.
+    """
+    try:
+        statement = parse_statement_cached(sql)
+    except Exception:  # noqa: BLE001 - parse errors fall back per client
+        return None
+    if not isinstance(statement, ast.SelectStatement):
+        return None
+    table = arena.table(statement.table)
+    if table is None:
+        return None
+    try:
+        plan = plan_for(statement, table.columns)
+    except CompileFallback:
+        return None
+
+    ids_per_slot = plan.matching_ids_per_client(table)
+    outcomes: list = []
+    empty_outcome = _UNSET
+    for db, ids in zip(arena.databases, ids_per_slot):
+        if ids is None or db._scan_forced():
+            outcomes.append(ARENA_FALLBACK)
+            continue
+        if isinstance(ids, BaseException):
+            outcomes.append(ids)
+            continue
+        if len(ids) == 0:
+            # The empty-ids outcome is a pure function of (statement,
+            # arena schema): compute it once and share it across every
+            # empty member — decisive at sparse selectivities.
+            if empty_outcome is _UNSET:
+                empty_outcome = _finish_outcome(statement, table, ())
+            outcomes.append(empty_outcome)
+            continue
+        outcomes.append(_finish_outcome(statement, table, ids))
+    return outcomes
+
+
+def _finish_outcome(stmt: ast.SelectStatement, table, ids):
+    """Finish one member's result, capturing the error instead of raising."""
+    try:
+        return _finish_compiled_select(stmt, table, table, ids)
+    except Exception as exc:  # noqa: BLE001 - outcome parity with per-client
+        return exc

@@ -371,6 +371,38 @@ class TestStageMetrics:
         finally:
             system.close()
 
+    @pytest.mark.parametrize(
+        "combo", sorted(f"{s}/{t}" for s, t in DRIVER_COMBOS)
+    )
+    def test_stage_seconds_never_negative(self, combo, tmp_path):
+        """Ledger invariant for every registered driver combination: no stage
+        wall-clock may ever be negative.  Regression for answer_seconds being
+        derived by subtracting independently measured transmit_seconds from a
+        shared span, which could dip below zero and corrupt the ledger."""
+        servers = []
+        kwargs = {}
+        if combo.endswith("/sealed-tcp-remote"):
+            servers = [start_server(), start_server()]
+            kwargs = dict(
+                executor_remote_workers=tuple(
+                    f"{server.address[0]}:{server.address[1]}" for server in servers
+                ),
+                executor_key_file=write_key_file(tmp_path),
+            )
+        system, query_id = build_system(combo, **kwargs)
+        try:
+            for epoch in range(2):
+                system.run_epoch(query_id, epoch)
+            assert sorted(system.executor.stage_metrics) == [0, 1]
+            for metrics in system.executor.stage_metrics.values():
+                for stage in ("plan", "answer", "transmit", "ingest", "finalize"):
+                    seconds = getattr(metrics, f"{stage}_seconds")
+                    assert seconds >= 0.0, (combo, stage, seconds)
+        finally:
+            system.close()
+            for server in servers:
+                server.stop()
+
     def test_non_adaptive_engines_never_reshard(self):
         system, query_id = build_system("sharded")
         try:

@@ -319,15 +319,28 @@ INDEXED_PATH_CONFIGS = [
 
 
 @pytest.mark.parametrize(
+    "mode", ["arena", "per-client"], ids=["arena", "per-client"]
+)
+@pytest.mark.parametrize(
     "executor,resident",
     INDEXED_PATH_CONFIGS,
     ids=[f"{e}{'-resident' if r else ''}" for e, r in INDEXED_PATH_CONFIGS],
 )
-def test_indexed_answer_path_matches_scan_reference(executor, resident, monkeypatch):
+def test_indexed_answer_path_matches_scan_reference(
+    executor, resident, mode, monkeypatch
+):
+    """The full differential ladder over one hostile scenario: shard-wide
+    arena answering (the default) and the per-client compiled path
+    (``SQLDB_FORCE_PER_CLIENT=1``) must both match serial + forced row scan
+    digest-for-digest — the whole pipeline, not just the SELECT, must be
+    unable to tell the three paths apart."""
     spec = next(s for s in scenario_grid("full") if s.name == "kitchen-sink")
     monkeypatch.setenv("SQLDB_FORCE_SCAN", "1")
     reference_digest = run_env_scenario(spec, executor="serial").digest
     monkeypatch.setenv("SQLDB_FORCE_SCAN", "0")
+    monkeypatch.setenv(
+        "SQLDB_FORCE_PER_CLIENT", "1" if mode == "per-client" else "0"
+    )
     run = run_env_scenario(
         spec,
         executor=executor,
@@ -337,5 +350,112 @@ def test_indexed_answer_path_matches_scan_reference(executor, resident, monkeypa
         checkpoint_every=2,
     )
     assert run.digest == reference_digest, (
-        f"indexed path on {run.executor_label} diverged from serial+scan"
+        f"{mode} path on {run.executor_label} diverged from serial+scan"
     )
+
+
+# -- shard-arena maintenance under churn and ShardDelta traffic ---------------
+#
+# The resident answer path now probes a shard-wide arena; these pin that the
+# torture traffic the resident runtime actually generates — subscription
+# churn and ShardDelta row appends — syncs the arena incrementally and never
+# triggers a spurious rebuild (a rebuild per epoch would silently erase the
+# one-probe-per-shard win while every digest still matched).
+
+from repro.core.client import Client, ClientConfig  # noqa: E402
+from repro.runtime.affinity import ResidentShardCache  # noqa: E402
+from repro.runtime.engine import answer_shard  # noqa: E402
+from repro.runtime.wire import ClientDelta  # noqa: E402
+
+
+def _arena_clients(count: int = 6) -> tuple[list[Client], str]:
+    analyst = Analyst("arena-torture")
+    query = analyst.create_query(
+        "SELECT value FROM private_data WHERE value >= 2.0",
+        AnswerSpec(
+            buckets=RangeBuckets.uniform(0.0, 8.0, 4, open_ended=True),
+            value_column="value",
+        ),
+        frequency_seconds=60.0,
+        window_seconds=60.0,
+        slide_seconds=60.0,
+    )
+    params = ExecutionParameters(sampling_fraction=1.0, p=0.9, q=0.5)
+    rng = random.Random(DATA_SEED)
+    clients = []
+    for index in range(count):
+        client = Client(
+            ClientConfig(client_id=f"arena-{index:02d}", num_proxies=2, seed=900 + index)
+        )
+        client.create_table([("value", "REAL")])
+        client.ingest([{"value": rng.uniform(0.0, 8.0)} for _ in range(4)])
+        client.subscribe(query, params)
+        clients.append(client)
+    return clients, query.query_id
+
+
+def test_shard_delta_traffic_never_rebuilds_the_arena():
+    """Bootstrap once, then epochs of ShardDelta row appends: the resident
+    arena must sync in place — rebuild count pinned at the initial build."""
+    clients, query_id = _arena_clients()
+    cache = ResidentShardCache()
+    cache.install(0, clients)
+    arena = cache.arena_for(0)
+    assert arena is not None
+    answer_shard(clients, [query_id], 0, arena=arena)
+    stats = arena.arena_stats()["private_data"]
+    assert stats["rebuilds"] == 1
+    appended_before = stats["appended_rows"]
+    columns = (("value", "REAL"),)
+    for epoch in range(1, 6):
+        # The exact traffic serve_resident_frame applies for a ShardDelta.
+        for client in clients[:: 1 + epoch % 2]:
+            delta = ClientDelta(
+                append_rows=((("private_data", columns, ((float(epoch),),))),)
+            )
+            client.apply_delta(delta)
+            client.database.sync_columnar()
+        assert cache.arena_for(0) is arena  # same membership, same arena
+        answer_shard(clients, [query_id], epoch, arena=arena)
+        stats = arena.arena_stats()["private_data"]
+        assert stats["rebuilds"] == 1, f"spurious arena rebuild at epoch {epoch}"
+    assert stats["appended_rows"] > appended_before
+    assert stats["span_rows"] == sum(
+        client.local_row_count() for client in clients
+    )
+
+
+def test_subscription_churn_keeps_the_resident_arena():
+    """set_active_clients-style churn is subscription-only: client and
+    database objects survive, so the arena must survive with them."""
+    clients, query_id = _arena_clients()
+    cache = ResidentShardCache()
+    cache.install(0, clients)
+    arena = cache.arena_for(0)
+    for epoch in range(4):
+        # Flip half the shard out and back in, as churn scenarios do.
+        for client in clients[epoch % 2 :: 2]:
+            subscription = client.subscriptions.get(query_id)
+            if subscription is not None:
+                client.unsubscribe(query_id)
+            # Re-subscribe the others that were flipped out last epoch.
+        answer_shard(clients, [query_id], epoch, arena=cache.arena_for(0))
+        assert cache.arena_for(0) is arena
+    assert arena.arena_stats()["private_data"]["rebuilds"] == 1
+
+
+def test_rebootstrap_replaces_the_arena_with_the_clients():
+    """A re-bootstrap installs new client objects; identity-based matching
+    must drop the stale arena instead of answering from dead databases."""
+    clients, query_id = _arena_clients(count=3)
+    cache = ResidentShardCache()
+    cache.install(0, clients)
+    stale = cache.arena_for(0)
+    replacements = [
+        Client.from_state(client.export_state()) for client in clients
+    ]
+    cache.install(0, replacements)
+    fresh = cache.arena_for(0)
+    assert fresh is not stale
+    assert fresh.matches([client.database for client in replacements])
+    answer_shard(replacements, [query_id], 1, arena=fresh)

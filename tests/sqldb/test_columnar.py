@@ -189,3 +189,105 @@ class TestScanProjection:
         projected = list(table.scan(columns=["x"]))
         assert counter["dicts"] == 0  # projection materializes tuples only
         assert len(projected) == 500
+
+
+class TestShardArena:
+    def _shard(self, sizes=(3, 5, 2)):
+        from repro.sqldb import ShardArena
+
+        members = [_make_db(rows=size) for size in sizes]
+        return members, ShardArena(members)
+
+    def test_concatenates_members_in_slot_order(self):
+        members, arena = self._shard()
+        table = arena.table("t")
+        assert table.count == 10
+        assert list(table.row_slot) == [0] * 3 + [1] * 5 + [2] * 2
+        # Each slot's span lists its own rows in local order.
+        for slot, member in enumerate(members):
+            local_rows = member.table("t").rows
+            for local_id, arena_id in enumerate(table.slot_rows[slot]):
+                assert table.rows[arena_id] == tuple(local_rows[local_id])
+
+    def test_initial_build_counts_as_one_rebuild(self):
+        _, arena = self._shard()
+        stats = arena.table("t").stats()
+        assert stats["rebuilds"] == 1
+        assert stats["appended_rows"] == 10
+        assert stats["span_rows"] == 10
+        assert stats["included_slots"] == 3
+
+    def test_appends_sync_in_place_without_rebuild(self):
+        members, arena = self._shard()
+        table = arena.table("t")
+        members[1].insert_rows("t", [{"x": 77, "y": 7.0, "tag": "odd"}])
+        table = arena.table("t")  # re-fetch syncs
+        stats = table.stats()
+        assert stats["rebuilds"] == 1  # no spurious rebuild
+        assert stats["appended_rows"] == 11
+        assert stats["span_rows"] == 11
+        # The new row landed at the arena tail, mapped to slot 1.
+        assert table.row_slot[-1] == 1
+        assert table.rows[10] == (77, 7.0, "odd")
+
+    def test_live_indexes_are_maintained_on_append(self):
+        members, arena = self._shard()
+        table = arena.table("t")
+        hash_index = table.hash_index("x")
+        tree_index = table.tree_index("y")
+        members[2].insert_rows("t", [{"x": 0, "y": 99.5, "tag": "even"}])
+        synced = arena.table("t")
+        assert synced.hash_index("x") is hash_index  # maintained, not rebuilt
+        assert 10 in hash_index.lookup(0)
+        assert 10 in tree_index.range_ids(99.0, 100.0)
+        assert synced.stats()["rebuilds"] == 1
+
+    def test_in_place_member_edit_triggers_rebuild(self):
+        members, arena = self._shard()
+        arena.table("t")
+        members[0].execute("DELETE FROM t WHERE x = 1")
+        stats = arena.table("t").stats()
+        assert stats["rebuilds"] == 2
+        assert stats["span_rows"] == 9
+
+    def test_mismatched_schema_member_is_excluded(self):
+        from repro.sqldb import Database, ShardArena
+
+        members = [_make_db(rows=2)]
+        odd = Database()
+        odd.create_table("t", [("x", "TEXT")])
+        odd.insert_rows("t", [{"x": "zz"}])
+        members.append(odd)
+        arena = ShardArena(members)
+        table = arena.table("t")
+        assert table.count == 2
+        assert table.slot_rows[1] is None  # excluded: answers itself
+        assert table.stats()["included_slots"] == 1
+
+    def test_member_missing_the_table_is_excluded_until_created(self):
+        from repro.sqldb import Database, ShardArena
+
+        members = [_make_db(rows=2), Database()]
+        arena = ShardArena(members)
+        table = arena.table("t")
+        assert table.slot_rows[1] is None
+        members[1].create_table("t", [("x", "INTEGER"), ("y", "REAL"), ("tag", "TEXT")])
+        members[1].insert_rows("t", [{"x": 5, "y": 0.5, "tag": "odd"}])
+        table = arena.table("t")  # sync notices the new table and rebuilds
+        assert table.slot_rows[1] is not None
+        assert table.count == 3
+
+    def test_matches_is_identity_based(self):
+        members, arena = self._shard()
+        assert arena.matches(members)
+        assert not arena.matches(list(reversed(members)))
+        assert not arena.matches(members[:-1])
+        replaced = members[:-1] + [_make_db(rows=2)]
+        assert not arena.matches(replaced)
+
+    def test_arena_stats_reports_every_cached_table(self):
+        _, arena = self._shard()
+        arena.table("t")
+        stats = arena.arena_stats()
+        assert "t" in stats
+        assert stats["t"]["rebuilds"] == 1

@@ -128,6 +128,97 @@ class TestPlanCache:
                 plan_for(statement, columns)
 
 
+class TestPlanCacheLRU:
+    """Regression tests for LRU eviction: the old cache evicted by wholesale
+    ``clear()`` at capacity, throwing away every hot plan."""
+
+    def _fill_past_capacity(self, db, hot_sql, touch_hot):
+        from repro.sqldb import compile as compile_mod
+
+        hot = _plan(db, hot_sql)
+        for i in range(compile_mod._PLAN_CACHE_MAX):
+            _plan(db, f"SELECT * FROM t WHERE x = {i}")
+            if touch_hot:
+                _plan(db, hot_sql)
+        return hot
+
+    def test_hot_plan_survives_cache_pressure(self):
+        # 512 cold compilations used to clear() the whole cache; under LRU
+        # the re-touched hot plan must come back as the very same object.
+        db = _db()
+        hot_sql = "SELECT * FROM t WHERE tag = 'a'"
+        hot = self._fill_past_capacity(db, hot_sql, touch_hot=True)
+        assert _plan(db, hot_sql) is hot
+
+    def test_untouched_plan_is_evicted_oldest_first(self):
+        db = _db()
+        cold_sql = "SELECT * FROM t WHERE tag = 'bb'"
+        cold = self._fill_past_capacity(db, cold_sql, touch_hot=False)
+        assert _plan(db, cold_sql) is not cold
+
+    def test_cache_never_exceeds_capacity(self):
+        from repro.sqldb import compile as compile_mod
+
+        db = _db()
+        for i in range(compile_mod._PLAN_CACHE_MAX + 64):
+            _plan(db, f"SELECT * FROM t WHERE x > {i}")
+        assert len(compile_mod._PLAN_CACHE) <= compile_mod._PLAN_CACHE_MAX
+
+    def test_fallback_entries_survive_as_lru_citizens(self):
+        # A cached negative entry must behave like any other: re-raised on
+        # hit, evictable under pressure without corrupting the cache.
+        statement = ast.SelectStatement(
+            table="t",
+            items=(ast.SelectItem(column="x"),),
+            where=ast.Comparison(
+                left=ast.ColumnRef(name="x"),
+                operator="LOLWUT",
+                right=ast.Literal(value=1),
+            ),
+        )
+        db = _db()
+        columns = db.table("t").columns
+        with pytest.raises(CompileFallback):
+            plan_for(statement, columns)
+        for i in range(16):
+            _plan(db, f"SELECT * FROM t WHERE y > {i}.5")
+        with pytest.raises(CompileFallback):
+            plan_for(statement, columns)
+
+    def test_concurrent_lookup_insert_is_safe(self):
+        # The thread-pool and pipelined-overlap schedulers compile from
+        # worker threads; hammer the cache from several threads at once and
+        # require every thread to resolve every statement to the same plan.
+        import threading
+
+        db = _db()
+        sqls = [f"SELECT * FROM t WHERE x = {i}" for i in range(32)]
+        statements = [parse_statement(sql) for sql in sqls]
+        columns = db.table("t").columns
+        errors = []
+        results = [dict() for _ in range(8)]
+
+        def worker(slot):
+            try:
+                for _ in range(20):
+                    for index, statement in enumerate(statements):
+                        results[slot][index] = plan_for(statement, columns)
+            except Exception as exc:  # noqa: BLE001 - surfaced via the list
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for index in range(len(statements)):
+            plans = {id(result[index]) for result in results}
+            assert len(plans) == 1  # every thread saw one shared plan
+
+
 class TestForceScan:
     def test_env_var_pins_the_scan_path(self, monkeypatch):
         db = _db()

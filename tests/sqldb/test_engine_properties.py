@@ -422,3 +422,139 @@ class TestDifferentialFuzz:
         assert probe_kinds["hash-eq"] >= 20
         assert probe_kinds["hash-in"] >= 10
         assert probe_kinds["tree-range"] >= 20
+
+
+# -- shard-arena differential axis --------------------------------------------
+#
+# Arena ≡ per-client-columnar ≡ row-scan, member for member, including
+# errors, across append streams and membership replacement.  Mixed-schema
+# members must be flagged for per-client fallback, never silently answered.
+
+from repro.sqldb import ARENA_FALLBACK, ShardArena, arena_select_per_client  # noqa: E402
+
+_SHARD_MEMBERS = 4
+
+
+def _arena_outcome(entry, member: Database, sql: str):
+    """One member's arena outcome in `_outcome` form; fallback markers mean
+    the member answers itself on its own compiled path."""
+    if entry is ARENA_FALLBACK:
+        return _outcome(member, sql)
+    if isinstance(entry, BaseException):
+        return ("error", type(entry).__name__, str(entry))
+    rows = tuple(tuple(_normalize(value) for value in row) for row in entry.rows)
+    return ("rows", tuple(entry.columns), rows)
+
+
+def _member_row_subsets(rows, case_seed: int, purpose: str):
+    rng = _fuzz_rng(case_seed, purpose)
+    return [
+        [row for row in rows if rng.random() < 0.7] for _ in range(_SHARD_MEMBERS)
+    ]
+
+
+class TestArenaDifferentialFuzz:
+    """Shard-wide arena answering against both frozen oracles."""
+
+    def _check(self, arena, members, references, sql):
+        outcomes = arena_select_per_client(arena, sql)
+        for index, (member, reference) in enumerate(zip(members, references)):
+            expected = _outcome(reference, sql)  # row-scan oracle
+            assert _outcome(member, sql) == expected, sql  # per-client oracle
+            if outcomes is None:  # statement-level fallback: answer locally
+                got = _outcome(member, sql)
+            else:
+                got = _arena_outcome(outcomes[index], member, sql)
+            assert got == expected, sql
+
+    @pytest.mark.parametrize("case_seed", range(FUZZ_CASES))
+    def test_arena_matches_per_client_and_scan(self, case_seed):
+        schema, rows, queries, batches, post_queries = _fuzz_case(case_seed)
+        subsets = _member_row_subsets(rows, case_seed, "members")
+        members = [_make_db(schema, subset, force_scan=False) for subset in subsets]
+        references = [_make_db(schema, subset, force_scan=True) for subset in subsets]
+        arena = ShardArena(members)
+        for sql in queries:
+            self._check(arena, members, references, sql)
+        for batch_index, batch in enumerate(batches):
+            for subset, member, reference in zip(
+                _member_row_subsets(batch, case_seed, f"append-{batch_index}"),
+                members,
+                references,
+            ):
+                if subset:
+                    member.insert_rows("t", subset)
+                    reference.insert_rows("t", subset)
+            for sql in queries[:2]:
+                self._check(arena, members, references, sql)
+        for sql in post_queries:
+            self._check(arena, members, references, sql)
+
+    @pytest.mark.parametrize("case_seed", range(0, FUZZ_CASES, 5))
+    def test_membership_replacement_requires_rebuild(self, case_seed):
+        """Churn that swaps a member database breaks identity `matches`; a
+        fresh arena over the new membership answers correctly again."""
+        schema, rows, queries, _, _ = _fuzz_case(case_seed)
+        subsets = _member_row_subsets(rows, case_seed, "members")
+        members = [_make_db(schema, subset, force_scan=False) for subset in subsets]
+        references = [_make_db(schema, subset, force_scan=True) for subset in subsets]
+        arena = ShardArena(members)
+        assert arena.matches(members)
+        replacement_rows = subsets[1] + subsets[0][:2]
+        members[1] = _make_db(schema, replacement_rows, force_scan=False)
+        references[1] = _make_db(schema, replacement_rows, force_scan=True)
+        assert not arena.matches(members)
+        rebuilt = ShardArena(members)
+        for sql in queries[:4]:
+            self._check(rebuilt, members, references, sql)
+
+    def test_mixed_schema_member_falls_back_per_client(self):
+        """A member whose table diverges from the arena schema must be flagged
+        ARENA_FALLBACK — and stay flagged when its schema changes later —
+        while co-shard members keep shard-wide answers."""
+        matching = [
+            _make_db([("x", "INTEGER"), ("tag", "TEXT")], rows, force_scan=False)
+            for rows in (
+                [{"x": 1, "tag": "a"}, {"x": 2, "tag": "bb"}],
+                [{"x": 2, "tag": "ccc"}],
+            )
+        ]
+        odd = Database()
+        odd.create_table("t", [("x", "TEXT"), ("extra", "REAL")])
+        odd.insert_rows("t", [{"x": "2", "extra": 1.5}])
+        members = [matching[0], odd, matching[1]]
+        arena = ShardArena(members)
+        sql = "SELECT x FROM t WHERE x = 2"
+        outcomes = arena_select_per_client(arena, sql)
+        assert outcomes is not None
+        assert outcomes[1] is ARENA_FALLBACK
+        for index in (0, 2):
+            assert outcomes[index] is not ARENA_FALLBACK
+            assert _arena_outcome(outcomes[index], members[index], sql) == _outcome(
+                members[index], sql
+            )
+        # The fallback is an answer-it-yourself marker, not a wrong answer.
+        assert _arena_outcome(outcomes[1], odd, sql) == _outcome(odd, sql)
+        # Excluded members don't poison incremental maintenance either.
+        odd.insert_rows("t", [{"x": "9", "extra": 0.0}])
+        matching[0].insert_rows("t", [{"x": 2, "tag": "zz"}])
+        outcomes = arena_select_per_client(arena, sql)
+        assert outcomes[1] is ARENA_FALLBACK
+        assert _arena_outcome(outcomes[0], members[0], sql) == _outcome(
+            members[0], sql
+        )
+
+    def test_missing_table_everywhere_is_statement_level_fallback(self):
+        members = [_make_db([("x", "INTEGER")], [{"x": 1}], force_scan=False)]
+        arena = ShardArena(members)
+        assert arena_select_per_client(arena, "SELECT x FROM nope") is None
+
+    def test_per_database_force_scan_pins_that_member_only(self):
+        subsets = [[{"x": 1}], [{"x": 2}], [{"x": 1}]]
+        members = [_make_db([("x", "INTEGER")], s, force_scan=False) for s in subsets]
+        members[1].force_scan = True
+        arena = ShardArena(members)
+        outcomes = arena_select_per_client(arena, "SELECT x FROM t WHERE x = 1")
+        assert outcomes[1] is ARENA_FALLBACK
+        assert outcomes[0] is not ARENA_FALLBACK
+        assert outcomes[2] is not ARENA_FALLBACK
